@@ -1,0 +1,210 @@
+// Package metricprox's root benchmarks: one testing.B benchmark per table
+// and figure of the paper's evaluation (run the cmd/proxbench CLI for the
+// full formatted reproduction), plus ablation benchmarks for the design
+// choices called out in DESIGN.md §6.
+package metricprox_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"metricprox/internal/bounds"
+	"metricprox/internal/core"
+	"metricprox/internal/datasets"
+	"metricprox/internal/experiments"
+	"metricprox/internal/metric"
+	"metricprox/internal/pgraph"
+	"metricprox/internal/prox"
+)
+
+// benchExperiment runs a registered experiment at quick scale per iteration.
+func benchExperiment(b *testing.B, id string) {
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	cfg := experiments.Config{Quick: true, Seed: 42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tb := r.Run(cfg); len(tb.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkFig3a(b *testing.B)  { benchExperiment(b, "fig3a") }
+func BenchmarkFig3b(b *testing.B)  { benchExperiment(b, "fig3b") }
+func BenchmarkFig3c(b *testing.B)  { benchExperiment(b, "fig3c") }
+func BenchmarkFig4a(b *testing.B)  { benchExperiment(b, "fig4a") }
+func BenchmarkFig4b(b *testing.B)  { benchExperiment(b, "fig4b") }
+func BenchmarkFig5a(b *testing.B)  { benchExperiment(b, "fig5a") }
+func BenchmarkFig5b(b *testing.B)  { benchExperiment(b, "fig5b") }
+func BenchmarkFig6a(b *testing.B)  { benchExperiment(b, "fig6a") }
+func BenchmarkFig6b(b *testing.B)  { benchExperiment(b, "fig6b") }
+func BenchmarkFig6c(b *testing.B)  { benchExperiment(b, "fig6c") }
+func BenchmarkFig6d(b *testing.B)  { benchExperiment(b, "fig6d") }
+func BenchmarkFig7a(b *testing.B)  { benchExperiment(b, "fig7a") }
+func BenchmarkFig7b(b *testing.B)  { benchExperiment(b, "fig7b") }
+func BenchmarkFig7c(b *testing.B)  { benchExperiment(b, "fig7c") }
+func BenchmarkFig7d(b *testing.B)  { benchExperiment(b, "fig7d") }
+func BenchmarkFig8a(b *testing.B)  { benchExperiment(b, "fig8a") }
+func BenchmarkFig8b(b *testing.B)  { benchExperiment(b, "fig8b") }
+func BenchmarkFig8c(b *testing.B)  { benchExperiment(b, "fig8c") }
+func BenchmarkFig8d(b *testing.B)  { benchExperiment(b, "fig8d") }
+func BenchmarkFig9a(b *testing.B)  { benchExperiment(b, "fig9a") }
+func BenchmarkFig9b(b *testing.B)  { benchExperiment(b, "fig9b") }
+func BenchmarkFig9c(b *testing.B)  { benchExperiment(b, "fig9c") }
+func BenchmarkFig9d(b *testing.B)  { benchExperiment(b, "fig9d") }
+func BenchmarkExt1(b *testing.B)   { benchExperiment(b, "ext1") }
+func BenchmarkExt2(b *testing.B)   { benchExperiment(b, "ext2") }
+func BenchmarkExt3(b *testing.B)   { benchExperiment(b, "ext3") }
+func BenchmarkExt4(b *testing.B)   { benchExperiment(b, "ext4") }
+func BenchmarkExt5(b *testing.B)   { benchExperiment(b, "ext5") }
+func BenchmarkExt6(b *testing.B)   { benchExperiment(b, "ext6") }
+func BenchmarkExt7(b *testing.B)   { benchExperiment(b, "ext7") }
+func BenchmarkExt8(b *testing.B)   { benchExperiment(b, "ext8") }
+func BenchmarkExt9(b *testing.B)   { benchExperiment(b, "ext9") }
+
+// --- micro-benchmarks of the core primitives ---
+
+func BenchmarkSessionLessTri(b *testing.B) { benchSessionLess(b, core.SchemeTri) }
+
+func BenchmarkSessionLessSPLUB(b *testing.B) { benchSessionLess(b, core.SchemeSPLUB) }
+
+func benchSessionLess(b *testing.B, scheme core.Scheme) {
+	m := datasets.SFPOI(256, 1)
+	o := metric.NewOracle(m)
+	s := core.NewSession(o, scheme)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y, z, w := rng.Intn(256), rng.Intn(256), rng.Intn(256), rng.Intn(256)
+		if x == y || z == w {
+			continue
+		}
+		s.Less(x, y, z, w)
+	}
+}
+
+// --- ablation benchmarks (DESIGN.md §6) ---
+
+// BenchmarkTriAdjacencyRBTree measures the Tri Scheme query as shipped
+// (red–black tree merge intersection).
+func BenchmarkTriAdjacencyRBTree(b *testing.B) {
+	g, pairs := triWorkload()
+	tri := bounds.NewTri(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		tri.Bounds(p[0], p[1])
+	}
+}
+
+// BenchmarkTriAdjacencyScan is the ablation: the same triangle search via a
+// hash-probe of the smaller adjacency into the larger, the design the
+// paper's balanced-BST choice replaced.
+func BenchmarkTriAdjacencyScan(b *testing.B) {
+	g, pairs := triWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		lb, ub := 0.0, 1.0
+		ai, aj := g.Adjacency(p[0]), g.Adjacency(p[1])
+		if aj.Len() < ai.Len() {
+			ai, aj = aj, ai
+		}
+		ai.Ascend(func(k int, wi float64) bool {
+			if wj, ok := aj.Get(k); ok {
+				if d := wi - wj; d > lb {
+					lb = d
+				} else if d := wj - wi; d > lb {
+					lb = d
+				}
+				if sum := wi + wj; sum < ub {
+					ub = sum
+				}
+			}
+			return true
+		})
+	}
+}
+
+func triWorkload() (*pgraph.Graph, [][2]int) {
+	m := datasets.SFPOI(512, 3)
+	g := pgraph.New(512)
+	rng := rand.New(rand.NewSource(4))
+	for g.M() < 8000 {
+		i, j := rng.Intn(512), rng.Intn(512)
+		if i != j && !g.Known(i, j) {
+			g.AddEdge(i, j, m.Distance(i, j))
+		}
+	}
+	pairs := make([][2]int, 0, 1024)
+	for len(pairs) < 1024 {
+		i, j := rng.Intn(512), rng.Intn(512)
+		if i != j && !g.Known(i, j) {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	return g, pairs
+}
+
+// BenchmarkSPLUBFullRun vs BenchmarkSPLUBEarlyExit: the upper-bound
+// Dijkstra ablation (full run is required for LB anyway; early exit serves
+// pure-UB queries).
+func BenchmarkSPLUBFullRun(b *testing.B) {
+	g, pairs := triWorkload()
+	s := bounds.NewSPLUB(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		s.Bounds(p[0], p[1])
+	}
+}
+
+func BenchmarkSPLUBEarlyExit(b *testing.B) {
+	g, pairs := triWorkload()
+	s := bounds.NewSPLUB(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		s.TightestUB(p[0], p[1])
+	}
+}
+
+// BenchmarkKruskalLazy vs BenchmarkKruskalPreResolve: the lazy
+// lower-bound-queue Kruskal against the classic resolve-and-sort-everything
+// variant, measured in oracle calls per op via ReportMetric.
+func BenchmarkKruskalLazy(b *testing.B) {
+	m := datasets.UrbanGB(128, 5)
+	var calls int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := metric.NewOracle(m)
+		s := core.NewSession(o, core.SchemeTri)
+		prox.KruskalMST(s)
+		calls += o.Calls()
+	}
+	b.ReportMetric(float64(calls)/float64(b.N), "oracle-calls/op")
+}
+
+func BenchmarkKruskalPreResolve(b *testing.B) {
+	m := datasets.UrbanGB(128, 5)
+	var calls int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := metric.NewOracle(m)
+		s := core.NewSession(o, core.SchemeNoop)
+		// Classic Kruskal resolves every pair before sorting.
+		for x := 0; x < 128; x++ {
+			for y := x + 1; y < 128; y++ {
+				s.Dist(x, y)
+			}
+		}
+		prox.KruskalMST(s)
+		calls += o.Calls()
+	}
+	b.ReportMetric(float64(calls)/float64(b.N), "oracle-calls/op")
+}

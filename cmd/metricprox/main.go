@@ -1,0 +1,168 @@
+// Command metricprox runs the library's proximity algorithms over a CSV
+// point file, reporting results and the oracle calls saved by the chosen
+// bound scheme.
+//
+// Usage:
+//
+//	metricprox -in points.csv -algo mst                     # Prim + Tri
+//	metricprox -in points.csv -algo knn -k 10 -scheme splub
+//	metricprox -in points.csv -algo pam -l 8 -scheme noop   # unmodified
+//	metricprox -in points.csv -algo kcenter -l 5 -cache d.cache
+//	metricprox -demo 500 -algo tsp                          # synthetic demo
+//
+// The input is one point per line, comma-separated coordinates, optional
+// header; distances are Minkowski-p (default Euclidean) normalised into
+// [0,1]. A -cache file persists resolved distances across invocations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"metricprox/internal/cachestore"
+	"metricprox/internal/core"
+	"metricprox/internal/datasets"
+	"metricprox/internal/metric"
+	"metricprox/internal/prox"
+)
+
+func main() {
+	var (
+		inFlag     = flag.String("in", "", "CSV point file (one point per line)")
+		demoFlag   = flag.Int("demo", 0, "use a synthetic road-network dataset of this size instead of -in")
+		algoFlag   = flag.String("algo", "mst", "algorithm: mst | kruskal | boruvka | knn | pam | clarans | kcenter | tsp | linkage")
+		schemeFlag = flag.String("scheme", "tri", "bound scheme: noop | tri | splub | adm | laesa | tlaesa | hybrid")
+		kFlag      = flag.Int("k", 5, "neighbours for -algo knn")
+		lFlag      = flag.Int("l", 8, "clusters/centers for pam, clarans, kcenter")
+		pFlag      = flag.Float64("p", 2, "Minkowski norm for CSV input")
+		landmarks  = flag.Int("landmarks", 0, "bootstrap landmarks (0 = log2 n)")
+		seedFlag   = flag.Int64("seed", 1, "seed for randomised algorithms")
+		cacheFlag  = flag.String("cache", "", "persistent distance-cache file")
+	)
+	flag.Parse()
+
+	space, err := loadSpace(*inFlag, *demoFlag, *pFlag, *seedFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricprox:", err)
+		os.Exit(1)
+	}
+	n := space.Len()
+
+	scheme, ok := map[string]core.Scheme{
+		"noop": core.SchemeNoop, "tri": core.SchemeTri, "splub": core.SchemeSPLUB,
+		"adm": core.SchemeADM, "laesa": core.SchemeLAESA, "tlaesa": core.SchemeTLAESA,
+		"hybrid": core.SchemeHybrid,
+	}[*schemeFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "metricprox: unknown scheme %q\n", *schemeFlag)
+		os.Exit(2)
+	}
+
+	k := *landmarks
+	if k == 0 {
+		for v := n; v > 1; v /= 2 {
+			k++
+		}
+	}
+	lms := core.PickLandmarks(n, k, *seedFlag)
+
+	oracle := metric.NewOracle(space)
+	s := core.NewSessionWithLandmarks(oracle, scheme, lms)
+
+	if *cacheFlag != "" {
+		store, err := cachestore.OpenOrCreate(*cacheFlag, n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metricprox:", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		if err := s.AttachStore(store); err != nil {
+			fmt.Fprintln(os.Stderr, "metricprox:", err)
+			os.Exit(1)
+		}
+	}
+	if scheme != core.SchemeNoop {
+		s.Bootstrap(lms)
+	}
+
+	start := time.Now()
+	summary, err := runAlgo(s, *algoFlag, *kFlag, *lFlag, *seedFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricprox:", err)
+		os.Exit(2)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Println(summary)
+	st := s.Stats()
+	total := int64(n) * int64(n-1) / 2
+	fmt.Printf("objects: %d   pairs: %d\n", n, total)
+	fmt.Printf("oracle calls: %d (%.1f%% of all pairs; bootstrap %d)\n",
+		st.OracleCalls, 100*float64(st.OracleCalls)/float64(total), st.BootstrapCalls)
+	fmt.Printf("comparisons: %d saved by bounds, %d resolved, %d cache hits\n",
+		st.SavedComparisons, st.ResolvedComparisons, st.CacheHits)
+	fmt.Printf("wall time: %s\n", elapsed.Round(time.Millisecond))
+	if err := s.StoreErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "metricprox: cache warning:", err)
+	}
+}
+
+func loadSpace(in string, demo int, p float64, seed int64) (metric.Space, error) {
+	switch {
+	case demo > 0:
+		return datasets.SFPOI(demo, seed), nil
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return datasets.LoadPointsCSV(f, p, 0)
+	default:
+		return nil, fmt.Errorf("provide -in <csv> or -demo <n> (see -h)")
+	}
+}
+
+func runAlgo(s *core.Session, algo string, k, l int, seed int64) (string, error) {
+	switch algo {
+	case "mst":
+		m := prox.PrimMST(s)
+		return fmt.Sprintf("MST (Prim): weight %.6f over %d edges", m.Weight, len(m.Edges)), nil
+	case "kruskal":
+		m := prox.KruskalMST(s)
+		return fmt.Sprintf("MST (Kruskal): weight %.6f over %d edges", m.Weight, len(m.Edges)), nil
+	case "boruvka":
+		m := prox.BoruvkaMST(s)
+		return fmt.Sprintf("MST (Boruvka): weight %.6f over %d edges", m.Weight, len(m.Edges)), nil
+	case "knn":
+		g := prox.KNNGraph(s, k)
+		sum := 0.0
+		for _, ns := range g {
+			for _, nb := range ns {
+				sum += nb.Dist
+			}
+		}
+		return fmt.Sprintf("%d-NN graph: mean neighbour distance %.6f", k, sum/float64(len(g)*k)), nil
+	case "pam":
+		c := prox.PAM(s, l, seed)
+		return fmt.Sprintf("PAM: %d medoids %v, cost %.6f", l, c.Medoids, c.Cost), nil
+	case "clarans":
+		c := prox.CLARANS(s, l, prox.CLARANSConfig{Seed: seed})
+		return fmt.Sprintf("CLARANS: %d medoids %v, cost %.6f", l, c.Medoids, c.Cost), nil
+	case "kcenter":
+		c := prox.KCenter(s, l)
+		return fmt.Sprintf("k-center: centers %v, radius %.6f", c.Centers, c.Radius), nil
+	case "tsp":
+		t := prox.TwoOpt(s, prox.TSPNearestNeighbour(s), 5)
+		return fmt.Sprintf("TSP (NN + 2-opt): tour length %.6f", t.Length), nil
+	case "linkage":
+		d := prox.SingleLinkage(s)
+		mid := d.Merges[len(d.Merges)/2].Dist
+		return fmt.Sprintf("single-linkage: %d merges; cutting at %.4f yields %d clusters",
+			len(d.Merges), mid, d.Clusters(mid)), nil
+	default:
+		return "", fmt.Errorf("unknown algorithm %q", algo)
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"metricprox/internal/core"
+	"metricprox/internal/metric"
+)
+
+func testSession(t *testing.T) *core.Session {
+	t.Helper()
+	space, err := loadSpace("", 40, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewSession(metric.NewOracle(space), core.SchemeTri)
+}
+
+func TestLoadSpaceDemoAndErrors(t *testing.T) {
+	if _, err := loadSpace("", 0, 2, 1); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if _, err := loadSpace("/nonexistent/file.csv", 0, 2, 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	s, err := loadSpace("", 25, 2, 1)
+	if err != nil || s.Len() != 25 {
+		t.Fatalf("demo space: %v, len %d", err, s.Len())
+	}
+}
+
+func TestRunAlgoAll(t *testing.T) {
+	wants := map[string]string{
+		"mst":     "MST (Prim)",
+		"kruskal": "MST (Kruskal)",
+		"boruvka": "MST (Boruvka)",
+		"knn":     "-NN graph",
+		"pam":     "PAM:",
+		"clarans": "CLARANS:",
+		"kcenter": "k-center:",
+		"tsp":     "TSP",
+		"linkage": "single-linkage",
+	}
+	for algo, want := range wants {
+		s := testSession(t)
+		out, err := runAlgo(s, algo, 3, 4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out, want) {
+			t.Fatalf("%s: summary %q missing %q", algo, out, want)
+		}
+	}
+	if _, err := runAlgo(testSession(t), "bogus", 3, 4, 1); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

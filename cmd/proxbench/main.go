@@ -1,0 +1,79 @@
+// Command proxbench regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	proxbench -list                 # show every experiment id
+//	proxbench -exp table2,fig3a     # run selected experiments
+//	proxbench -exp all              # run the whole evaluation
+//	proxbench -exp all -full        # paper-scale sizes (slow)
+//	proxbench -exp table2 -seed 7   # change the dataset seed
+//
+// Output is aligned-markdown tables on stdout, one per artifact, with
+// footnotes recording scaling and substitution decisions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"metricprox/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
+		listFlag = flag.Bool("list", false, "list available experiments and exit")
+		fullFlag = flag.Bool("full", false, "paper-scale sizes (minutes of runtime)")
+		seedFlag = flag.Int64("seed", 42, "dataset and algorithm seed")
+		csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *listFlag || *expFlag == "" {
+		fmt.Println("Available experiments (run with -exp <id>[,<id>…] or -exp all):")
+		for _, r := range experiments.All() {
+			fmt.Printf("  %-8s %s\n", r.ID, r.Title)
+		}
+		if !*listFlag {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Full: *fullFlag, Seed: *seedFlag}
+
+	var runners []experiments.Runner
+	if *expFlag == "all" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			r, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "proxbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		table := r.Run(cfg)
+		if *csvFlag {
+			fmt.Printf("# %s — %s\n", table.ID, table.Title)
+			if err := table.RenderCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "proxbench:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			continue
+		}
+		table.Note("regenerated in %s (seed %d, full=%v)", time.Since(start).Round(time.Millisecond), *seedFlag, *fullFlag)
+		table.Render(os.Stdout)
+	}
+}

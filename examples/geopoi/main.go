@@ -1,0 +1,63 @@
+// Geopoi: the paper's motivating scenario — building a minimum spanning
+// tree over points of interest when every distance is a billable,
+// high-latency call to a maps API.
+//
+// The example wraps the synthetic road network in a latency oracle (each
+// call really sleeps, simulating the API round-trip), runs Prim's
+// algorithm with and without the Tri Scheme, and reports both measured
+// wall time and the cost-model extrapolation to realistic API latencies.
+//
+//	go run ./examples/geopoi
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"metricprox/internal/core"
+	"metricprox/internal/datasets"
+	"metricprox/internal/metric"
+	"metricprox/internal/prox"
+)
+
+func main() {
+	const (
+		n          = 120
+		apiLatency = 300 * time.Microsecond // keep the demo snappy
+	)
+	space := datasets.UrbanGB(n, 7)
+
+	run := func(scheme core.Scheme, label string) (int64, time.Duration, float64) {
+		oracle := metric.NewLatencyOracle(space, apiLatency)
+		s := core.NewSession(oracle, scheme)
+		if scheme != core.SchemeNoop {
+			s.Bootstrap(core.PickLandmarks(n, 7, 7))
+		}
+		start := time.Now()
+		mst := prox.PrimMST(s)
+		elapsed := time.Since(start)
+		fmt.Printf("%-14s %7d API calls   %8s wall   MST weight %.6f\n",
+			label, oracle.Calls(), elapsed.Round(time.Millisecond), mst.Weight)
+		return oracle.Calls(), elapsed, mst.Weight
+	}
+
+	fmt.Printf("MST over %d points of interest, simulated maps API latency %v\n\n", n, apiLatency)
+	vCalls, _, vWeight := run(core.SchemeNoop, "without plug:")
+	tCalls, _, tWeight := run(core.SchemeTri, "tri scheme:")
+	if vWeight != tWeight {
+		panic("outputs diverged")
+	}
+
+	fmt.Printf("\ncalls saved: %d (%.1f%%)\n", vCalls-tCalls,
+		100*float64(vCalls-tCalls)/float64(vCalls))
+
+	// Extrapolate with the analytical cost model to realistic API costs.
+	fmt.Println("\nprojected completion time at real API latencies:")
+	for _, perCall := range []time.Duration{50 * time.Millisecond, 200 * time.Millisecond, time.Second} {
+		cm := metric.CostModel{PerCall: perCall}
+		fmt.Printf("  %6s/call:  without plug %8s   tri %8s\n",
+			perCall,
+			cm.Completion(vCalls, 0).Round(time.Second),
+			cm.Completion(tCalls, 0).Round(time.Second))
+	}
+}

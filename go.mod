@@ -1,0 +1,3 @@
+module metricprox
+
+go 1.22

@@ -1,0 +1,176 @@
+// Package bktree implements a Burkhard–Keller tree (Burkhard & Keller,
+// CACM 1973) — the discrete-metric index the paper's related-work section
+// lists among the pivot-based structures (Section 6.1). A BK-tree indexes
+// objects under an *integer-valued* metric (classically edit distance):
+// each node's children are bucketed by their exact distance to the node,
+// and a range query recurses only into buckets within the triangle-
+// inequality window [d−r, d+r].
+//
+// Like the other index baselines, the BK-tree pays construction distance
+// calls up front and cannot exploit distances resolved during the workload
+// — the contrast the ext6 experiment measures against the Session.
+package bktree
+
+import "sort"
+
+// DistFunc returns the integer distance between two objects of the
+// universe. It must satisfy the metric axioms.
+type DistFunc func(i, j int) int
+
+// Tree is a BK-tree over objects 0..n-1.
+type Tree struct {
+	dist  DistFunc
+	root  *node
+	size  int
+	calls int64
+}
+
+type node struct {
+	id       int
+	children map[int]*node // distance-to-id -> subtree
+}
+
+// New returns an empty BK-tree using dist.
+func New(dist DistFunc) *Tree {
+	return &Tree{dist: dist}
+}
+
+// Build constructs a tree over all n objects in id order.
+func Build(n int, dist DistFunc) *Tree {
+	t := New(dist)
+	for i := 0; i < n; i++ {
+		t.Add(i)
+	}
+	return t
+}
+
+// Len returns the number of indexed objects.
+func (t *Tree) Len() int { return t.size }
+
+// Calls returns the number of distance evaluations spent so far
+// (construction and queries combined).
+func (t *Tree) Calls() int64 { return t.calls }
+
+func (t *Tree) d(i, j int) int {
+	t.calls++
+	return t.dist(i, j)
+}
+
+// Add inserts an object. Duplicates (distance 0 to an existing node) are
+// chained into the 0-bucket, preserving them for queries.
+func (t *Tree) Add(id int) {
+	t.size++
+	if t.root == nil {
+		t.root = &node{id: id}
+		return
+	}
+	cur := t.root
+	for {
+		dd := t.d(id, cur.id)
+		if cur.children == nil {
+			cur.children = make(map[int]*node)
+		}
+		next, ok := cur.children[dd]
+		if !ok {
+			cur.children[dd] = &node{id: id}
+			return
+		}
+		cur = next
+	}
+}
+
+// Result is one query answer.
+type Result struct {
+	ID   int
+	Dist int
+}
+
+// Range returns every indexed object within distance r of the query
+// object (the query itself included if indexed), sorted by (dist, id).
+func (t *Tree) Range(query, r int) []Result {
+	var out []Result
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		dd := t.d(query, n.id)
+		if dd <= r {
+			out = append(out, Result{ID: n.id, Dist: dd})
+		}
+		for key, child := range n.children {
+			if key >= dd-r && key <= dd+r {
+				walk(child)
+			}
+		}
+	}
+	walk(t.root)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// NN returns the k nearest indexed objects to the query object (excluding
+// the query itself), using best-first pruning with the current k-th
+// distance as the shrinking radius.
+func (t *Tree) NN(query, k int) []Result {
+	var best []Result
+	worst := func() int {
+		if len(best) < k {
+			return 1 << 30
+		}
+		return best[len(best)-1].Dist
+	}
+	insert := func(r Result) {
+		best = append(best, r)
+		sort.Slice(best, func(a, b int) bool {
+			if best[a].Dist != best[b].Dist {
+				return best[a].Dist < best[b].Dist
+			}
+			return best[a].ID < best[b].ID
+		})
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		dd := t.d(query, n.id)
+		if n.id != query {
+			insert(Result{ID: n.id, Dist: dd})
+		}
+		// Visit children nearest-bucket-first so the radius shrinks early.
+		keys := make([]int, 0, len(n.children))
+		for key := range n.children {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			da, db := abs(keys[a]-dd), abs(keys[b]-dd)
+			if da != db {
+				return da < db
+			}
+			return keys[a] < keys[b]
+		})
+		for _, key := range keys {
+			if abs(key-dd) <= worst() {
+				walk(n.children[key])
+			}
+		}
+	}
+	walk(t.root)
+	return best
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

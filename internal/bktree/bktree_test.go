@@ -1,0 +1,112 @@
+package bktree
+
+import (
+	"sort"
+	"testing"
+
+	"metricprox/internal/datasets"
+	"metricprox/internal/metric"
+)
+
+// dnaDist builds an integer edit-distance function over a DNA dataset.
+func dnaDist(n int, t *testing.T) (DistFunc, []string) {
+	t.Helper()
+	seqs, _ := datasets.DNA(n, 24, 71)
+	return func(i, j int) int { return metric.Levenshtein(seqs[i], seqs[j]) }, seqs
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	n := 60
+	dist, _ := dnaDist(n, t)
+	tree := Build(n, dist)
+	if tree.Len() != n {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	for _, q := range []int{0, 7, 33, 59} {
+		for _, r := range []int{0, 2, 5, 10} {
+			got := tree.Range(q, r)
+			want := map[int]int{}
+			for x := 0; x < n; x++ {
+				if d := dist(q, x); d <= r {
+					want[x] = d
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("q=%d r=%d: %d results, want %d", q, r, len(got), len(want))
+			}
+			for _, res := range got {
+				if wd, ok := want[res.ID]; !ok || wd != res.Dist {
+					t.Fatalf("q=%d r=%d: wrong result %+v", q, r, res)
+				}
+			}
+			if !sort.SliceIsSorted(got, func(a, b int) bool {
+				if got[a].Dist != got[b].Dist {
+					return got[a].Dist < got[b].Dist
+				}
+				return got[a].ID < got[b].ID
+			}) {
+				t.Fatal("results unsorted")
+			}
+		}
+	}
+}
+
+func TestNNMatchesBruteForce(t *testing.T) {
+	n := 50
+	dist, _ := dnaDist(n, t)
+	tree := Build(n, dist)
+	for _, q := range []int{0, 13, 49} {
+		got := tree.NN(q, 4)
+		if len(got) != 4 {
+			t.Fatalf("q=%d: %d results", q, len(got))
+		}
+		// Verify by distance multiset: ties in integer edit distance are
+		// common, so compare the distance values, not the ids.
+		var all []int
+		for x := 0; x < n; x++ {
+			if x != q {
+				all = append(all, dist(q, x))
+			}
+		}
+		sort.Ints(all)
+		for i, res := range got {
+			if res.Dist != all[i] {
+				t.Fatalf("q=%d: NN[%d].Dist = %d, want %d", q, i, res.Dist, all[i])
+			}
+		}
+	}
+}
+
+func TestNNPrunes(t *testing.T) {
+	n := 200
+	dist, _ := dnaDist(n, t)
+	tree := Build(n, dist)
+	before := tree.Calls()
+	tree.NN(5, 3)
+	queryCalls := tree.Calls() - before
+	if queryCalls >= int64(n) {
+		t.Fatalf("NN query made %d calls — no pruning over a linear scan", queryCalls)
+	}
+}
+
+func TestDuplicateDistanceChaining(t *testing.T) {
+	// A degenerate metric where many pairs collide at distance 0 and 1.
+	vals := []int{0, 0, 1, 1, 1}
+	dist := func(i, j int) int { return abs(vals[i] - vals[j]) }
+	tree := Build(5, dist)
+	got := tree.Range(0, 0)
+	if len(got) != 2 { // objects 0 and 1 both at distance 0
+		t.Fatalf("Range(0,0) = %v, want the two colliding objects", got)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	tree := New(func(i, j int) int { return 0 })
+	if got := tree.Range(0, 5); got != nil {
+		t.Fatalf("empty tree returned %v", got)
+	}
+	tree.Add(0)
+	if got := tree.Range(0, 0); len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("single-node range = %v", got)
+	}
+}

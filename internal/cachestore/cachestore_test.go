@@ -1,0 +1,253 @@
+package cachestore
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func tempPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "dist.cache")
+}
+
+func TestCreateAppendReplay(t *testing.T) {
+	path := tempPath(t)
+	s, err := Create(path, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{{1, 2, 0.5}, {3, 7, 0.25}, {0, 99, 1}}
+	for _, r := range want {
+		if err := s.Append(r.I, r.J, r.Dist); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.N() != 100 {
+		t.Fatalf("N = %d, want 100", s2.N())
+	}
+	var got []Record
+	if err := s2.Replay(func(r Record) bool {
+		got = append(got, r)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAppendNormalisesPair(t *testing.T) {
+	path := tempPath(t)
+	s, _ := Create(path, 10)
+	s.Append(7, 2, 0.3)
+	var r Record
+	s.Replay(func(rec Record) bool { r = rec; return true })
+	s.Close()
+	if r.I != 2 || r.J != 7 {
+		t.Fatalf("record not normalised: %+v", r)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	s, _ := Create(tempPath(t), 10)
+	defer s.Close()
+	if err := s.Append(3, 3, 0.1); err == nil {
+		t.Fatal("self pair accepted")
+	}
+	if err := s.Append(0, 10, 0.1); err == nil {
+		t.Fatal("out-of-universe pair accepted")
+	}
+	if err := s.Append(0, 1, math.NaN()); err == nil {
+		t.Fatal("NaN distance accepted")
+	}
+	if err := s.Append(0, 1, -0.5); err == nil {
+		t.Fatal("negative distance accepted")
+	}
+}
+
+func TestAppendAfterReopen(t *testing.T) {
+	path := tempPath(t)
+	s, _ := Create(path, 10)
+	s.Append(0, 1, 0.1)
+	s.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Append(2, 3, 0.2)
+	n, _ := s2.Len()
+	s2.Close()
+	if n != 2 {
+		t.Fatalf("Len = %d after reopen+append, want 2", n)
+	}
+}
+
+func TestTornWriteRepair(t *testing.T) {
+	path := tempPath(t)
+	s, _ := Create(path, 10)
+	s.Append(0, 1, 0.1)
+	s.Append(1, 2, 0.2)
+	s.Close()
+	// Simulate a crash mid-append: chop 7 bytes off the tail.
+	st, _ := os.Stat(path)
+	if err := os.Truncate(path, st.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	n, _ := s2.Len()
+	if n != 1 {
+		t.Fatalf("Len = %d after torn-write repair, want 1", n)
+	}
+	// The store must remain appendable.
+	if err := s2.Append(3, 4, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	s2.Replay(func(Record) bool { count++; return true })
+	if count != 2 {
+		t.Fatalf("replayed %d records, want 2", count)
+	}
+}
+
+func TestChecksumDamageStopsReplay(t *testing.T) {
+	path := tempPath(t)
+	s, _ := Create(path, 10)
+	s.Append(0, 1, 0.1)
+	s.Append(1, 2, 0.2)
+	s.Append(2, 3, 0.3)
+	s.Close()
+	// Flip a byte inside the second record's payload.
+	f, _ := os.OpenFile(path, os.O_RDWR, 0)
+	f.WriteAt([]byte{0xff}, headerSize+recordSize+9)
+	f.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var got []Record
+	s2.Replay(func(r Record) bool { got = append(got, r); return true })
+	if len(got) != 1 {
+		t.Fatalf("replay returned %d records past damage, want 1", len(got))
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := tempPath(t)
+	os.WriteFile(path, []byte("not a cache store at all"), 0o644)
+	if _, err := Open(path); err == nil {
+		t.Fatal("garbage file opened")
+	}
+}
+
+func TestOpenOrCreate(t *testing.T) {
+	path := tempPath(t)
+	s, err := OpenOrCreate(path, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append(0, 1, 0.9)
+	s.Close()
+	s2, err := OpenOrCreate(path, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := s2.Len()
+	s2.Close()
+	if n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	// Universe mismatch must be rejected.
+	if _, err := OpenOrCreate(path, 51); err == nil {
+		t.Fatal("universe mismatch accepted")
+	}
+}
+
+func TestReplayEarlyStop(t *testing.T) {
+	s, _ := Create(tempPath(t), 10)
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		s.Append(i, i+1, float64(i)/10)
+	}
+	seen := 0
+	s.Replay(func(Record) bool { seen++; return seen < 2 })
+	if seen != 2 {
+		t.Fatalf("early stop saw %d records, want 2", seen)
+	}
+	// Append must still land at the end after a replay.
+	s.Append(7, 8, 0.7)
+	n, _ := s.Len()
+	if n != 6 {
+		t.Fatalf("Len = %d after post-replay append, want 6", n)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	// Property: any batch of valid records replays back exactly.
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		path := filepath.Join(t.TempDir(), "q.cache")
+		s, err := Create(path, 64)
+		if err != nil {
+			return false
+		}
+		var want []Record
+		for k := 0; k < int(count%40); k++ {
+			i, j := rng.Intn(64), rng.Intn(64)
+			if i == j {
+				continue
+			}
+			d := rng.Float64()
+			if err := s.Append(i, j, d); err != nil {
+				return false
+			}
+			if i > j {
+				i, j = j, i
+			}
+			want = append(want, Record{i, j, d})
+		}
+		s.Close()
+		s2, err := Open(path)
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		var got []Record
+		s2.Replay(func(r Record) bool { got = append(got, r); return true })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

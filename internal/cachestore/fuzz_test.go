@@ -1,0 +1,55 @@
+package cachestore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzOpenArbitraryBytes feeds arbitrary file contents to Open: it must
+// never panic, and whenever it does open a store, Replay must terminate
+// and yield only in-universe records.
+func FuzzOpenArbitraryBytes(f *testing.F) {
+	// Seed with a valid store prefix.
+	dir := f.TempDir()
+	seedPath := filepath.Join(dir, "seed.cache")
+	s, err := Create(seedPath, 16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	s.Append(1, 2, 0.5)
+	s.Close()
+	valid, _ := os.ReadFile(seedPath)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "f.cache")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		st, err := Open(path)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		defer st.Close()
+		count := 0
+		st.Replay(func(r Record) bool {
+			if r.I < 0 || r.J < 0 || r.I >= st.N() || r.J >= st.N() {
+				t.Fatalf("out-of-universe record %+v from fuzzed store", r)
+			}
+			if r.Dist < 0 || r.Dist != r.Dist {
+				t.Fatalf("invalid distance %v from fuzzed store", r.Dist)
+			}
+			count++
+			return count < 1<<20 // hard stop against pathological loops
+		})
+		// The store must remain appendable after surviving Open.
+		if st.N() > 3 {
+			if err := st.Append(0, 1, 0.25); err != nil {
+				t.Fatalf("append after fuzzed open: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package core
+
+// Pair identifies one distance term of an aggregate comparison.
+type Pair struct{ A, B int }
+
+// SumLessThan reports whether Σ dist(p.A, p.B) over pairs is strictly less
+// than c — the "distance aggregates" form of the paper's Contribution 1
+// (IF statements that compare sums of distances, as in 2-opt moves,
+// clustering cost deltas, or tour comparisons).
+//
+// Interval bounds compose additively: if the upper bounds already sum
+// below c the answer is certainly true; if the lower bounds reach c it is
+// certainly false. Only when the aggregate interval straddles c are the
+// unresolved terms resolved — largest bound-gap first, re-checking after
+// each resolution, so the oracle is consulted as few times as possible.
+func (s *Session) SumLessThan(pairs []Pair, c float64) bool {
+	lbSum, ubSum := 0.0, 0.0
+	type term struct {
+		p      Pair
+		lb, ub float64
+	}
+	var open []term
+	for _, p := range pairs {
+		lb, ub := s.Bounds(p.A, p.B)
+		lbSum += lb
+		ubSum += ub
+		if lb != ub {
+			open = append(open, term{p: p, lb: lb, ub: ub})
+		}
+	}
+	for {
+		if ubSum < c {
+			s.stats.SavedComparisons++
+			return true
+		}
+		if lbSum >= c {
+			s.stats.SavedComparisons++
+			return false
+		}
+		if len(open) == 0 {
+			// Fully resolved and still straddling: impossible (lb==ub for
+			// every term means lbSum == ubSum), but guard for float edge
+			// cases where lbSum < c ≤ ubSum within rounding.
+			return lbSum < c
+		}
+		// Resolve the loosest term: it moves the aggregate interval most.
+		widest, gap := 0, -1.0
+		for i, t := range open {
+			if g := t.ub - t.lb; g > gap {
+				widest, gap = i, g
+			}
+		}
+		t := open[widest]
+		open[widest] = open[len(open)-1]
+		open = open[:len(open)-1]
+		s.stats.ResolvedComparisons++
+		d := s.Dist(t.p.A, t.p.B)
+		lbSum += d - t.lb
+		ubSum += d - t.ub
+	}
+}
+
+// SumLess reports whether Σ dist over left is strictly less than Σ dist
+// over right, with the same bound-first, loosest-term-next resolution
+// strategy applied to both sides jointly.
+func (s *Session) SumLess(left, right []Pair) bool {
+	type term struct {
+		p      Pair
+		lb, ub float64
+		sign   float64 // +1 for left, −1 for right
+	}
+	// Track bounds of Σleft − Σright.
+	lo, hi := 0.0, 0.0
+	var open []term
+	add := func(ps []Pair, sign float64) {
+		for _, p := range ps {
+			lb, ub := s.Bounds(p.A, p.B)
+			if sign > 0 {
+				lo += lb
+				hi += ub
+			} else {
+				lo -= ub
+				hi -= lb
+			}
+			if lb != ub {
+				open = append(open, term{p: p, lb: lb, ub: ub, sign: sign})
+			}
+		}
+	}
+	add(left, 1)
+	add(right, -1)
+	for {
+		if hi < 0 {
+			s.stats.SavedComparisons++
+			return true
+		}
+		if lo >= 0 {
+			s.stats.SavedComparisons++
+			return false
+		}
+		if len(open) == 0 {
+			return lo < 0
+		}
+		widest, gap := 0, -1.0
+		for i, t := range open {
+			if g := t.ub - t.lb; g > gap {
+				widest, gap = i, g
+			}
+		}
+		t := open[widest]
+		open[widest] = open[len(open)-1]
+		open = open[:len(open)-1]
+		s.stats.ResolvedComparisons++
+		d := s.Dist(t.p.A, t.p.B)
+		if t.sign > 0 {
+			lo += d - t.lb
+			hi += d - t.ub
+		} else {
+			lo -= d - t.ub
+			hi -= d - t.lb
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"metricprox/internal/datasets"
+	"metricprox/internal/metric"
+)
+
+// TestQuickSessionInvariants drives random operation sequences against a
+// session and checks the global invariants:
+//
+//   - every answer matches ground truth (exactness),
+//   - bounds always bracket the truth and never widen for a given pair,
+//   - resolved pairs report exact bounds forever after,
+//   - the session's call counter equals the oracle's.
+func TestQuickSessionInvariants(t *testing.T) {
+	schemes := []Scheme{SchemeTri, SchemeSPLUB, SchemeADM, SchemeHybrid}
+	f := func(seed int64, ops []uint16) bool {
+		n := 12
+		m := datasets.RandomMetric(n, seed)
+		o := metric.NewOracle(m)
+		s := NewSession(o, schemes[int(uint64(seed)%uint64(len(schemes)))])
+		rng := rand.New(rand.NewSource(seed + 1))
+
+		prevLB := map[int64]float64{}
+		prevUB := map[int64]float64{}
+		key := func(i, j int) int64 {
+			if i > j {
+				i, j = j, i
+			}
+			return int64(i)*64 + int64(j)
+		}
+		for _, op := range ops {
+			i, j := int(op)%n, int(op>>4)%n
+			k, l := rng.Intn(n), rng.Intn(n)
+			if i == j || k == l {
+				continue
+			}
+			switch op % 5 {
+			case 0:
+				if s.Dist(i, j) != m.Distance(i, j) {
+					return false
+				}
+			case 1:
+				if s.Less(i, j, k, l) != (m.Distance(i, j) < m.Distance(k, l)) {
+					return false
+				}
+			case 2:
+				c := rng.Float64()
+				if s.LessThan(i, j, c) != (m.Distance(i, j) < c) {
+					return false
+				}
+			case 3:
+				c := rng.Float64()
+				d, less := s.DistIfLess(i, j, c)
+				if less != (m.Distance(i, j) < c) {
+					return false
+				}
+				if less && d != m.Distance(i, j) {
+					return false
+				}
+			case 4:
+				lb, ub := s.Bounds(i, j)
+				d := m.Distance(i, j)
+				if lb > d+1e-9 || ub < d-1e-9 {
+					return false
+				}
+				// Bounds tighten monotonically per pair.
+				if plb, ok := prevLB[key(i, j)]; ok && lb < plb-1e-9 {
+					return false
+				}
+				if pub, ok := prevUB[key(i, j)]; ok && ub > pub+1e-9 {
+					return false
+				}
+				prevLB[key(i, j)] = lb
+				prevUB[key(i, j)] = ub
+				if _, known := s.Known(i, j); known && lb != ub {
+					return false
+				}
+			}
+		}
+		return s.Stats().OracleCalls == o.Calls()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

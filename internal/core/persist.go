@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"metricprox/internal/cachestore"
+)
+
+// AttachStore binds a persistent distance cache to the session: every
+// record already in the store is replayed into the partial graph (and the
+// bound scheme) without touching the oracle, and every future resolution
+// is appended to the store. Re-running an algorithm over the same object
+// universe therefore only pays for distances no previous run resolved —
+// the natural complement to an oracle that bills per call.
+//
+// The store's universe size must match the session's. Attach before
+// running algorithms; attaching twice or after resolutions is allowed (the
+// partial graph deduplicates), but replayed distances must agree with any
+// already-resolved pair or the graph panics on the conflict, surfacing
+// oracle non-determinism instead of silently corrupting bounds.
+func (s *Session) AttachStore(store *cachestore.Store) error {
+	if store.N() != s.N() {
+		return fmt.Errorf("core: store universe %d does not match session universe %d", store.N(), s.N())
+	}
+	err := store.Replay(func(r cachestore.Record) bool {
+		if !s.g.Known(r.I, r.J) {
+			s.record(r.I, r.J, r.Dist)
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	s.store = store
+	return nil
+}
+
+// persistResolution appends a fresh oracle resolution to the attached
+// store, if any. Append errors are surfaced through the session's
+// StoreErr because the hot path cannot return them.
+func (s *Session) persistResolution(i, j int, d float64) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Append(i, j, d); err != nil && s.storeErr == nil {
+		s.storeErr = err
+	}
+}
+
+// StoreErr returns the first error encountered while appending to the
+// attached store (nil if none). A failed append never loses the in-memory
+// resolution; it only means the cache on disk is incomplete.
+func (s *Session) StoreErr() error { return s.storeErr }

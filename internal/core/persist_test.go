@@ -1,0 +1,119 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"metricprox/internal/cachestore"
+	"metricprox/internal/datasets"
+	"metricprox/internal/metric"
+)
+
+func TestAttachStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dist.cache")
+	m := datasets.RandomMetric(20, 31)
+
+	// First run: resolve some pairs, persisting them.
+	store, err := cachestore.Create(path, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1 := metric.NewOracle(m)
+	s1 := NewSession(o1, SchemeTri)
+	if err := s1.AttachStore(store); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s1.Dist(i, i+5)
+	}
+	if s1.StoreErr() != nil {
+		t.Fatal(s1.StoreErr())
+	}
+	firstCalls := o1.Calls()
+	store.Close()
+
+	// Second run over the same universe: the replayed cache answers
+	// everything the first run resolved.
+	store2, err := cachestore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	o2 := metric.NewOracle(m)
+	s2 := NewSession(o2, SchemeTri)
+	if err := s2.AttachStore(store2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got, want := s2.Dist(i, i+5), m.Distance(i, i+5); got != want {
+			t.Fatalf("replayed Dist(%d,%d) = %v, want %v", i, i+5, got, want)
+		}
+	}
+	if o2.Calls() != 0 {
+		t.Fatalf("second run made %d oracle calls, want 0 (all cached)", o2.Calls())
+	}
+	// A genuinely new pair still costs a call and is persisted.
+	s2.Dist(0, 19)
+	if o2.Calls() != 1 {
+		t.Fatalf("new pair cost %d calls, want 1", o2.Calls())
+	}
+	n, _ := store2.Len()
+	if n != int(firstCalls)+1 {
+		t.Fatalf("store holds %d records, want %d", n, firstCalls+1)
+	}
+}
+
+func TestAttachStoreUniverseMismatch(t *testing.T) {
+	store, err := cachestore.Create(filepath.Join(t.TempDir(), "x.cache"), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	m := datasets.RandomMetric(8, 32)
+	s := NewSession(metric.NewOracle(m), SchemeTri)
+	if err := s.AttachStore(store); err == nil {
+		t.Fatal("universe mismatch accepted")
+	}
+}
+
+func TestAttachStoreFeedsBounds(t *testing.T) {
+	// Replayed edges must tighten bounds exactly like live resolutions.
+	path := filepath.Join(t.TempDir(), "b.cache")
+	m := datasets.RandomMetric(10, 33)
+	store, _ := cachestore.Create(path, 10)
+	o1 := metric.NewOracle(m)
+	s1 := NewSession(o1, SchemeTri)
+	s1.AttachStore(store)
+	s1.Dist(0, 1)
+	s1.Dist(1, 2)
+	store.Close()
+
+	store2, _ := cachestore.Open(path)
+	defer store2.Close()
+	s2 := NewSession(metric.NewOracle(m), SchemeTri)
+	s2.AttachStore(store2)
+	lb, ub := s2.Bounds(0, 2)
+	if lb == 0 && ub == 1 {
+		t.Fatal("replayed edges did not tighten bounds")
+	}
+}
+
+func TestStoreSyncAndLenPaths(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.cache")
+	store, err := cachestore.Create(path, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Append(0, 1, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := store.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,445 @@
+// Package core implements the paper's primary contribution: a unified,
+// output-preserving framework that lets any proximity algorithm resolve its
+// distance-comparing IF statements against triangle-inequality bounds
+// before paying for a distance-oracle call.
+//
+// The practitioner's recipe (Sections 2–4 of the paper):
+//
+//  1. Wrap the expensive distance function in a Session.
+//  2. Re-author each IF of the form `if dist(a,b) < dist(c,d)` as a call to
+//     Session.Less (or LessThan / DistIfLess when the branch needs the
+//     actual value).
+//  3. Pick a bound scheme: Tri for scale, SPLUB for tightest graph bounds,
+//     DFT for maximum savings on tiny inputs, or a baseline for comparison.
+//  4. Optionally Bootstrap with LAESA-style landmarks.
+//
+// The framework guarantees the re-authored algorithm computes *exactly*
+// the answers of the original: a comparison is only short-circuited when
+// the triangle inequality makes its outcome certain.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"metricprox/internal/bounds"
+	"metricprox/internal/cachestore"
+	"metricprox/internal/metric"
+	"metricprox/internal/pgraph"
+)
+
+// Stats aggregates the instrumentation of a Session. OracleCalls is the
+// paper's primary cost metric; SavedComparisons counts IF statements
+// resolved from bounds alone.
+type Stats struct {
+	// OracleCalls is the number of distances resolved through the oracle
+	// by this session (bootstrap included).
+	OracleCalls int64
+	// BootstrapCalls is the subset of OracleCalls spent on landmark
+	// bootstrap (the Bootstrap column of Tables 2–3).
+	BootstrapCalls int64
+	// BoundProbes counts Bounds() evaluations performed for comparisons.
+	BoundProbes int64
+	// SavedComparisons counts comparisons decided without any oracle call.
+	SavedComparisons int64
+	// ResolvedComparisons counts comparisons that needed the oracle.
+	ResolvedComparisons int64
+	// CacheHits counts comparisons answered from already-resolved pairs.
+	CacheHits int64
+}
+
+// Session mediates every distance access of a proximity algorithm. It
+// memoises resolved distances in a partial graph, consults a pluggable
+// Bounder (and optionally a Comparator such as DFT) to short-circuit
+// comparisons, and records statistics.
+//
+// A Session is not safe for concurrent use; run one per goroutine over the
+// same Oracle if parallel workloads are needed.
+type Session struct {
+	oracle  *metric.Oracle
+	g       *pgraph.Graph
+	b       bounds.Bounder
+	cmp     bounds.Comparator
+	maxDist float64
+	rho     float64 // relaxation factor; 0 or 1 = true metric
+	stats   Stats
+
+	// sharesGraph records whether b reads s.g directly (SPLUB/Tri), in
+	// which case AddEdge already updated it and Update must not be
+	// re-invoked with a duplicate.
+	sharesGraph bool
+
+	// store, when attached, persists resolutions across runs.
+	store    *cachestore.Store
+	storeErr error
+}
+
+// Option configures a Session.
+type Option func(*Session)
+
+// WithMaxDistance sets the a-priori cap on any distance (default 1, the
+// paper's normalised setting).
+func WithMaxDistance(d float64) Option {
+	return func(s *Session) { s.maxDist = d }
+}
+
+// WithComparator installs a direct comparator (DFT) that is consulted when
+// interval bounds are inconclusive.
+func WithComparator(c bounds.Comparator) Option {
+	return func(s *Session) { s.cmp = c }
+}
+
+// WithRelaxation declares the oracle a ρ-relaxed metric (d(x,z) ≤
+// ρ·(d(x,y)+d(y,z)), e.g. squared Euclidean with ρ = 2 — see
+// metric.Power). Only SchemeNoop and SchemeTri support ρ > 1; the other
+// schemes' soundness arguments assume a true metric and NewSession panics
+// if they are combined with a relaxation.
+func WithRelaxation(rho float64) Option {
+	if rho < 1 {
+		panic("core: relaxation factor must be at least 1")
+	}
+	return func(s *Session) { s.rho = rho }
+}
+
+// Scheme selects a bound scheme for NewSession.
+type Scheme int
+
+// The available schemes. SchemeNoop recovers the unmodified algorithm.
+const (
+	SchemeNoop Scheme = iota
+	SchemeSPLUB
+	SchemeTri
+	SchemeADM
+	SchemeLAESA
+	SchemeTLAESA
+	SchemeDFT
+	// SchemeHybrid asks Tri first and escalates to SPLUB only when the
+	// triangle interval is loose (DESIGN.md §6 ablation).
+	SchemeHybrid
+)
+
+// String returns the scheme name used in experiment reports.
+func (sc Scheme) String() string {
+	switch sc {
+	case SchemeNoop:
+		return "noop"
+	case SchemeSPLUB:
+		return "splub"
+	case SchemeTri:
+		return "tri"
+	case SchemeADM:
+		return "adm"
+	case SchemeLAESA:
+		return "laesa"
+	case SchemeTLAESA:
+		return "tlaesa"
+	case SchemeDFT:
+		return "dft"
+	case SchemeHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(sc))
+	}
+}
+
+// NewSession builds a Session over the oracle with the given scheme.
+// Landmark schemes (LAESA/TLAESA) require a prior choice of landmarks; use
+// NewSessionWithLandmarks for those, or Bootstrap afterwards.
+func NewSession(oracle *metric.Oracle, scheme Scheme, opts ...Option) *Session {
+	return NewSessionWithLandmarks(oracle, scheme, nil, opts...)
+}
+
+// NewSessionWithLandmarks builds a Session whose landmark-based schemes use
+// the given landmark set. For non-landmark schemes the set is ignored by
+// the bounder but still usable via Bootstrap.
+func NewSessionWithLandmarks(oracle *metric.Oracle, scheme Scheme, landmarks []int, opts ...Option) *Session {
+	n := oracle.Len()
+	s := &Session{
+		oracle:  oracle,
+		g:       pgraph.New(n),
+		maxDist: 1,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.rho > 1 && scheme != SchemeNoop && scheme != SchemeTri {
+		panic(fmt.Sprintf("core: scheme %v does not support relaxed metrics", scheme))
+	}
+	switch scheme {
+	case SchemeNoop:
+		s.b = bounds.NewNoop(s.maxDist)
+	case SchemeSPLUB:
+		s.b = bounds.NewSPLUB(s.g, s.maxDist)
+		s.sharesGraph = true
+	case SchemeTri:
+		rho := s.rho
+		if rho < 1 {
+			rho = 1
+		}
+		s.b = bounds.NewTriRelaxed(s.g, s.maxDist, rho)
+		s.sharesGraph = true
+	case SchemeADM:
+		s.b = bounds.NewADM(n, s.maxDist)
+	case SchemeLAESA:
+		s.b = bounds.NewLAESA(n, landmarks, s.maxDist)
+	case SchemeTLAESA:
+		s.b = bounds.NewTLAESA(n, landmarks, s.maxDist)
+	case SchemeDFT:
+		dft := bounds.NewDFT(n, s.maxDist)
+		s.b = dft
+		if s.cmp == nil {
+			s.cmp = dft
+		}
+	case SchemeHybrid:
+		// Both sides read the shared session graph; escalate when the
+		// triangle interval is wider than 10% of the distance cap.
+		s.b = bounds.NewHybrid(
+			bounds.NewTri(s.g, s.maxDist),
+			bounds.NewSPLUB(s.g, s.maxDist),
+			s.maxDist/10,
+		)
+		s.sharesGraph = true
+	default:
+		panic(fmt.Sprintf("core: unknown scheme %v", scheme))
+	}
+	return s
+}
+
+// N returns the number of objects.
+func (s *Session) N() int { return s.g.N() }
+
+// Stats returns a copy of the session statistics.
+func (s *Session) Stats() Stats { return s.stats }
+
+// Graph exposes the partial graph of resolved distances (read-only use).
+func (s *Session) Graph() *pgraph.Graph { return s.g }
+
+// Bounder returns the active bound scheme.
+func (s *Session) Bounder() bounds.Bounder { return s.b }
+
+// MaxDistance returns the configured distance cap.
+func (s *Session) MaxDistance() float64 { return s.maxDist }
+
+// Known reports whether the pair is already resolved, without any oracle
+// call.
+func (s *Session) Known(i, j int) (float64, bool) { return s.g.Weight(i, j) }
+
+// Dist returns the exact distance between i and j, calling the oracle only
+// if the pair has not been resolved before. The resolution is fed to the
+// bound scheme (the UPDATE PROBLEM).
+func (s *Session) Dist(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if w, ok := s.g.Weight(i, j); ok {
+		return w
+	}
+	d := s.oracle.Distance(i, j)
+	s.stats.OracleCalls++
+	s.record(i, j, d)
+	s.persistResolution(i, j, d)
+	return d
+}
+
+func (s *Session) record(i, j int, d float64) {
+	if s.sharesGraph {
+		// SPLUB/Tri read the session graph; a single AddEdge serves both.
+		s.g.AddEdge(i, j, d)
+		return
+	}
+	s.g.AddEdge(i, j, d)
+	s.b.Update(i, j, d)
+}
+
+// Bounds returns the current lower and upper bounds for (i, j) without any
+// oracle call. Resolved pairs return the exact value twice.
+func (s *Session) Bounds(i, j int) (lb, ub float64) {
+	if i == j {
+		return 0, 0
+	}
+	if w, ok := s.g.Weight(i, j); ok {
+		return w, w
+	}
+	s.stats.BoundProbes++
+	return s.b.Bounds(i, j)
+}
+
+// Less reports whether dist(i,j) < dist(k,l) — the paper's canonical IF
+// statement — resolving distances only when the bound scheme (and
+// comparator, if any) cannot decide.
+func (s *Session) Less(i, j, k, l int) bool {
+	kn1, ok1 := s.Known(i, j)
+	kn2, ok2 := s.Known(k, l)
+	if ok1 && ok2 {
+		s.stats.CacheHits++
+		return kn1 < kn2
+	}
+	lb1, ub1 := s.Bounds(i, j)
+	lb2, ub2 := s.Bounds(k, l)
+	if ub1 < lb2 {
+		s.stats.SavedComparisons++
+		return true
+	}
+	if lb1 >= ub2 {
+		s.stats.SavedComparisons++
+		return false
+	}
+	if s.cmp != nil {
+		if s.cmp.ProveLess(i, j, k, l) {
+			s.stats.SavedComparisons++
+			return true
+		}
+		if s.cmp.ProveLess(k, l, i, j) {
+			// dist(k,l) < dist(i,j) implies not less.
+			s.stats.SavedComparisons++
+			return false
+		}
+	}
+	s.stats.ResolvedComparisons++
+	return s.Dist(i, j) < s.Dist(k, l)
+}
+
+// LessThan reports whether dist(i,j) < c, resolving the distance only when
+// the bounds are inconclusive.
+func (s *Session) LessThan(i, j int, c float64) bool {
+	if w, ok := s.Known(i, j); ok {
+		s.stats.CacheHits++
+		return w < c
+	}
+	lb, ub := s.Bounds(i, j)
+	if ub < c {
+		s.stats.SavedComparisons++
+		return true
+	}
+	if lb >= c {
+		s.stats.SavedComparisons++
+		return false
+	}
+	if s.cmp != nil {
+		if s.cmp.ProveLessC(i, j, c) {
+			s.stats.SavedComparisons++
+			return true
+		}
+		if s.cmp.ProveGEC(i, j, c) {
+			s.stats.SavedComparisons++
+			return false
+		}
+	}
+	s.stats.ResolvedComparisons++
+	return s.Dist(i, j) < c
+}
+
+// DistIfLess is the value-needed variant of LessThan used by algorithms
+// that must store the distance when the comparison succeeds (Prim's key
+// update, PAM's nearest-medoid assignment). If dist(i,j) ≥ c can be proven
+// from bounds, it returns (0, false) with no oracle call; otherwise it
+// resolves the distance and reports whether it is below c.
+func (s *Session) DistIfLess(i, j int, c float64) (float64, bool) {
+	if w, ok := s.Known(i, j); ok {
+		s.stats.CacheHits++
+		return w, w < c
+	}
+	lb, _ := s.Bounds(i, j)
+	if lb >= c {
+		s.stats.SavedComparisons++
+		return 0, false
+	}
+	if s.cmp != nil && s.cmp.ProveGEC(i, j, c) {
+		s.stats.SavedComparisons++
+		return 0, false
+	}
+	s.stats.ResolvedComparisons++
+	d := s.Dist(i, j)
+	return d, d < c
+}
+
+// Bootstrap resolves all landmark-to-object distances through the oracle
+// (feeding the bound scheme) and returns the number of calls spent — the
+// Bootstrap column of the paper's tables. The same routine initialises the
+// baselines (LAESA/TLAESA) and the bootstrapped Tri Scheme.
+func (s *Session) Bootstrap(landmarks []int) int64 {
+	before := s.stats.OracleCalls
+	if b, ok := s.b.(bounds.Bootstrapper); ok {
+		b.Bootstrap(s.Dist, landmarks)
+	} else {
+		for _, e := range bounds.EdgesForBootstrap(s.N(), landmarks) {
+			s.Dist(e.U, e.V)
+		}
+	}
+	spent := s.stats.OracleCalls - before
+	s.stats.BootstrapCalls += spent
+	return spent
+}
+
+// PickLandmarks selects k well-separated landmarks with the classic greedy
+// max-min rule used by LAESA's base-prototype selection, spending (k−1)·n
+// oracle-call-free selections: the first landmark is arbitrary and
+// subsequent ones maximise the minimum distance to those already chosen,
+// using distances that Bootstrap will resolve anyway. To avoid spending
+// extra calls before bootstrap, the greedy selection runs on a cheap
+// surrogate: a deterministic pseudo-random spread seeded by seed.
+//
+// The paper treats landmark choice as an input (and shows in Figure 5b
+// that no universally good count exists); this helper simply provides a
+// reproducible default.
+func PickLandmarks(n, k int, seed int64) []int {
+	if k >= n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	return perm[:k]
+}
+
+// GreedyLandmarks picks k landmarks with the true LAESA max-min rule,
+// spending oracle calls ((k−1)·n in the worst case) through the session so
+// the resolved rows double as bootstrap. It returns the landmark set; the
+// calls it makes are indistinguishable from Bootstrap calls in the stats.
+func (s *Session) GreedyLandmarks(k int) []int {
+	n := s.N()
+	if k >= n {
+		k = n
+	}
+	before := s.stats.OracleCalls
+	landmarks := make([]int, 0, k)
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = s.maxDist * 2
+	}
+	cur := 0 // arbitrary first landmark
+	landmarks = append(landmarks, cur)
+	for len(landmarks) < k {
+		far, farD := -1, -1.0
+		for x := 0; x < n; x++ {
+			if x == cur {
+				minDist[x] = 0
+				continue
+			}
+			if d := s.Dist(cur, x); d < minDist[x] {
+				minDist[x] = d
+			}
+			if minDist[x] > farD && !contains(landmarks, x) {
+				far, farD = x, minDist[x]
+			}
+		}
+		landmarks = append(landmarks, far)
+		cur = far
+	}
+	// Finish the final landmark's row so the bootstrap is complete.
+	for x := 0; x < n; x++ {
+		if x != cur {
+			s.Dist(cur, x)
+		}
+	}
+	s.stats.BootstrapCalls += s.stats.OracleCalls - before
+	return landmarks
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

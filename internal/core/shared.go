@@ -1,0 +1,83 @@
+package core
+
+import "sync"
+
+// SharedSession is a mutex-guarded view of a Session that is safe for
+// concurrent use. All knowledge (resolved pairs, tightened bounds,
+// statistics) remains shared: a distance resolved by one goroutine prunes
+// comparisons for every other.
+//
+// The lock is coarse by design — the point of this library is that oracle
+// calls dominate; serialising the in-memory bookkeeping costs nothing by
+// comparison, and a coarse lock keeps the exactness argument identical to
+// the sequential session's.
+type SharedSession struct {
+	mu sync.Mutex
+	s  *Session
+}
+
+// Share wraps a Session for concurrent use. The underlying Session must
+// not be used directly while the shared view is live.
+func Share(s *Session) *SharedSession { return &SharedSession{s: s} }
+
+// N returns the number of objects.
+func (c *SharedSession) N() int { return c.s.N() } // immutable, no lock
+
+// MaxDistance returns the configured distance cap.
+func (c *SharedSession) MaxDistance() float64 { return c.s.MaxDistance() }
+
+// Dist resolves the exact distance (memoised).
+func (c *SharedSession) Dist(i, j int) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Dist(i, j)
+}
+
+// Known reports an already-resolved pair.
+func (c *SharedSession) Known(i, j int) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Known(i, j)
+}
+
+// Bounds returns the current bounds without an oracle call.
+func (c *SharedSession) Bounds(i, j int) (float64, float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Bounds(i, j)
+}
+
+// Less reports whether dist(i,j) < dist(k,l).
+func (c *SharedSession) Less(i, j, k, l int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Less(i, j, k, l)
+}
+
+// LessThan reports whether dist(i,j) < v.
+func (c *SharedSession) LessThan(i, j int, v float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.LessThan(i, j, v)
+}
+
+// DistIfLess is the value-needed comparison; see Session.DistIfLess.
+func (c *SharedSession) DistIfLess(i, j int, v float64) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.DistIfLess(i, j, v)
+}
+
+// Bootstrap resolves landmark rows; see Session.Bootstrap.
+func (c *SharedSession) Bootstrap(landmarks []int) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Bootstrap(landmarks)
+}
+
+// Stats snapshots the session statistics.
+func (c *SharedSession) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Stats()
+}

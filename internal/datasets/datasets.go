@@ -1,0 +1,153 @@
+// Package datasets generates the synthetic stand-ins for the paper's three
+// evaluation datasets, plus a DNA-sequence generator for the edit-distance
+// example. All generators are deterministic in the seed, and every returned
+// space yields distances normalised into [0,1] — the paper's setting, where
+// the trivial upper bound of an unknown edge is 1.
+//
+// Substitutions (documented in DESIGN.md §2):
+//
+//   - SF POI (Google Maps API)  → uniform points on the unit square under
+//     Manhattan distance, the city-block surrogate for driving distance.
+//   - UrbanGB (Google Maps API) → Gaussian city-like clusters, Manhattan.
+//   - Flickr1M (256-dim, L2)    → Gaussian-mixture feature vectors, L2.
+package datasets
+
+import (
+	"math"
+	"math/rand"
+
+	"metricprox/internal/metric"
+)
+
+// SFPOIPlanar returns n points-of-interest scattered uniformly over the
+// unit square with Manhattan distance, scaled by 1/2 so the diameter is 1.
+// The road-network SFPOI is the primary SF surrogate; the planar variant
+// remains for tests and micro-benchmarks that want a cheap closed-form
+// metric.
+func SFPOIPlanar(n int, seed int64) *metric.Vectors {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	return metric.NewVectors(pts, 1, 0.5)
+}
+
+// UrbanGBPlanar returns n points in city-like Gaussian clusters on the
+// unit square with Manhattan distance (diameter-normalised). See
+// SFPOIPlanar for when to prefer the planar variants.
+func UrbanGBPlanar(n int, seed int64) *metric.Vectors {
+	rng := rand.New(rand.NewSource(seed))
+	const cities = 8
+	centers := make([][2]float64, cities)
+	for c := range centers {
+		centers[c] = [2]float64{0.1 + 0.8*rng.Float64(), 0.1 + 0.8*rng.Float64()}
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		if rng.Float64() < 0.9 { // urban
+			c := centers[rng.Intn(cities)]
+			pts[i] = []float64{
+				clamp01(c[0] + rng.NormFloat64()*0.03),
+				clamp01(c[1] + rng.NormFloat64()*0.03),
+			}
+		} else { // rural
+			pts[i] = []float64{rng.Float64(), rng.Float64()}
+		}
+	}
+	return metric.NewVectors(pts, 1, 0.5)
+}
+
+// Flickr returns n dim-dimensional feature-like vectors drawn from a
+// Gaussian mixture, clamped to the unit hypercube, under Euclidean distance
+// scaled by 1/sqrt(dim) so that distances stay within [0,1].
+func Flickr(n, dim int, seed int64) *metric.Vectors {
+	rng := rand.New(rand.NewSource(seed))
+	const modes = 16
+	centers := make([][]float64, modes)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for k := range centers[c] {
+			centers[c][k] = rng.Float64()
+		}
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		c := centers[rng.Intn(modes)]
+		p := make([]float64, dim)
+		for k := range p {
+			p[k] = clamp01(c[k] + rng.NormFloat64()*0.03)
+		}
+		pts[i] = p
+	}
+	// Tight modes with well-separated centers give the bimodal distance
+	// distribution of real image-feature collections: high-dimensional
+	// concentration still loosens the bounds relative to the planar
+	// datasets (as the paper observes for Flickr1M), but not so much that
+	// no comparison is ever pruned.
+	return metric.NewVectors(pts, 2, 1/math.Sqrt(float64(dim)))
+}
+
+// DNA returns n nucleotide sequences, generated as mutated copies of a few
+// ancestral sequences (so that clustering structure exists), together with
+// a Levenshtein space normalised by the maximum possible edit distance.
+func DNA(n, length int, seed int64) ([]string, *metric.Strings) {
+	rng := rand.New(rand.NewSource(seed))
+	const bases = "ACGT"
+	const ancestors = 5
+	roots := make([][]byte, ancestors)
+	for a := range roots {
+		roots[a] = make([]byte, length)
+		for i := range roots[a] {
+			roots[a][i] = bases[rng.Intn(4)]
+		}
+	}
+	seqs := make([]string, n)
+	for i := range seqs {
+		s := append([]byte(nil), roots[rng.Intn(ancestors)]...)
+		mutations := rng.Intn(length / 4)
+		for m := 0; m < mutations; m++ {
+			s[rng.Intn(len(s))] = bases[rng.Intn(4)]
+		}
+		seqs[i] = string(s)
+	}
+	return seqs, metric.NewStrings(seqs, 1/float64(length))
+}
+
+// RandomMetric returns an n×n ground-truth matrix space that is a metric
+// by construction: random points are drawn in a latent space and their
+// Euclidean distances are read off. It is the workhorse of the
+// bound-scheme tests because distances are in general position (no two
+// equal) while still obeying the triangle inequality.
+func RandomMetric(n int, seed int64) *metric.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	// Latent points in R^3 keep triples in general position without the
+	// near-degenerate triangles of 1-D.
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	v := metric.NewVectors(pts, 2, 1/math.Sqrt(3))
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = v.Distance(i, j)
+		}
+	}
+	m, err := metric.NewMatrix(d)
+	if err != nil {
+		panic(err) // unreachable: matrix is symmetric by construction
+	}
+	return m
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,130 @@
+package datasets
+
+import (
+	"math/rand"
+	"testing"
+
+	"metricprox/internal/metric"
+)
+
+// checkNormalised verifies distances are within [0,1] on sampled pairs.
+func checkNormalised(t *testing.T, s metric.Space) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	for k := 0; k < 500; k++ {
+		i, j := rng.Intn(s.Len()), rng.Intn(s.Len())
+		d := s.Distance(i, j)
+		if d < 0 || d > 1 {
+			t.Fatalf("distance %v outside [0,1] for pair (%d,%d)", d, i, j)
+		}
+	}
+}
+
+// checkTriangles samples triples and verifies the triangle inequality.
+func checkTriangles(t *testing.T, s metric.Space) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	for k := 0; k < 300; k++ {
+		i, j, l := rng.Intn(s.Len()), rng.Intn(s.Len()), rng.Intn(s.Len())
+		if s.Distance(i, j) > s.Distance(i, l)+s.Distance(l, j)+1e-12 {
+			t.Fatalf("triangle violation on (%d,%d,%d)", i, j, l)
+		}
+	}
+}
+
+func TestSFPOIPlanar(t *testing.T) {
+	s := SFPOIPlanar(200, 1)
+	if s.Len() != 200 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	checkNormalised(t, s)
+	checkTriangles(t, s)
+}
+
+func TestUrbanGBPlanar(t *testing.T) {
+	s := UrbanGBPlanar(300, 2)
+	if s.Len() != 300 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	checkNormalised(t, s)
+	checkTriangles(t, s)
+}
+
+func TestUrbanGBPlanarIsClustered(t *testing.T) {
+	// The UrbanGB surrogate must be meaningfully more clustered than the
+	// uniform SF surrogate: its mean pairwise distance should be smaller.
+	urban, sf := UrbanGBPlanar(400, 3), SFPOIPlanar(400, 3)
+	mean := func(s metric.Space) float64 {
+		rng := rand.New(rand.NewSource(11))
+		sum := 0.0
+		const k = 2000
+		for i := 0; i < k; i++ {
+			sum += s.Distance(rng.Intn(s.Len()), rng.Intn(s.Len()))
+		}
+		return sum / k
+	}
+	if mu, ms := mean(urban), mean(sf); mu >= ms {
+		t.Fatalf("UrbanGB mean distance %v not below SF %v — clustering lost", mu, ms)
+	}
+}
+
+func TestFlickr(t *testing.T) {
+	s := Flickr(100, 64, 4)
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if len(s.Points[0]) != 64 {
+		t.Fatalf("dim = %d, want 64", len(s.Points[0]))
+	}
+	checkNormalised(t, s)
+	checkTriangles(t, s)
+}
+
+func TestDNA(t *testing.T) {
+	seqs, s := DNA(50, 40, 5)
+	if len(seqs) != 50 || s.Len() != 50 {
+		t.Fatalf("sizes: %d seqs, space %d", len(seqs), s.Len())
+	}
+	for _, q := range seqs {
+		if len(q) != 40 {
+			t.Fatalf("sequence length %d, want 40", len(q))
+		}
+		for i := 0; i < len(q); i++ {
+			switch q[i] {
+			case 'A', 'C', 'G', 'T':
+			default:
+				t.Fatalf("invalid base %c", q[i])
+			}
+		}
+	}
+	checkNormalised(t, s)
+	checkTriangles(t, s)
+}
+
+func TestRandomMetricIsMetric(t *testing.T) {
+	m := RandomMetric(40, 6)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	checkNormalised(t, m)
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := SFPOIPlanar(50, 123), SFPOIPlanar(50, 123)
+	for i := range a.Points {
+		if a.Points[i][0] != b.Points[i][0] || a.Points[i][1] != b.Points[i][1] {
+			t.Fatal("same seed produced different datasets")
+		}
+	}
+	c := SFPOIPlanar(50, 124)
+	same := true
+	for i := range a.Points {
+		if a.Points[i][0] != c.Points[i][0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}

@@ -1,0 +1,118 @@
+package datasets
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"metricprox/internal/metric"
+)
+
+// LoadPointsCSV reads numeric rows (one point per line, comma-separated
+// coordinates, optional header) and returns a Minkowski-p space over them,
+// scaled by scale (0 means auto-normalise by the bounding-box diameter
+// under the chosen norm so distances land in [0,1]).
+//
+// This is the bridge for users with real datasets: the paper's pipeline
+// applies to any coordinate file, and the resulting space plugs straight
+// into metric.NewOracle / core.NewSession.
+func LoadPointsCSV(r io.Reader, p, scale float64) (*metric.Vectors, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = -1 // validate dimensionality ourselves for a clearer error
+	var pts [][]float64
+	dim := -1
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("datasets: csv line %d: %w", line+1, err)
+		}
+		line++
+		point := make([]float64, 0, len(rec))
+		bad := false
+		for _, f := range rec {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				bad = true
+				break
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("datasets: csv line %d: non-finite coordinate %q", line, f)
+			}
+			point = append(point, v)
+		}
+		if bad {
+			if line == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("datasets: csv line %d: non-numeric field", line)
+		}
+		if dim == -1 {
+			dim = len(point)
+		} else if len(point) != dim {
+			return nil, fmt.Errorf("datasets: csv line %d has %d fields, want %d", line, len(point), dim)
+		}
+		pts = append(pts, point)
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("datasets: csv contains no points")
+	}
+	if scale == 0 {
+		scale = autoScale(pts, p)
+	}
+	return metric.NewVectors(pts, p, scale), nil
+}
+
+// autoScale returns 1/diameterBound of the bounding box under the p-norm
+// (1 when the points are all identical).
+func autoScale(pts [][]float64, p float64) float64 {
+	dim := len(pts[0])
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	copy(lo, pts[0])
+	copy(hi, pts[0])
+	for _, pt := range pts[1:] {
+		for k, v := range pt {
+			if v < lo[k] {
+				lo[k] = v
+			}
+			if v > hi[k] {
+				hi[k] = v
+			}
+		}
+	}
+	span := make([]float64, dim)
+	for k := range span {
+		span[k] = hi[k] - lo[k]
+	}
+	corner := metric.NewVectors([][]float64{make([]float64, dim), span}, p, 1)
+	diam := corner.Distance(0, 1)
+	if diam == 0 {
+		return 1
+	}
+	return 1 / diam
+}
+
+// WritePointsCSV writes a point set as CSV, the inverse of LoadPointsCSV.
+func WritePointsCSV(w io.Writer, pts [][]float64) error {
+	cw := csv.NewWriter(w)
+	rec := make([]string, 0, 8)
+	for _, p := range pts {
+		rec = rec[:0]
+		for _, v := range p {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,68 @@
+package datasets
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLoadPointsCSV(t *testing.T) {
+	in := "x,y\n0,0\n3,4\n"
+	v, err := LoadPointsCSV(strings.NewReader(in), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if d := v.Distance(0, 1); d != 5 {
+		t.Fatalf("Distance = %v, want 5", d)
+	}
+}
+
+func TestLoadPointsCSVAutoScale(t *testing.T) {
+	in := "0,0\n3,4\n0,4\n"
+	v, err := LoadPointsCSV(strings.NewReader(in), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bounding box 3×4 → L2 diameter 5 → all distances ≤ 1, max = 1.
+	if d := v.Distance(0, 1); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("auto-scaled max distance %v, want 1", d)
+	}
+}
+
+func TestLoadPointsCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"":                "no points",
+		"a,b\nc,d\n":      "non-numeric beyond header",
+		"1,2\n3\n":        "ragged rows",
+		"1,2\nNaN,3\n":    "NaN coordinate",
+		"hdr\n1,2\n3,4,5": "dimension change",
+	}
+	for in, why := range cases {
+		if _, err := LoadPointsCSV(strings.NewReader(in), 2, 1); err == nil {
+			t.Errorf("%s: accepted %q", why, in)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := SFPOIPlanar(30, 91)
+	var buf bytes.Buffer
+	if err := WritePointsCSV(&buf, orig.Points); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPointsCSV(&buf, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		for j := i + 1; j < 30; j += 7 {
+			if a, b := orig.Distance(i, j), back.Distance(i, j); a != b {
+				t.Fatalf("round trip changed d(%d,%d): %v vs %v", i, j, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoadNetBasics(t *testing.T) {
+	r := SFPOI(150, 1)
+	if r.Len() != 150 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	checkNormalised(t, r)
+	checkTriangles(t, r)
+	// Distinct objects must have positive distance.
+	rng := rand.New(rand.NewSource(2))
+	for k := 0; k < 100; k++ {
+		i, j := rng.Intn(150), rng.Intn(150)
+		if i != j && r.Distance(i, j) <= 0 {
+			t.Fatalf("non-positive distance between distinct objects %d,%d", i, j)
+		}
+	}
+	if r.Distance(3, 3) != 0 {
+		t.Fatal("self distance not 0")
+	}
+}
+
+func TestRoadNetSymmetryProperty(t *testing.T) {
+	r := UrbanGB(120, 3)
+	f := func(a, b uint8) bool {
+		i, j := int(a)%120, int(b)%120
+		return math.Abs(r.Distance(i, j)-r.Distance(j, i)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoadNetUrbanClustered(t *testing.T) {
+	urban, sf := UrbanGB(300, 5), SFPOI(300, 5)
+	mean := func(s interface{ Distance(i, j int) float64 }) float64 {
+		rng := rand.New(rand.NewSource(11))
+		sum := 0.0
+		const k = 1500
+		for i := 0; i < k; i++ {
+			sum += s.Distance(rng.Intn(300), rng.Intn(300))
+		}
+		return sum / k
+	}
+	if mu, ms := mean(urban), mean(sf); mu >= ms {
+		t.Fatalf("UrbanGB mean distance %v not below SF %v — clustering lost", mu, ms)
+	}
+}
+
+func TestRoadNetDeterminism(t *testing.T) {
+	a, b := SFPOI(80, 7), SFPOI(80, 7)
+	for i := 0; i < 80; i++ {
+		for j := i + 1; j < 80; j += 13 {
+			if a.Distance(i, j) != b.Distance(i, j) {
+				t.Fatal("same seed produced different road networks")
+			}
+		}
+	}
+	c := SFPOI(80, 8)
+	diff := false
+	for j := 1; j < 80 && !diff; j++ {
+		diff = a.Distance(0, j) != c.Distance(0, j)
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical road networks")
+	}
+}
+
+func TestRoadNetDetourStructure(t *testing.T) {
+	// Road distances must show genuine detours: the ratio of road distance
+	// between nearby objects to the graph's diameter-normalised floor
+	// should vary. Concretely, the triangle slack |d(i,j)+d(j,k)−d(i,k)|
+	// must not be uniformly near zero (that was the flaw of the planar L1
+	// surrogate, which collapses scheme differences).
+	r := SFPOI(100, 9)
+	rng := rand.New(rand.NewSource(10))
+	slackSum, count := 0.0, 0
+	for k := 0; k < 500; k++ {
+		i, j, l := rng.Intn(100), rng.Intn(100), rng.Intn(100)
+		if i == j || j == l || i == l {
+			continue
+		}
+		slack := r.Distance(i, l) + r.Distance(l, j) - r.Distance(i, j)
+		slackSum += slack
+		count++
+	}
+	if avg := slackSum / float64(count); avg < 0.05 {
+		t.Fatalf("mean triangle slack %v too small — road network lacks detour structure", avg)
+	}
+}
+
+func TestRoadNetLargerThanGrid(t *testing.T) {
+	// n exceeding the default grid must still produce distinct placements.
+	r := newRoadNet(2500, 1, roadNetConfig{grid: 48, keepExtra: 0.5})
+	if r.Len() != 2500 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	seen := map[int]bool{}
+	for i := 0; i < r.Len(); i++ {
+		if seen[r.Node(i)] {
+			t.Fatalf("duplicate node placement %d", r.Node(i))
+		}
+		seen[r.Node(i)] = true
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"metricprox/internal/core"
+	"metricprox/internal/datasets"
+	"metricprox/internal/metric"
+	"metricprox/internal/prox"
+	"metricprox/internal/stats"
+)
+
+func init() {
+	register("fig6a", "Kruskal oracle calls vs dataset size (UrbanGB)", func(cfg Config) *stats.Table {
+		return callSweep(cfg, "fig6a", "Kruskal MST, UrbanGB", urbanGen, func(n int) algoFunc { return kruskalAlgo }, sizes(cfg))
+	})
+	register("fig6b", "KNNrp (k=5) oracle calls vs dataset size (UrbanGB)", func(cfg Config) *stats.Table {
+		return callSweep(cfg, "fig6b", "KNNrp k=5, UrbanGB", urbanGen, func(n int) algoFunc { return knnAlgo(5) }, knnSizes(cfg))
+	})
+	register("fig6c", "PAM (l=10) oracle calls vs dataset size (UrbanGB)", func(cfg Config) *stats.Table {
+		return callSweep(cfg, "fig6c", "PAM l=10, UrbanGB", urbanGen, pamGen(10), clusterSizes(cfg))
+	})
+	register("fig6d", "PAM (l=10) oracle calls vs dataset size (SF)", func(cfg Config) *stats.Table {
+		return callSweep(cfg, "fig6d", "PAM l=10, SF", sfGen, pamGen(10), clusterSizes(cfg))
+	})
+	register("fig7a", "CLARANS (l=10) oracle calls vs dataset size (SF)", func(cfg Config) *stats.Table {
+		return callSweep(cfg, "fig7a", "CLARANS l=10, SF", sfGen, claransGen(10), clusterSizes(cfg))
+	})
+	register("fig7b", "PAM (l=10) oracle calls vs dataset size (Flickr, high-dim Euclidean)", func(cfg Config) *stats.Table {
+		dim := 64
+		if cfg.Full {
+			dim = 256
+		}
+		gen := func(n int, seed int64) metric.Space { return datasets.Flickr(n, dim, seed) }
+		t := callSweep(cfg, "fig7b", fmt.Sprintf("PAM l=10, Flickr surrogate (%d-dim)", dim), gen, pamGen(10), clusterSizes(cfg))
+		t.Note("High-dimensional concentration makes all triangle bounds looser; save-ups are expected to be smaller than on the planar datasets, as in the paper (~20%% in its largest setting).")
+		return t
+	})
+	register("fig7c", "CLARANS (l=10) oracle calls vs dataset size (UrbanGB)", func(cfg Config) *stats.Table {
+		return callSweep(cfg, "fig7c", "CLARANS l=10, UrbanGB", urbanGen, claransGen(10), clusterSizes(cfg))
+	})
+}
+
+func urbanGen(n int, seed int64) metric.Space { return datasets.UrbanGB(n, seed) }
+func sfGen(n int, seed int64) metric.Space    { return datasets.SFPOI(n, seed) }
+
+func pamGen(l int) func(int) algoFunc {
+	return func(n int) algoFunc {
+		ll := l
+		if ll >= n {
+			ll = n / 2
+		}
+		return pamAlgo(ll, 1)
+	}
+}
+
+func claransGen(l int) func(int) algoFunc {
+	return func(n int) algoFunc {
+		ll := l
+		if ll >= n {
+			ll = n / 2
+		}
+		// Ng & Han's neighbour budget, 1.25% of l·(n−l), without the
+		// paper-era floor of 250 (which would swamp the laptop-scale n and
+		// hide the growth-with-l trend of Figure 8d).
+		mn := int(math.Ceil(0.0125 * float64(ll) * float64(n-ll)))
+		if mn < 30 {
+			mn = 30
+		}
+		return claransAlgo(ll, prox.CLARANSConfig{NumLocal: 2, MaxNeighbor: mn, Seed: 1})
+	}
+}
+
+func clusterSizes(cfg Config) []int {
+	if cfg.Quick {
+		return []int{32, 64}
+	}
+	if cfg.Full {
+		return []int{64, 128, 256, 512, 1000}
+	}
+	return []int{64, 128, 256}
+}
+
+func knnSizes(cfg Config) []int {
+	if cfg.Quick {
+		return []int{32, 64}
+	}
+	if cfg.Full {
+		return []int{64, 128, 256, 512, 1000}
+	}
+	return []int{64, 128, 256, 512}
+}
+
+// callSweep is the shared engine of Figures 6–7: oracle calls of one
+// proximity algorithm across dataset sizes, comparing the bootstrapped Tri
+// Scheme against LAESA and TLAESA (all with k = log₂ n landmarks), plus
+// the no-bootstrap Tri and the unmodified algorithm.
+func callSweep(cfg Config, id, title string, gen func(int, int64) metric.Space, algoOf func(int) algoFunc, ns []int) *stats.Table {
+	t := &stats.Table{
+		ID:    id,
+		Title: title + " — oracle calls by scheme",
+		Columns: []string{
+			"n", "WithoutPlug", "TS-NB", "Tri", "LAESA", "Save%", "TLAESA", "Save%",
+		},
+	}
+	for _, n := range ns {
+		space := gen(n, cfg.Seed)
+		algo := algoOf(n)
+		k := logLandmarks(n)
+
+		noop := runScheme(space, core.SchemeNoop, 0, false, cfg.Seed, algo)
+		tsnb := runScheme(space, core.SchemeTri, 0, false, cfg.Seed, algo)
+		tri := runScheme(space, core.SchemeTri, k, true, cfg.Seed, algo)
+		laesa := runScheme(space, core.SchemeLAESA, k, true, cfg.Seed, algo)
+		tlaesa := runScheme(space, core.SchemeTLAESA, k, true, cfg.Seed, algo)
+
+		for _, r := range []runOutcome{tsnb, tri, laesa, tlaesa} {
+			if math.Abs(r.Checksum-noop.Checksum) > 1e-6 {
+				panic(fmt.Sprintf("%s n=%d: output diverged across schemes (%v vs %v)",
+					id, n, r.Checksum, noop.Checksum))
+			}
+		}
+
+		t.AddRow(
+			stats.Int(int64(n)),
+			stats.Int(noop.Calls),
+			stats.Int(tsnb.Calls),
+			stats.Int(tri.Calls),
+			stats.Int(laesa.Calls),
+			stats.Pct(stats.SavePct(tri.Calls, laesa.Calls)),
+			stats.Int(tlaesa.Calls),
+			stats.Pct(stats.SavePct(tri.Calls, tlaesa.Calls)),
+		)
+	}
+	t.Note("TS-NB is the Tri Scheme without landmark bootstrap; as the paper observes it beats LAESA/TLAESA always and often beats bootstrapped Tri (the bootstrap rows are not all useful to every workload). Save%% columns compare bootstrapped Tri against each baseline and grow with n.")
+	return t
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"metricprox/internal/core"
+	"metricprox/internal/datasets"
+	"metricprox/internal/stats"
+)
+
+func init() {
+	register("fig4a", "DFT vs ADM: Prim distance calls on tiny graphs", fig4a)
+	register("fig4b", "DFT vs ADM: Prim running time on tiny graphs (DFT explodes)", fig4b)
+}
+
+// dftSizes returns the tiny object counts the LP formulation can handle.
+// The paper ran DFT up to 496 edges (n = 32) and reported multi-hour
+// runtimes on CPLEX; our from-scratch simplex is slower per solve, so the
+// default sweep stops earlier and -full extends it.
+func dftSizes(cfg Config) []int {
+	if cfg.Quick {
+		return []int{6, 8}
+	}
+	if cfg.Full {
+		return []int{6, 8, 10, 12}
+	}
+	return []int{6, 8, 10}
+}
+
+func fig4a(cfg Config) *stats.Table {
+	t := &stats.Table{
+		ID:      "fig4a",
+		Title:   "Lazy Prim oracle calls: DFT vs ADM vs Without Plug",
+		Columns: []string{"#Edges", "WithoutPlug", "ADM", "DFT", "DFT save vs ADM"},
+	}
+	for _, n := range dftSizes(cfg) {
+		space := datasets.SFPOI(n, cfg.Seed)
+		adm := runScheme(space, core.SchemeADM, 0, false, cfg.Seed, primLazyAlgo)
+		dft := runScheme(space, core.SchemeDFT, 0, false, cfg.Seed, primLazyAlgo)
+		if adm.Checksum != dft.Checksum {
+			// MST weights are float-identical across schemes by design.
+			panic("fig4a: MST weight diverged between ADM and DFT")
+		}
+		t.AddRow(
+			stats.Int(edgesOf(n)),
+			stats.Int(edgesOf(n)),
+			stats.Int(adm.Calls),
+			stats.Int(dft.Calls),
+			stats.Pct(stats.SavePct(dft.Calls, adm.Calls)),
+		)
+	}
+	t.Note("The paper reports DFT saving 27-58%% of calls over its ADM baseline. In this reproduction DFT ties ADM: our ADM serves fresh tightest bounds at every IF, and cmd/dftprobe shows the LP adds no decisions over those (see EXPERIMENTS.md). Sizes are trimmed (paper: 45-496 edges with CPLEX, hours of runtime).")
+	return t
+}
+
+func fig4b(cfg Config) *stats.Table {
+	t := &stats.Table{
+		ID:      "fig4b",
+		Title:   "Prim's algorithm running time: DFT vs ADM (log-scale blow-up)",
+		Columns: []string{"#Edges", "ADM time", "DFT time", "DFT/ADM"},
+	}
+	for _, n := range dftSizes(cfg) {
+		space := datasets.SFPOI(n, cfg.Seed)
+		adm := runScheme(space, core.SchemeADM, 0, false, cfg.Seed, primLazyAlgo)
+		dft := runScheme(space, core.SchemeDFT, 0, false, cfg.Seed, primLazyAlgo)
+		ratio := float64(dft.CPU) / float64(adm.CPU)
+		t.AddRow(stats.Int(edgesOf(n)), stats.Dur(adm.CPU), stats.Dur(dft.CPU),
+			stats.F(ratio))
+	}
+	t.Note("Each DFT IF statement solves a phase-1 simplex over C(n,2) variables and 3·C(n,3) triangle rows; the ratio column grows by orders of magnitude with n, reproducing the paper's 'not practical' verdict.")
+	return t
+}

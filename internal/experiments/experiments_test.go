@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"metricprox/internal/stats"
+)
+
+var quickCfg = Config{Quick: true, Seed: 42}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every artifact of the paper's evaluation must be registered.
+	want := []string{
+		"table2", "table3",
+		"fig3a", "fig3b", "fig3c",
+		"fig4a", "fig4b",
+		"fig5a", "fig5b",
+		"fig6a", "fig6b", "fig6c", "fig6d",
+		"fig7a", "fig7b", "fig7c", "fig7d",
+		"fig8a", "fig8b", "fig8c", "fig8d",
+		"fig9a", "fig9b", "fig9c", "fig9d",
+		"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext9",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		ids := make([]string, 0, len(All()))
+		for _, r := range All() {
+			ids = append(ids, r.ID)
+		}
+		t.Errorf("registry has %d entries, want %d: %s", len(All()), len(want), strings.Join(ids, ","))
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, ok := ByID("fig99"); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+// runAndCheck executes a runner at quick scale and sanity-checks the table.
+func runAndCheck(t *testing.T, id string) *stats.Table {
+	t.Helper()
+	r, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q missing", id)
+	}
+	tb := r.Run(quickCfg)
+	if tb.ID != id {
+		t.Fatalf("table id %q, want %q", tb.ID, id)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	for _, row := range tb.Rows {
+		if len(row) != len(tb.Columns) {
+			t.Fatalf("%s: row width %d != %d columns", id, len(row), len(tb.Columns))
+		}
+	}
+	return tb
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short mode")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			runAndCheck(t, r.ID)
+		})
+	}
+}
+
+func TestLogLandmarks(t *testing.T) {
+	cases := map[int]int{2: 2, 64: 6, 128: 7, 1000: 10, 4096: 12}
+	for n, want := range cases {
+		if got := logLandmarks(n); got != want {
+			t.Errorf("logLandmarks(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestEdgesOf(t *testing.T) {
+	if edgesOf(64) != 2016 || edgesOf(4000) != 7998000 {
+		t.Fatal("edgesOf does not match the paper's edge counts")
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+
+	"metricprox/internal/core"
+	"metricprox/internal/datasets"
+	"metricprox/internal/stats"
+)
+
+func init() {
+	register("ext7", "Ablation: Tri vs Hybrid(Tri→SPLUB) vs SPLUB inside Prim", ext7)
+}
+
+// ext7 measures the middle ground between the paper's two graph schemes:
+// the Hybrid bounder answers from triangles and escalates to the Dijkstra
+// machinery only on loose intervals. The interesting question is where the
+// extra CPU starts buying real calls.
+func ext7(cfg Config) *stats.Table {
+	ns := []int{64, 128}
+	if cfg.Quick {
+		ns = []int{48}
+	}
+	if cfg.Full {
+		ns = []int{64, 128, 256}
+	}
+	t := &stats.Table{
+		ID:      "ext7",
+		Title:   "Prim's algorithm (UrbanGB): calls and CPU across Tri / Hybrid / SPLUB",
+		Columns: []string{"n", "Tri calls", "Tri CPU", "Hybrid calls", "Hybrid CPU", "SPLUB calls", "SPLUB CPU"},
+	}
+	for _, n := range ns {
+		space := datasets.UrbanGB(n, cfg.Seed)
+		tri := runScheme(space, core.SchemeTri, 0, false, cfg.Seed, primAlgo)
+		hybrid := runScheme(space, core.SchemeHybrid, 0, false, cfg.Seed, primAlgo)
+		splub := runScheme(space, core.SchemeSPLUB, 0, false, cfg.Seed, primAlgo)
+		if tri.Checksum != hybrid.Checksum || tri.Checksum != splub.Checksum {
+			panic(fmt.Sprintf("ext7 n=%d: MST weight diverged", n))
+		}
+		t.AddRow(
+			stats.Int(int64(n)),
+			stats.Int(tri.Calls), stats.Dur(tri.CPU),
+			stats.Int(hybrid.Calls), stats.Dur(hybrid.CPU),
+			stats.Int(splub.Calls), stats.Dur(splub.CPU),
+		)
+	}
+	t.Note("Soundness gives SPLUB ≤ Hybrid ≤ Tri in calls and the reverse in CPU; Hybrid's escalation threshold is maxDist/10.")
+	return t
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"metricprox/internal/core"
+	"metricprox/internal/datasets"
+	"metricprox/internal/stats"
+)
+
+func init() {
+	register("ext8", "MST algorithm choice under the framework: Prim vs lazy Kruskal vs Borůvka", ext8)
+}
+
+// ext8 compares the three MST algorithms when all of them run through the
+// bootstrapped Tri Scheme. The paper evaluates Prim and Kruskal
+// separately; run side by side, a structural asymmetry appears: Borůvka's
+// per-component tournaments are pure comparisons (prunable in both
+// directions), lazy Kruskal discards connectivity-dead edges before
+// resolving them, and Prim pays for a resolved value on every key update.
+func ext8(cfg Config) *stats.Table {
+	ns := []int{64, 128, 256}
+	if cfg.Quick {
+		ns = []int{32, 64}
+	}
+	if cfg.Full {
+		ns = []int{64, 128, 256, 512, 1000}
+	}
+	t := &stats.Table{
+		ID:      "ext8",
+		Title:   "MST oracle calls by algorithm (all with Tri Scheme, UrbanGB)",
+		Columns: []string{"n", "Edges", "Prim", "Lazy Kruskal", "Borůvka", "Kruskal/Prim"},
+	}
+	for _, n := range ns {
+		space := datasets.UrbanGB(n, cfg.Seed)
+		k := logLandmarks(n)
+		prim := runScheme(space, core.SchemeTri, k, true, cfg.Seed, primAlgo)
+		kruskal := runScheme(space, core.SchemeTri, k, true, cfg.Seed, kruskalAlgo)
+		boruvka := runScheme(space, core.SchemeTri, k, true, cfg.Seed, boruvkaAlgo)
+		if math.Abs(prim.Checksum-kruskal.Checksum) > 1e-6 || math.Abs(prim.Checksum-boruvka.Checksum) > 1e-6 {
+			panic(fmt.Sprintf("ext8 n=%d: MST weight diverged across algorithms", n))
+		}
+		t.AddRow(
+			stats.Int(int64(n)),
+			stats.Int(edgesOf(n)),
+			stats.Int(prim.Calls),
+			stats.Int(kruskal.Calls),
+			stats.Int(boruvka.Calls),
+			fmt.Sprintf("%.2f", float64(kruskal.Calls)/float64(prim.Calls)),
+		)
+	}
+	t.Note("All three return the identical MST (all bootstrapped with k = log2 n landmarks). The bootstrapped lazy Kruskal wins — connectivity discards plus a seeded lower-bound queue; Borůvka's pure edge-vs-edge tournaments come second (and win when no bootstrap is available); Prim, which must resolve a value for every key update, pays the most. The paper's separate Prim/Kruskal panels never surface this ordering.")
+	return t
+}

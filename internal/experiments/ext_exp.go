@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"metricprox/internal/bounds"
+	"metricprox/internal/core"
+	"metricprox/internal/datasets"
+	"metricprox/internal/metric"
+	"metricprox/internal/pgraph"
+	"metricprox/internal/prox"
+	"metricprox/internal/query"
+	"metricprox/internal/stats"
+	"metricprox/internal/vptree"
+)
+
+// The ext* experiments go beyond the paper's evaluation: the future-work
+// algorithms its conclusion proposes (facility allocation, TSP), the
+// query workloads its related-work section surveys (AESA, VP-trees), and
+// an empirical check of Theorem 4.2.
+func init() {
+	register("ext1", "kNN queries: Session framework vs AESA and VP-tree indexes", ext1)
+	register("ext2", "Future work: k-center facility allocation call savings", ext2)
+	register("ext3", "Future work: TSP (nearest-neighbour + 2-opt) call savings", ext3)
+	register("ext4", "Range queries: exact-distance vs ids-only pruning", ext4)
+	register("ext5", "Theorem 4.2: Tri Scheme lookup cost grows like m/n", ext5)
+}
+
+func ext1(cfg Config) *stats.Table {
+	n := 300
+	if cfg.Quick {
+		n = 120
+	}
+	if cfg.Full {
+		n = 800
+	}
+	space := datasets.SFPOI(n, cfg.Seed)
+	const k = 5
+	queries := make([]int, 0, 40)
+	rng := rand.New(rand.NewSource(cfg.Seed + 11))
+	for len(queries) < 40 {
+		queries = append(queries, rng.Intn(n))
+	}
+
+	t := &stats.Table{
+		ID:      "ext1",
+		Title:   fmt.Sprintf("%d-NN queries over n=%d (40 queries): construction vs per-query calls", k, n),
+		Columns: []string{"Method", "Construction calls", "Avg calls/query", "Total calls"},
+	}
+
+	// Linear scan: every query resolves n−1 distances.
+	{
+		o := metric.NewOracle(space)
+		s := core.NewSession(o, core.SchemeNoop)
+		for _, q := range queries {
+			query.KNN(s, q, k)
+		}
+		t.AddRow("linear scan", "0", stats.F(float64(o.Calls())/40), stats.Int(o.Calls()))
+	}
+	// Session + Tri with landmark bootstrap: knowledge accumulates across
+	// queries, so later queries get cheaper.
+	{
+		o := metric.NewOracle(space)
+		s := core.NewSession(o, core.SchemeTri)
+		boot := s.Bootstrap(core.PickLandmarks(n, logLandmarks(n), cfg.Seed))
+		for _, q := range queries {
+			query.KNN(s, q, k)
+		}
+		t.AddRow("session+tri", stats.Int(boot), stats.F(float64(o.Calls()-boot)/40), stats.Int(o.Calls()))
+	}
+	// AESA: quadratic preprocessing, near-minimal per-query calls.
+	{
+		a := query.BuildAESA(space)
+		var qcalls int64
+		for _, q := range queries {
+			_, c := a.NN(k, q, func(x int) float64 { return space.Distance(q, x) })
+			qcalls += c
+		}
+		t.AddRow("aesa", stats.Int(a.ConstructionCalls()), stats.F(float64(qcalls)/40), stats.Int(a.ConstructionCalls()+qcalls))
+	}
+	// VP-tree: Θ(n log n) construction, pruned traversal per query.
+	{
+		tree := vptree.Build(space, cfg.Seed)
+		var qcalls int64
+		for _, q := range queries {
+			_, c := tree.NN(q, k, func(x int) float64 { return space.Distance(q, x) })
+			qcalls += c
+		}
+		t.AddRow("vp-tree", stats.Int(tree.ConstructionCalls()), stats.F(float64(qcalls)/40), stats.Int(tree.ConstructionCalls()+qcalls))
+	}
+	t.Note("The framework needs no index: its 'construction' is the optional landmark bootstrap, and unlike the static indexes its per-query cost keeps falling as resolved distances accumulate.")
+	return t
+}
+
+func ext2(cfg Config) *stats.Table {
+	t := &stats.Table{
+		ID:      "ext2",
+		Title:   "Gonzalez k-center (k=8) oracle calls — the conclusion's facility-allocation extension",
+		Columns: []string{"n", "WithoutPlug", "Tri", "Save%", "Radius"},
+	}
+	ns := []int{64, 128, 256}
+	if cfg.Quick {
+		ns = []int{32, 64}
+	}
+	if cfg.Full {
+		ns = []int{64, 128, 256, 512, 1000}
+	}
+	for _, n := range ns {
+		space := datasets.UrbanGB(n, cfg.Seed)
+		noop := runScheme(space, core.SchemeNoop, 0, false, cfg.Seed, func(s *core.Session) float64 {
+			return prox.KCenter(s, 8).Radius
+		})
+		tri := runScheme(space, core.SchemeTri, 0, false, cfg.Seed, func(s *core.Session) float64 {
+			return prox.KCenter(s, 8).Radius
+		})
+		if noop.Checksum != tri.Checksum {
+			panic("ext2: k-center radius diverged across schemes")
+		}
+		t.AddRow(stats.Int(int64(n)), stats.Int(noop.Calls), stats.Int(tri.Calls),
+			stats.Pct(stats.SavePct(tri.Calls, noop.Calls)), stats.F(tri.Checksum))
+	}
+	return t
+}
+
+func ext3(cfg Config) *stats.Table {
+	n := 120
+	if cfg.Quick {
+		n = 60
+	}
+	if cfg.Full {
+		n = 300
+	}
+	space := datasets.SFPOI(n, cfg.Seed)
+	t := &stats.Table{
+		ID:      "ext3",
+		Title:   fmt.Sprintf("TSP over n=%d: nearest-neighbour tour + 2-opt — the conclusion's TSP extension", n),
+		Columns: []string{"Stage", "WithoutPlug calls", "Tri calls", "Save%", "Tour length"},
+	}
+	type stage struct {
+		name string
+		run  func(s *core.Session) float64
+	}
+	stages := []stage{
+		{"mst 2-approx", func(s *core.Session) float64 { return prox.TSPApprox(s).Length }},
+		{"nn tour", func(s *core.Session) float64 { return prox.TSPNearestNeighbour(s).Length }},
+		{"nn + 2-opt", func(s *core.Session) float64 {
+			return prox.TwoOpt(s, prox.TSPNearestNeighbour(s), 5).Length
+		}},
+	}
+	for _, st := range stages {
+		noop := runScheme(space, core.SchemeNoop, 0, false, cfg.Seed, st.run)
+		tri := runScheme(space, core.SchemeTri, 0, false, cfg.Seed, st.run)
+		if noop.Checksum != tri.Checksum {
+			panic("ext3: tour diverged across schemes")
+		}
+		t.AddRow(st.name, stats.Int(noop.Calls), stats.Int(tri.Calls),
+			stats.Pct(stats.SavePct(tri.Calls, noop.Calls)), stats.F(tri.Checksum))
+	}
+	t.Note("The 2-opt move test compares *sums* of distances — the 'distance aggregates' of the paper's Contribution 1 — pruned by comparing bound sums against the resolved tour edges.")
+	return t
+}
+
+func ext4(cfg Config) *stats.Table {
+	n := 200
+	if cfg.Quick {
+		n = 80
+	}
+	if cfg.Full {
+		n = 500
+	}
+	space := datasets.UrbanGB(n, cfg.Seed)
+	landmarks := core.PickLandmarks(n, logLandmarks(n), cfg.Seed)
+	t := &stats.Table{
+		ID:      "ext4",
+		Title:   fmt.Sprintf("Radius queries over n=%d (every 5th object queried)", n),
+		Columns: []string{"Radius", "Linear calls", "Range calls", "RangeIDs calls", "IDs save%"},
+	}
+	for _, r := range []float64{0.05, 0.1, 0.2, 0.4} {
+		linear := int64(0)
+		{
+			o := metric.NewOracle(space)
+			s := core.NewSession(o, core.SchemeNoop)
+			for q := 0; q < n; q += 5 {
+				query.Range(s, q, r)
+			}
+			linear = o.Calls()
+		}
+		mk := func() (*core.Session, *metric.Oracle) {
+			o := metric.NewOracle(space)
+			s := core.NewSession(o, core.SchemeTri)
+			s.Bootstrap(landmarks)
+			return s, o
+		}
+		s1, o1 := mk()
+		for q := 0; q < n; q += 5 {
+			query.Range(s1, q, r)
+		}
+		s2, o2 := mk()
+		for q := 0; q < n; q += 5 {
+			query.RangeIDs(s2, q, r)
+		}
+		_ = s2
+		_ = s1
+		t.AddRow(stats.F(r), stats.Int(linear), stats.Int(o1.Calls()), stats.Int(o2.Calls()),
+			stats.Pct(stats.SavePct(o2.Calls(), o1.Calls())))
+	}
+	t.Note("RangeIDs exploits the second pruning direction (certain-inside via upper bounds), which exact-distance results cannot use.")
+	return t
+}
+
+func ext5(cfg Config) *stats.Table {
+	n := 400
+	if cfg.Quick {
+		n = 150
+	}
+	if cfg.Full {
+		n = 800
+	}
+	space := datasets.SFPOI(n, cfg.Seed)
+	t := &stats.Table{
+		ID:      "ext5",
+		Title:   fmt.Sprintf("Tri Scheme lookup cost vs m/n over n=%d (Theorem 4.2: expected O(m/n))", n),
+		Columns: []string{"m (edges)", "m/n", "ns/lookup", "ns per (m/n)"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 21))
+	g := pgraph.New(n)
+	tri := bounds.NewTri(g, 1)
+	for _, mult := range []int{2, 4, 8, 16, 32} {
+		m := mult * n
+		for g.M() < m {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j && !g.Known(i, j) {
+				g.AddEdge(i, j, space.Distance(i, j))
+			}
+		}
+		// Sample unknown pairs and time the lookups.
+		pairs := make([][2]int, 0, 2000)
+		for len(pairs) < 2000 {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j && !g.Known(i, j) {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+		start := time.Now()
+		for _, p := range pairs {
+			tri.Bounds(p[0], p[1])
+		}
+		perLookup := float64(time.Since(start).Nanoseconds()) / float64(len(pairs))
+		ratio := perLookup / (float64(m) / float64(n))
+		t.AddRow(stats.Int(int64(m)), stats.F(float64(m)/float64(n)),
+			fmt.Sprintf("%.0f", perLookup), fmt.Sprintf("%.1f", ratio))
+	}
+	t.Note("If Theorem 4.2 holds, the last column (time normalised by m/n) stays roughly flat while m grows 16×.")
+	return t
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"metricprox/internal/core"
+	"metricprox/internal/metric"
+	"metricprox/internal/stats"
+)
+
+func init() {
+	register("fig8c", "PAM oracle calls varying number of clusters l (SF)", func(cfg Config) *stats.Table {
+		return paramCallSweep(cfg, "fig8c", "PAM, SF", sfGen, lValues(cfg), func(l int) func(int) algoFunc { return pamGen(l) }, "l")
+	})
+	register("fig8d", "CLARANS oracle calls varying number of clusters l (UrbanGB)", func(cfg Config) *stats.Table {
+		return paramCallSweep(cfg, "fig8d", "CLARANS, UrbanGB", urbanGen, lValues(cfg), func(l int) func(int) algoFunc { return claransGen(l) }, "l")
+	})
+	register("fig9a", "KNNrp oracle calls varying k (SF) — Tri stability", func(cfg Config) *stats.Table {
+		return paramCallSweep(cfg, "fig9a", "KNNrp, SF", sfGen, kValues(cfg), func(k int) func(int) algoFunc {
+			return func(n int) algoFunc { return knnAlgo(k) }
+		}, "k")
+	})
+	register("fig9b", "PAM local CPU overhead varying l (SF)", func(cfg Config) *stats.Table {
+		return paramCPUSweep(cfg, "fig9b", "PAM, SF", sfGen, lValues(cfg), func(l int) func(int) algoFunc { return pamGen(l) }, "l")
+	})
+	register("fig9c", "CLARANS local CPU overhead varying l (SF)", func(cfg Config) *stats.Table {
+		return paramCPUSweep(cfg, "fig9c", "CLARANS, SF", sfGen, lValues(cfg), func(l int) func(int) algoFunc { return claransGen(l) }, "l")
+	})
+	register("fig9d", "KNNrp local CPU overhead varying k (SF)", func(cfg Config) *stats.Table {
+		return paramCPUSweep(cfg, "fig9d", "KNNrp, SF", sfGen, kValues(cfg), func(k int) func(int) algoFunc {
+			return func(n int) algoFunc { return knnAlgo(k) }
+		}, "k")
+	})
+}
+
+func lValues(cfg Config) []int {
+	if cfg.Full {
+		return []int{2, 5, 10, 20, 40}
+	}
+	return []int{2, 5, 10, 20}
+}
+
+func kValues(cfg Config) []int {
+	if cfg.Full {
+		return []int{1, 3, 5, 10, 20}
+	}
+	return []int{1, 3, 5, 10}
+}
+
+// paramCallSweep regenerates the "vary l / vary k → distance calls" panels
+// (Figures 8c, 8d, 9a): fixed dataset size, parameter on the rows.
+func paramCallSweep(cfg Config, id, title string, gen func(int, int64) metric.Space, params []int, algoOf func(p int) func(int) algoFunc, pname string) *stats.Table {
+	n := 180
+	if cfg.Quick {
+		n = 60
+	}
+	if cfg.Full {
+		n = 360
+	}
+	space := gen(n, cfg.Seed)
+	k := logLandmarks(n)
+	t := &stats.Table{
+		ID:      id,
+		Title:   title + " — oracle calls varying " + pname,
+		Columns: []string{pname, "WithoutPlug", "Tri", "LAESA", "Save%", "TLAESA", "Save%"},
+	}
+	for _, p := range params {
+		algo := algoOf(p)(n)
+		noop := runScheme(space, core.SchemeNoop, 0, false, cfg.Seed, algo)
+		tri := runScheme(space, core.SchemeTri, k, true, cfg.Seed, algo)
+		laesa := runScheme(space, core.SchemeLAESA, k, true, cfg.Seed, algo)
+		tlaesa := runScheme(space, core.SchemeTLAESA, k, true, cfg.Seed, algo)
+		t.AddRow(
+			stats.Int(int64(p)),
+			stats.Int(noop.Calls),
+			stats.Int(tri.Calls),
+			stats.Int(laesa.Calls),
+			stats.Pct(stats.SavePct(tri.Calls, laesa.Calls)),
+			stats.Int(tlaesa.Calls),
+			stats.Pct(stats.SavePct(tri.Calls, tlaesa.Calls)),
+		)
+	}
+	t.Note("n = %d objects, k = %d landmarks.", n, k)
+	return t
+}
+
+// paramCPUSweep regenerates the "vary l / vary k → local CPU overhead"
+// panels (Figures 9b–9d): the wall time minus the (in-memory) oracle's
+// share, i.e. the price paid in local computation for the saved calls.
+func paramCPUSweep(cfg Config, id, title string, gen func(int, int64) metric.Space, params []int, algoOf func(p int) func(int) algoFunc, pname string) *stats.Table {
+	n := 180
+	if cfg.Quick {
+		n = 60
+	}
+	if cfg.Full {
+		n = 360
+	}
+	space := gen(n, cfg.Seed)
+	k := logLandmarks(n)
+	t := &stats.Table{
+		ID:      id,
+		Title:   title + " — local CPU overhead varying " + pname,
+		Columns: []string{pname, "WithoutPlug CPU", "Tri CPU", "LAESA CPU", "TLAESA CPU"},
+	}
+	for _, p := range params {
+		algo := algoOf(p)(n)
+		noop := runScheme(space, core.SchemeNoop, 0, false, cfg.Seed, algo)
+		tri := runScheme(space, core.SchemeTri, k, true, cfg.Seed, algo)
+		laesa := runScheme(space, core.SchemeLAESA, k, true, cfg.Seed, algo)
+		tlaesa := runScheme(space, core.SchemeTLAESA, k, true, cfg.Seed, algo)
+		t.AddRow(
+			stats.Int(int64(p)),
+			stats.Dur(noop.CPU),
+			stats.Dur(tri.CPU),
+			stats.Dur(laesa.CPU),
+			stats.Dur(tlaesa.CPU),
+		)
+	}
+	t.Note("n = %d objects, k = %d landmarks. The paper's reading: distance compute (↓) is bought with CPU compute (↑); overhead grows with %s.", n, k, pname)
+	return t
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"metricprox/internal/core"
+	"metricprox/internal/datasets"
+	"metricprox/internal/metric"
+	"metricprox/internal/stats"
+)
+
+func init() {
+	register("table2", "Prim oracle calls on UrbanGB (clustered) — TS-NB, Tri, LAESA, TLAESA", func(cfg Config) *stats.Table {
+		return primTable(cfg, "table2", "UrbanGB (clustered objects on a synthetic road network)", func(n int, seed int64) metric.Space {
+			return datasets.UrbanGB(n, seed)
+		})
+	})
+	register("table3", "Prim oracle calls on SF (uniform) — TS-NB, Tri, LAESA, TLAESA", func(cfg Config) *stats.Table {
+		return primTable(cfg, "table3", "SF POI (uniform objects on a synthetic road network)", func(n int, seed int64) metric.Space {
+			return datasets.SFPOI(n, seed)
+		})
+	})
+}
+
+// primTable regenerates the layout of Tables 2 and 3: the number of
+// expensive oracle calls Prim's algorithm makes under each scheme, with
+// the paper's columns (Without Plug, TS-NB, Bootstrap, Tri Scheme with
+// bootstrap, LAESA, Save%, TLAESA, Save%). k = log₂(n) landmarks.
+func primTable(cfg Config, id, dataset string, gen func(int, int64) metric.Space) *stats.Table {
+	t := &stats.Table{
+		ID:    id,
+		Title: "Prim's algorithm oracle-call counts — " + dataset,
+		Columns: []string{
+			"#Edges", "WithoutPlug", "TS-NB", "Bootstrap",
+			"TriScheme(k)", "LAESA(k)", "Save%", "TLAESA(k)", "Save%",
+		},
+	}
+	for _, n := range sizes(cfg) {
+		space := gen(n, cfg.Seed)
+		k := logLandmarks(n)
+
+		tsnb := runScheme(space, core.SchemeTri, 0, false, cfg.Seed, primAlgo)
+		tri := runScheme(space, core.SchemeTri, k, true, cfg.Seed, primAlgo)
+		laesa := runScheme(space, core.SchemeLAESA, k, true, cfg.Seed, primAlgo)
+		tlaesa := runScheme(space, core.SchemeTLAESA, k, true, cfg.Seed, primAlgo)
+
+		// Output identity is part of the experiment contract: all schemes
+		// must agree on the MST weight.
+		for _, r := range []runOutcome{tri, laesa, tlaesa} {
+			if math.Abs(r.Checksum-tsnb.Checksum) > 1e-6 {
+				panic(fmt.Sprintf("%s n=%d: MST weight diverged across schemes (%v vs %v)",
+					id, n, r.Checksum, tsnb.Checksum))
+			}
+		}
+
+		t.AddRow(
+			stats.Int(edgesOf(n)),
+			stats.Int(edgesOf(n)), // Without Plug resolves every pair
+			stats.Int(tsnb.Calls),
+			stats.Int(tri.Bootstrap),
+			fmt.Sprintf("%s (%d)", stats.Int(tri.Calls), k),
+			fmt.Sprintf("%s (%d)", stats.Int(laesa.Calls), k),
+			stats.Pct(stats.SavePct(tri.Calls, laesa.Calls)),
+			fmt.Sprintf("%s (%d)", stats.Int(tlaesa.Calls), k),
+			stats.Pct(stats.SavePct(tri.Calls, tlaesa.Calls)),
+		)
+	}
+	t.Note("Google Maps API distances are substituted by shortest-path distances over a synthetic road network (DESIGN.md §2).")
+	if !cfg.Full {
+		t.Note("Default scale stops at n=512 (130,816 edges); -full extends to n=2000 (1,999,000 edges). The paper's largest row (7,998,000 edges) is trimmed for laptop runtime.")
+	}
+	return t
+}

@@ -1,0 +1,239 @@
+// Package gnat implements a Geometric Near-neighbor Access Tree (Brin,
+// VLDB 1995) — the Voronoi-inspired metric index the paper's related-work
+// section cites alongside the M-tree (Section 6.1). Each node selects a
+// set of split points, partitions its objects by nearest split point, and
+// records for every (split point, sibling group) pair the min/max distance
+// range; queries discard a group when the query ball cannot intersect its
+// range from some split point's viewpoint.
+package gnat
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"metricprox/internal/metric"
+)
+
+const (
+	splitPoints = 6  // split points per internal node
+	leafSize    = 12 // objects kept flat in a leaf
+)
+
+// Tree is a GNAT over the objects of a metric.Space.
+type Tree struct {
+	space metric.Space
+	root  *node
+	calls int64
+}
+
+type node struct {
+	bucket []int // leaf objects; nil for internal nodes
+	splits []split
+}
+
+type split struct {
+	point    int
+	child    *node
+	loRanges []float64 // loRanges[s]: min distance from split s's point to this group
+	hiRanges []float64 // hiRanges[s]: max distance, likewise
+}
+
+// Build constructs a GNAT over all objects, with split points chosen
+// pseudo-randomly from seed.
+func Build(space metric.Space, seed int64) *Tree {
+	t := &Tree{space: space}
+	ids := make([]int, space.Len())
+	for i := range ids {
+		ids[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t.root = t.build(ids, rng)
+	return t
+}
+
+// ConstructionCalls returns the distance evaluations spent building.
+func (t *Tree) ConstructionCalls() int64 { return t.calls }
+
+func (t *Tree) d(i, j int) float64 {
+	t.calls++
+	return t.space.Distance(i, j)
+}
+
+func (t *Tree) build(ids []int, rng *rand.Rand) *node {
+	if len(ids) <= leafSize {
+		return &node{bucket: append([]int(nil), ids...)}
+	}
+	k := splitPoints
+	if k > len(ids) {
+		k = len(ids)
+	}
+	rng.Shuffle(len(ids), func(a, b int) { ids[a], ids[b] = ids[b], ids[a] })
+	points := ids[:k]
+	rest := ids[k:]
+
+	groups := make([][]int, k)
+	// Assign each object to its nearest split point.
+	for _, x := range rest {
+		best, bestD := 0, math.Inf(1)
+		for s, p := range points {
+			if dd := t.d(x, p); dd < bestD {
+				best, bestD = s, dd
+			}
+		}
+		groups[best] = append(groups[best], x)
+	}
+	n := &node{splits: make([]split, k)}
+	for g := range groups {
+		n.splits[g] = split{
+			point:    points[g],
+			loRanges: make([]float64, k),
+			hiRanges: make([]float64, k),
+		}
+		for s := range n.splits[g].loRanges {
+			n.splits[g].loRanges[s] = math.Inf(1)
+		}
+	}
+	// Record range tables: for each split point s and group g, the min and
+	// max of d(point_s, x) over x in group g ∪ {point_g}.
+	for s := 0; s < k; s++ {
+		for g := 0; g < k; g++ {
+			lo, hi := math.Inf(1), 0.0
+			observe := func(dd float64) {
+				if dd < lo {
+					lo = dd
+				}
+				if dd > hi {
+					hi = dd
+				}
+			}
+			if s == g {
+				observe(0)
+			} else {
+				observe(t.d(points[s], points[g]))
+			}
+			for _, x := range groups[g] {
+				observe(t.d(points[s], x))
+			}
+			n.splits[g].loRanges[s] = lo
+			n.splits[g].hiRanges[s] = hi
+		}
+	}
+	for g := range groups {
+		n.splits[g].child = t.build(groups[g], rng)
+	}
+	return n
+}
+
+// Result is one query answer.
+type Result struct {
+	ID   int
+	Dist float64
+}
+
+// Range returns every indexed object within radius r of the query object
+// (the query itself included if indexed), plus the distance calls spent
+// answering (construction excluded). dist supplies query-to-object
+// distances so callers control accounting.
+func (t *Tree) Range(query int, r float64, dist func(x int) float64) ([]Result, int64) {
+	var out []Result
+	var calls int64
+	d := func(x int) float64 {
+		calls++
+		return dist(x)
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.bucket != nil {
+			for _, id := range n.bucket {
+				if dd := d(id); dd <= r {
+					out = append(out, Result{ID: id, Dist: dd})
+				}
+			}
+			return
+		}
+		k := len(n.splits)
+		alive := make([]bool, k)
+		for i := range alive {
+			alive[i] = true
+		}
+		dp := make([]float64, k)
+		for s := 0; s < k; s++ {
+			dp[s] = d(n.splits[s].point)
+			if dp[s] <= r {
+				out = append(out, Result{ID: n.splits[s].point, Dist: dp[s]})
+			}
+			// GNAT pruning: group g survives s's viewpoint only if
+			// [dp[s]−r, dp[s]+r] intersects [lo, hi].
+			for g := 0; g < k; g++ {
+				if !alive[g] {
+					continue
+				}
+				if dp[s]+r < n.splits[g].loRanges[s] || dp[s]-r > n.splits[g].hiRanges[s] {
+					alive[g] = false
+				}
+			}
+		}
+		for g := 0; g < k; g++ {
+			if alive[g] {
+				walk(n.splits[g].child)
+			}
+		}
+	}
+	walk(t.root)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out, calls
+}
+
+// NN returns the k nearest indexed objects to the query (excluding the
+// query itself) by shrinking-radius search over Range's pruning: a cheap
+// first pass estimates a radius from a leaf walk, then widens until k
+// answers are inside. Calls are reported net of construction.
+func (t *Tree) NN(query, k int, dist func(x int) float64) ([]Result, int64) {
+	if k >= t.space.Len() {
+		k = t.space.Len() - 1
+	}
+	var total int64
+	// Initial radius guess: distances to the root split points.
+	guess := math.Inf(1)
+	if t.root.bucket == nil {
+		seen := 0
+		for _, sp := range t.root.splits {
+			dd := dist(sp.point)
+			total++
+			if sp.point != query && dd < guess {
+				guess = dd
+			}
+			seen++
+			if seen >= 3 {
+				break
+			}
+		}
+	} else {
+		guess = 1
+	}
+	r := guess
+	for {
+		res, calls := t.Range(query, r, dist)
+		total += calls
+		// Drop the query itself.
+		filtered := res[:0]
+		for _, x := range res {
+			if x.ID != query {
+				filtered = append(filtered, x)
+			}
+		}
+		if len(filtered) >= k {
+			return append([]Result(nil), filtered[:k]...), total
+		}
+		r *= 2
+		if math.IsInf(r, 1) || r > 1e9 {
+			return append([]Result(nil), filtered...), total
+		}
+	}
+}

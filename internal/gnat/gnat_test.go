@@ -1,0 +1,95 @@
+package gnat
+
+import (
+	"math/rand"
+	"testing"
+
+	"metricprox/internal/datasets"
+	"metricprox/internal/metric"
+)
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	m := datasets.RandomMetric(160, 61)
+	tree := Build(m, 62)
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 25; trial++ {
+		q := rng.Intn(160)
+		r := 0.05 + rng.Float64()*0.35
+		got, _ := tree.Range(q, r, func(x int) float64 { return m.Distance(q, x) })
+		want := map[int]float64{}
+		for x := 0; x < 160; x++ {
+			if d := m.Distance(q, x); d <= r {
+				want[x] = d
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("q=%d r=%v: %d results, want %d", q, r, len(got), len(want))
+		}
+		for _, res := range got {
+			if wd, ok := want[res.ID]; !ok || wd != res.Dist {
+				t.Fatalf("q=%d r=%v: wrong result %+v", q, r, res)
+			}
+		}
+	}
+}
+
+func TestNNMatchesBruteForce(t *testing.T) {
+	m := datasets.RandomMetric(120, 64)
+	tree := Build(m, 65)
+	for q := 0; q < 120; q += 17 {
+		got, _ := tree.NN(q, 4, func(x int) float64 { return m.Distance(q, x) })
+		if len(got) != 4 {
+			t.Fatalf("q=%d: %d results", q, len(got))
+		}
+		// Reference.
+		type rd struct {
+			id int
+			d  float64
+		}
+		var all []rd
+		for x := 0; x < 120; x++ {
+			if x != q {
+				all = append(all, rd{x, m.Distance(q, x)})
+			}
+		}
+		for i := 0; i < 4; i++ {
+			bi := i
+			for j := i + 1; j < len(all); j++ {
+				if all[j].d < all[bi].d {
+					bi = j
+				}
+			}
+			all[i], all[bi] = all[bi], all[i]
+			if got[i].ID != all[i].id {
+				t.Fatalf("q=%d: NN[%d] = %d, want %d", q, i, got[i].ID, all[i].id)
+			}
+		}
+	}
+}
+
+func TestRangePrunes(t *testing.T) {
+	m := datasets.SFPOI(500, 66)
+	tree := Build(m, 67)
+	_, calls := tree.Range(3, 0.05, func(x int) float64 { return m.Distance(3, x) })
+	if calls >= 500 {
+		t.Fatalf("GNAT range made %d calls — no pruning over a linear scan", calls)
+	}
+	if tree.ConstructionCalls() == 0 {
+		t.Fatal("construction free?")
+	}
+}
+
+func TestSmallUniverse(t *testing.T) {
+	m := datasets.RandomMetric(5, 68)
+	tree := Build(m, 69)
+	got, _ := tree.NN(0, 10, func(x int) float64 { return m.Distance(0, x) })
+	if len(got) != 4 {
+		t.Fatalf("k>n returned %d", len(got))
+	}
+	res, _ := tree.Range(0, 1, func(x int) float64 { return m.Distance(0, x) })
+	if len(res) != 5 {
+		t.Fatalf("full-radius range returned %d", len(res))
+	}
+}
+
+var _ metric.Space = (*metric.Matrix)(nil) // compile-time interface check used by tests

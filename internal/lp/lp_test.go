@@ -1,0 +1,251 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyProblemFeasible(t *testing.T) {
+	if !NewProblem(3).Feasible() {
+		t.Fatal("empty problem reported infeasible")
+	}
+}
+
+func TestTrivialFeasible(t *testing.T) {
+	p := NewProblem(2)
+	p.AddLE(map[int]float64{0: 1, 1: 1}, 1) // x0 + x1 <= 1
+	if !p.Feasible() {
+		t.Fatal("x0+x1<=1 with x>=0 reported infeasible")
+	}
+}
+
+func TestTrivialInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddLE(map[int]float64{0: 1}, 1) // x <= 1
+	p.AddGE(map[int]float64{0: 1}, 2) // x >= 2
+	if p.Feasible() {
+		t.Fatal("x<=1 && x>=2 reported feasible")
+	}
+}
+
+func TestEqualityPair(t *testing.T) {
+	p := NewProblem(2)
+	p.AddEQ(map[int]float64{0: 1}, 0.8)      // x0 = 0.8
+	p.AddLE(map[int]float64{0: -1, 1: 1}, 0) // x1 <= x0
+	p.AddGE(map[int]float64{1: 1}, 0.5)      // x1 >= 0.5
+	if !p.Feasible() {
+		t.Fatal("x0=0.8, 0.5<=x1<=x0 reported infeasible")
+	}
+	p.AddGE(map[int]float64{1: 1}, 0.9) // now x1 >= 0.9 > x0: infeasible
+	if p.Feasible() {
+		t.Fatal("x1>=0.9 && x1<=x0=0.8 reported feasible")
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// -x0 <= -0.3  (i.e. x0 >= 0.3) together with x0 <= 0.5.
+	p := NewProblem(1)
+	p.AddLE(map[int]float64{0: -1}, -0.3)
+	p.AddLE(map[int]float64{0: 1}, 0.5)
+	if !p.Feasible() {
+		t.Fatal("0.3<=x0<=0.5 reported infeasible")
+	}
+}
+
+func TestSnapshotRollback(t *testing.T) {
+	p := NewProblem(1)
+	p.AddLE(map[int]float64{0: 1}, 1)
+	snap := p.Snapshot()
+	p.AddGE(map[int]float64{0: 1}, 2)
+	if p.Feasible() {
+		t.Fatal("probe constraint should make it infeasible")
+	}
+	p.Rollback(snap)
+	if p.NumRows() != 1 {
+		t.Fatalf("NumRows = %d after rollback, want 1", p.NumRows())
+	}
+	if !p.Feasible() {
+		t.Fatal("rolled-back problem reported infeasible")
+	}
+}
+
+// TestTriangleSystem encodes the paper's core pattern: three distances with
+// one known edge and triangle inequalities.
+func TestTriangleSystem(t *testing.T) {
+	// Variables: x01, x02, x12, all in [0,1], with x01 = 0.9 and triangle
+	// inequalities. Probe: can x02 + x12 < 0.9 hold? No — the triangle
+	// inequality forces x02 + x12 >= x01 = 0.9.
+	mk := func() *Problem {
+		p := NewProblem(3)
+		for v := 0; v < 3; v++ {
+			p.AddLE(map[int]float64{v: 1}, 1)
+		}
+		p.AddEQ(map[int]float64{0: 1}, 0.9) // x01 = 0.9
+		// Triangle: each edge <= sum of the other two.
+		p.AddLE(map[int]float64{0: 1, 1: -1, 2: -1}, 0)
+		p.AddLE(map[int]float64{0: -1, 1: 1, 2: -1}, 0)
+		p.AddLE(map[int]float64{0: -1, 1: -1, 2: 1}, 0)
+		return p
+	}
+	p := mk()
+	if !p.Feasible() {
+		t.Fatal("base triangle system infeasible")
+	}
+	p.AddLE(map[int]float64{1: 1, 2: 1}, 0.8) // x02 + x12 <= 0.8 < 0.9
+	if p.Feasible() {
+		t.Fatal("triangle violation went undetected")
+	}
+	p2 := mk()
+	p2.AddLE(map[int]float64{1: 1, 2: 1}, 0.95) // >= 0.9 is fine
+	if !p2.Feasible() {
+		t.Fatal("satisfiable probe reported infeasible")
+	}
+}
+
+// TestQuickAgainstWitness checks random small systems against a random
+// witness search: if we can find a satisfying point by sampling, the solver
+// must say feasible.
+func TestQuickAgainstWitness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		// Generate a system that is feasible by construction: pick a hidden
+		// point z >= 0 and only add constraints it satisfies.
+		z := make([]float64, n)
+		for i := range z {
+			z[i] = rng.Float64()
+		}
+		p := NewProblem(n)
+		for r := 0; r < 3+rng.Intn(8); r++ {
+			coeffs := map[int]float64{}
+			lhs := 0.0
+			for i := 0; i < n; i++ {
+				c := rng.NormFloat64()
+				coeffs[i] = c
+				lhs += c * z[i]
+			}
+			p.AddLE(coeffs, lhs+rng.Float64()) // slack keeps z feasible
+		}
+		return p.Feasible()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInfeasiblePairs builds systems that are infeasible by
+// construction (x_i >= a and x_i <= b with b < a) hidden among noise.
+func TestQuickInfeasiblePairs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		p := NewProblem(n)
+		for r := 0; r < rng.Intn(6); r++ {
+			coeffs := map[int]float64{}
+			for i := 0; i < n; i++ {
+				coeffs[i] = rng.Float64() // nonnegative: satisfiable at x=0
+			}
+			p.AddLE(coeffs, rng.Float64())
+		}
+		v := rng.Intn(n)
+		a := 0.5 + rng.Float64()
+		p.AddGE(map[int]float64{v: 1}, a)
+		p.AddLE(map[int]float64{v: 1}, a-0.1-rng.Float64()/2)
+		return !p.Feasible()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFeasibleMedium(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	n := 45 // edges of a K10 — the paper's smallest DFT configuration
+	build := func() *Problem {
+		p := NewProblem(n)
+		for v := 0; v < n; v++ {
+			p.AddLE(map[int]float64{v: 1}, 1)
+		}
+		for r := 0; r < 300; r++ {
+			i, j, k := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+			p.AddLE(map[int]float64{i: 1, j: -1, k: -1}, 0)
+		}
+		return p
+	}
+	p := build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !p.Feasible() {
+			b.Fatal("unexpected infeasible")
+		}
+	}
+}
+
+func TestFeasiblePointSatisfiesConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(5)
+		z := make([]float64, n)
+		for i := range z {
+			z[i] = rng.Float64()
+		}
+		p := NewProblem(n)
+		type stored struct {
+			coeffs []float64
+			rhs    float64
+		}
+		var rows []stored
+		for r := 0; r < 2+rng.Intn(8); r++ {
+			coeffs := map[int]float64{}
+			dense := make([]float64, n)
+			lhs := 0.0
+			for i := 0; i < n; i++ {
+				c := rng.NormFloat64()
+				coeffs[i] = c
+				dense[i] = c
+				lhs += c * z[i]
+			}
+			rhs := lhs + rng.Float64()
+			p.AddLE(coeffs, rhs)
+			rows = append(rows, stored{coeffs: dense, rhs: rhs})
+		}
+		x, ok := p.FeasiblePoint()
+		if !ok {
+			t.Fatalf("trial %d: feasible-by-construction system reported infeasible", trial)
+		}
+		if len(x) != n {
+			t.Fatalf("trial %d: witness has %d vars, want %d", trial, len(x), n)
+		}
+		for _, v := range x {
+			if v < 0 {
+				t.Fatalf("trial %d: negative witness coordinate %v", trial, v)
+			}
+		}
+		for ri, row := range rows {
+			lhs := 0.0
+			for i, c := range row.coeffs {
+				lhs += c * x[i]
+			}
+			if lhs > row.rhs+1e-6 {
+				t.Fatalf("trial %d row %d: witness violates constraint (%v > %v)", trial, ri, lhs, row.rhs)
+			}
+		}
+	}
+}
+
+func TestFeasiblePointInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddLE(map[int]float64{0: 1}, 1)
+	p.AddGE(map[int]float64{0: 1}, 2)
+	if _, ok := p.FeasiblePoint(); ok {
+		t.Fatal("infeasible system produced a witness")
+	}
+}
+
+func TestFeasiblePointEmpty(t *testing.T) {
+	x, ok := NewProblem(3).FeasiblePoint()
+	if !ok || len(x) != 3 {
+		t.Fatalf("empty problem witness: %v %v", x, ok)
+	}
+}

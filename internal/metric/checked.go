@@ -1,0 +1,117 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Checked wraps a Space with on-line metric-axiom validation. Every bound
+// scheme in this library is only sound if the oracle really is a metric;
+// when it silently isn't (a "distance" API returning asymmetric travel
+// times, a buggy similarity score), the framework can return wrong answers
+// with no crash. Checked turns that silent corruption into a loud error:
+//
+//   - every returned distance is checked for NaN / negativity;
+//   - symmetry is spot-checked by replaying a sample of pairs reversed;
+//   - the triangle inequality is spot-checked against randomly retained
+//     witness points.
+//
+// Checks beyond the cheap per-call ones are sampled (Rate) so the wrapper
+// stays affordable even for expensive oracles. The first violation is
+// recorded and returned by Err; callers embed Checked during development
+// and drop it in production.
+type Checked struct {
+	space Space
+	rate  float64
+	rng   *rand.Rand
+
+	mu      sync.Mutex
+	sample  []sampled // retained (i, j, d) witnesses
+	maxKeep int
+	err     error
+}
+
+type sampled struct {
+	i, j int
+	d    float64
+}
+
+// NewChecked wraps space, spot-checking roughly rate of calls (0 < rate ≤
+// 1; rate 0 means 0.05). seed makes the sampling deterministic.
+func NewChecked(space Space, rate float64, seed int64) *Checked {
+	if rate <= 0 {
+		rate = 0.05
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &Checked{
+		space:   space,
+		rate:    rate,
+		rng:     rand.New(rand.NewSource(seed)),
+		maxKeep: 64,
+	}
+}
+
+// Len returns the underlying universe size.
+func (c *Checked) Len() int { return c.space.Len() }
+
+// Err returns the first metric-axiom violation observed, or nil.
+func (c *Checked) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Distance returns the underlying distance after validation.
+func (c *Checked) Distance(i, j int) float64 {
+	d := c.space.Distance(i, j)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return d
+	}
+	switch {
+	case math.IsNaN(d):
+		c.err = fmt.Errorf("metric: Distance(%d,%d) returned NaN", i, j)
+		return d
+	case d < 0:
+		c.err = fmt.Errorf("metric: Distance(%d,%d) = %v is negative", i, j, d)
+		return d
+	case i == j && d != 0:
+		c.err = fmt.Errorf("metric: Distance(%d,%d) = %v on identical objects", i, j, d)
+		return d
+	}
+	if i == j || c.rng.Float64() > c.rate {
+		return d
+	}
+	// Symmetry spot check.
+	if back := c.space.Distance(j, i); back != d {
+		c.err = fmt.Errorf("metric: asymmetry d(%d,%d)=%v but d(%d,%d)=%v", i, j, d, j, i, back)
+		return d
+	}
+	// Triangle spot checks against retained witnesses.
+	for _, w := range c.sample {
+		for _, tri := range [][3]int{{i, j, w.i}, {i, j, w.j}} {
+			k := tri[2]
+			if k == i || k == j {
+				continue
+			}
+			dik := c.space.Distance(i, k)
+			dkj := c.space.Distance(k, j)
+			if d > dik+dkj+1e-9 {
+				c.err = fmt.Errorf("metric: triangle violation d(%d,%d)=%v > d(%d,%d)+d(%d,%d)=%v",
+					i, j, d, i, k, k, j, dik+dkj)
+				return d
+			}
+		}
+		break // one witness per sampled call keeps the overhead bounded
+	}
+	c.sample = append(c.sample, sampled{i: i, j: j, d: d})
+	if len(c.sample) > c.maxKeep {
+		c.sample = c.sample[1:]
+	}
+	return d
+}

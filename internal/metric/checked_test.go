@@ -1,0 +1,100 @@
+package metric
+
+import (
+	"strings"
+	"testing"
+)
+
+// evilSpace wraps a valid space and injects a specific violation.
+type evilSpace struct {
+	Space
+	mode string
+}
+
+func (e evilSpace) Distance(i, j int) float64 {
+	d := e.Space.Distance(i, j)
+	switch e.mode {
+	case "nan":
+		if i == 2 && j == 5 {
+			return nan()
+		}
+	case "negative":
+		if i == 2 && j == 5 {
+			return -0.1
+		}
+	case "asymmetric":
+		if i > j {
+			return d * 1.5
+		}
+	case "triangle":
+		// A wildly inflated single pair breaks the triangle inequality.
+		if (i == 2 && j == 5) || (i == 5 && j == 2) {
+			return 1e6
+		}
+	}
+	return d
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}
+
+func validBase() Space {
+	pts := make([][]float64, 10)
+	for i := range pts {
+		pts[i] = []float64{float64(i) / 10, float64(i*i%7) / 10}
+	}
+	return NewVectors(pts, 2, 0.5)
+}
+
+func drive(c *Checked) {
+	for i := 0; i < c.Len(); i++ {
+		for j := 0; j < c.Len(); j++ {
+			c.Distance(i, j)
+			if c.Err() != nil {
+				return
+			}
+		}
+	}
+}
+
+func TestCheckedPassesValidMetric(t *testing.T) {
+	c := NewChecked(validBase(), 1, 1)
+	drive(c)
+	drive(c)
+	if err := c.Err(); err != nil {
+		t.Fatalf("valid metric flagged: %v", err)
+	}
+}
+
+func TestCheckedCatchesViolations(t *testing.T) {
+	cases := map[string]string{
+		"nan":        "NaN",
+		"negative":   "negative",
+		"asymmetric": "asymmetry",
+		"triangle":   "triangle",
+	}
+	for mode, wantSubstr := range cases {
+		c := NewChecked(evilSpace{Space: validBase(), mode: mode}, 1, 2)
+		drive(c)
+		err := c.Err()
+		if err == nil {
+			t.Errorf("mode %q: violation not caught", mode)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSubstr) {
+			t.Errorf("mode %q: error %q does not mention %q", mode, err, wantSubstr)
+		}
+	}
+}
+
+func TestCheckedSelfDistance(t *testing.T) {
+	c := NewChecked(evilSpace{Space: validBase(), mode: ""}, 1, 3)
+	if d := c.Distance(3, 3); d != 0 {
+		t.Fatalf("self distance %v", d)
+	}
+	if c.Err() != nil {
+		t.Fatalf("unexpected error: %v", c.Err())
+	}
+}

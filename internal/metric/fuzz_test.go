@@ -1,0 +1,69 @@
+package metric
+
+import "testing"
+
+// FuzzLevenshtein checks structural properties of the edit distance on
+// arbitrary byte strings: symmetry, identity, the length-difference lower
+// bound and max-length upper bound, and unit sensitivity to single-rune
+// appends.
+func FuzzLevenshtein(f *testing.F) {
+	f.Add("kitten", "sitting")
+	f.Add("", "abc")
+	f.Add("ACGT", "TGCA")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		d := Levenshtein(a, b)
+		if d != Levenshtein(b, a) {
+			t.Fatalf("asymmetric: %d vs %d", d, Levenshtein(b, a))
+		}
+		if (d == 0) != (a == b) {
+			t.Fatalf("identity violated: d=%d for %q vs %q", d, a, b)
+		}
+		diff := len(a) - len(b)
+		if diff < 0 {
+			diff = -diff
+		}
+		max := len(a)
+		if len(b) > max {
+			max = len(b)
+		}
+		if d < diff || d > max {
+			t.Fatalf("d=%d outside [%d,%d] for %q vs %q", d, diff, max, a, b)
+		}
+		// Appending one byte changes the distance by at most 1.
+		d2 := Levenshtein(a+"x", b)
+		if d2 < d-1 || d2 > d+1 {
+			t.Fatalf("append changed distance %d -> %d", d, d2)
+		}
+	})
+}
+
+// FuzzJaccard checks the Jaccard distance axioms on arbitrary int sets.
+func FuzzJaccard(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		toSet := func(raw []byte) []int {
+			s := make([]int, len(raw))
+			for i, b := range raw {
+				s[i] = int(b)
+			}
+			return s
+		}
+		sets := NewIntSets([][]int{toSet(rawA), toSet(rawB), toSet(append(rawA, rawB...))})
+		d01 := sets.Distance(0, 1)
+		if d01 < 0 || d01 > 1 {
+			t.Fatalf("distance %v outside [0,1]", d01)
+		}
+		if d01 != sets.Distance(1, 0) {
+			t.Fatal("asymmetric")
+		}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				for k := 0; k < 3; k++ {
+					if sets.Distance(i, j) > sets.Distance(i, k)+sets.Distance(k, j)+1e-12 {
+						t.Fatalf("triangle violation (%d,%d,%d)", i, j, k)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestOracleCounts(t *testing.T) {
+	m, err := NewMatrix([][]float64{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOracle(m)
+	if o.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", o.Len())
+	}
+	if d := o.Distance(0, 1); d != 1 {
+		t.Fatalf("Distance = %v, want 1", d)
+	}
+	o.Distance(1, 0)
+	if o.Calls() != 2 {
+		t.Fatalf("Calls = %d, want 2", o.Calls())
+	}
+	o.ResetCalls()
+	if o.Calls() != 0 {
+		t.Fatalf("Calls after reset = %d", o.Calls())
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	cm := CostModel{PerCall: time.Second}
+	got := cm.Completion(10, 5*time.Second)
+	if got != 15*time.Second {
+		t.Fatalf("Completion = %v, want 15s", got)
+	}
+}
+
+func TestVectorsNorms(t *testing.T) {
+	pts := [][]float64{{0, 0}, {3, 4}}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{1, 7},
+		{2, 5},
+		{math.Inf(1), 4},
+		{3, math.Pow(27+64, 1.0/3)},
+	}
+	for _, c := range cases {
+		v := NewVectors(pts, c.p, 0)
+		if got := v.Distance(0, 1); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("p=%v: Distance = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Scale is applied.
+	v := NewVectors(pts, 2, 0.5)
+	if got := v.Distance(0, 1); got != 2.5 {
+		t.Fatalf("scaled Distance = %v, want 2.5", got)
+	}
+}
+
+func TestVectorsMetricAxioms(t *testing.T) {
+	// Property: Minkowski distances satisfy the metric axioms.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([][]float64, 6)
+		for i := range pts {
+			pts[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		}
+		for _, p := range []float64{1, 2, math.Inf(1)} {
+			v := NewVectors(pts, p, 0)
+			for i := 0; i < 6; i++ {
+				if v.Distance(i, i) != 0 {
+					return false
+				}
+				for j := 0; j < 6; j++ {
+					if v.Distance(i, j) != v.Distance(j, i) {
+						return false
+					}
+					for k := 0; k < 6; k++ {
+						if v.Distance(i, j) > v.Distance(i, k)+v.Distance(k, j)+1e-12 {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix([][]float64{{0, 1}, {1}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, err := NewMatrix([][]float64{{1, 1}, {1, 0}}); err == nil {
+		t.Fatal("nonzero diagonal accepted")
+	}
+	if _, err := NewMatrix([][]float64{{0, 1}, {2, 0}}); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+	if _, err := NewMatrix([][]float64{{0, -1}, {-1, 0}}); err == nil {
+		t.Fatal("negative distance accepted")
+	}
+	m, err := NewMatrix([][]float64{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("uniform metric failed validation: %v", err)
+	}
+	bad, _ := NewMatrix([][]float64{{0, 10, 1}, {10, 0, 1}, {1, 1, 0}})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("triangle violation not detected")
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"ACGT", "ACGT", 0},
+		{"ACGT", "AGT", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinMetricAxioms(t *testing.T) {
+	alphabet := "ACGT"
+	randSeq := func(rng *rand.Rand) string {
+		n := rng.Intn(8)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(4)]
+		}
+		return string(b)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randSeq(rng), randSeq(rng), randSeq(rng)
+		dab, dba := Levenshtein(a, b), Levenshtein(b, a)
+		if dab != dba {
+			return false
+		}
+		if (dab == 0) != (a == b) {
+			return false
+		}
+		return dab <= Levenshtein(a, c)+Levenshtein(c, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringsSpace(t *testing.T) {
+	s := NewStrings([]string{"AAAA", "AATA", "CCCC"}, 0.25)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if got := s.Distance(0, 1); got != 0.25 {
+		t.Fatalf("Distance = %v, want 0.25", got)
+	}
+	if got := s.Distance(0, 2); got != 1.0 {
+		t.Fatalf("Distance = %v, want 1", got)
+	}
+}

@@ -1,0 +1,129 @@
+package metric
+
+import (
+	"math"
+	"sort"
+)
+
+// PointSets is a Space over finite point sets under the Hausdorff
+// distance — the image-comparison metric of Huttenlocher et al. that the
+// paper lists among its computer-vision applications. Each distance call
+// costs O(|A|·|B|) base-metric evaluations, which is precisely the kind of
+// expensive oracle the framework exists to avoid.
+//
+// The base metric is Euclidean; Scale normalises into [0,1] (callers pass
+// 1/diameterBound of the coordinate domain).
+type PointSets struct {
+	Sets  [][][]float64
+	Scale float64
+}
+
+// NewPointSets wraps point sets under scaled Hausdorff distance. scale 0
+// means 1. Sets must be non-empty (the Hausdorff distance to an empty set
+// is undefined); Distance panics otherwise.
+func NewPointSets(sets [][][]float64, scale float64) *PointSets {
+	if scale == 0 {
+		scale = 1
+	}
+	return &PointSets{Sets: sets, Scale: scale}
+}
+
+// Len returns the number of sets.
+func (p *PointSets) Len() int { return len(p.Sets) }
+
+// Distance returns the scaled Hausdorff distance between sets i and j.
+func (p *PointSets) Distance(i, j int) float64 {
+	return p.Scale * Hausdorff(p.Sets[i], p.Sets[j])
+}
+
+// Hausdorff returns the symmetric Hausdorff distance between two
+// non-empty point sets under the Euclidean base metric.
+func Hausdorff(a, b [][]float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		panic("metric: Hausdorff distance of an empty set")
+	}
+	return math.Max(directedHausdorff(a, b), directedHausdorff(b, a))
+}
+
+func directedHausdorff(a, b [][]float64) float64 {
+	worst := 0.0
+	for _, pa := range a {
+		best := math.Inf(1)
+		for _, pb := range b {
+			if d := euclid(pa, pb); d < best {
+				best = d
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst
+}
+
+func euclid(a, b []float64) float64 {
+	sum := 0.0
+	for k := range a {
+		d := a[k] - b[k]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// IntSets is a Space over finite integer sets under the Jaccard distance
+// 1 − |A∩B| / |A∪B|, a classic metric on sets (via the Steinhaus
+// transform), useful for shingled documents, tag sets, and genomic k-mer
+// profiles.
+type IntSets struct {
+	sets [][]int // each sorted ascending, deduplicated
+}
+
+// NewIntSets wraps the given sets, normalising each to sorted unique form.
+// Empty sets are allowed: d(∅, ∅) = 0 and d(∅, A≠∅) = 1.
+func NewIntSets(sets [][]int) *IntSets {
+	norm := make([][]int, len(sets))
+	for i, s := range sets {
+		c := append([]int(nil), s...)
+		sort.Ints(c)
+		out := c[:0]
+		for k, v := range c {
+			if k == 0 || v != c[k-1] {
+				out = append(out, v)
+			}
+		}
+		norm[i] = out
+	}
+	return &IntSets{sets: norm}
+}
+
+// Len returns the number of sets.
+func (s *IntSets) Len() int { return len(s.sets) }
+
+// Distance returns the Jaccard distance between sets i and j.
+func (s *IntSets) Distance(i, j int) float64 {
+	return Jaccard(s.sets[i], s.sets[j])
+}
+
+// Jaccard returns the Jaccard distance between two sorted unique int
+// slices.
+func Jaccard(a, b []int) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return 1 - float64(inter)/float64(union)
+}

@@ -1,0 +1,134 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHausdorffBasics(t *testing.T) {
+	a := [][]float64{{0, 0}, {1, 0}}
+	b := [][]float64{{0, 0}, {1, 0}}
+	if d := Hausdorff(a, b); d != 0 {
+		t.Fatalf("identical sets: %v", d)
+	}
+	c := [][]float64{{0, 3}}
+	// directed a→c: every point of a is 3..sqrt(10) from (0,3); max = sqrt(10).
+	// directed c→a: nearest of a to (0,3) is (0,0) at 3.
+	want := math.Sqrt(10)
+	if d := Hausdorff(a, c); math.Abs(d-want) > 1e-12 {
+		t.Fatalf("Hausdorff = %v, want %v", d, want)
+	}
+}
+
+func TestHausdorffEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty set did not panic")
+		}
+	}()
+	Hausdorff(nil, [][]float64{{0}})
+}
+
+func randSets(rng *rand.Rand, n int) [][][]float64 {
+	sets := make([][][]float64, n)
+	for i := range sets {
+		m := 1 + rng.Intn(6)
+		sets[i] = make([][]float64, m)
+		for k := range sets[i] {
+			sets[i][k] = []float64{rng.Float64(), rng.Float64()}
+		}
+	}
+	return sets
+}
+
+func TestHausdorffMetricAxioms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sets := randSets(rng, 5)
+		p := NewPointSets(sets, 0)
+		for i := 0; i < 5; i++ {
+			if p.Distance(i, i) != 0 {
+				return false
+			}
+			for j := 0; j < 5; j++ {
+				if math.Abs(p.Distance(i, j)-p.Distance(j, i)) > 1e-12 {
+					return false
+				}
+				for k := 0; k < 5; k++ {
+					if p.Distance(i, j) > p.Distance(i, k)+p.Distance(k, j)+1e-12 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaccardBasics(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want float64
+	}{
+		{nil, nil, 0},
+		{[]int{1}, nil, 1},
+		{[]int{1, 2, 3}, []int{1, 2, 3}, 0},
+		{[]int{1, 2}, []int{2, 3}, 1 - 1.0/3},
+		{[]int{1, 2, 3, 4}, []int{3, 4, 5, 6}, 1 - 2.0/6},
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jaccard(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIntSetsNormalises(t *testing.T) {
+	s := NewIntSets([][]int{{3, 1, 2, 2, 1}, {1, 2, 3}})
+	if d := s.Distance(0, 1); d != 0 {
+		t.Fatalf("duplicated/unsorted input not normalised: d = %v", d)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestJaccardMetricAxioms(t *testing.T) {
+	randSet := func(rng *rand.Rand) []int {
+		m := rng.Intn(8)
+		s := make([]int, m)
+		for i := range s {
+			s[i] = rng.Intn(12)
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sets := [][]int{randSet(rng), randSet(rng), randSet(rng)}
+		s := NewIntSets(sets)
+		for i := 0; i < 3; i++ {
+			if s.Distance(i, i) != 0 {
+				return false
+			}
+			for j := 0; j < 3; j++ {
+				if s.Distance(i, j) != s.Distance(j, i) {
+					return false
+				}
+				for k := 0; k < 3; k++ {
+					if s.Distance(i, j) > s.Distance(i, k)+s.Distance(k, j)+1e-12 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

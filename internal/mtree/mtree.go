@@ -1,0 +1,261 @@
+// Package mtree implements an M-tree (Ciaccia, Patella & Zezula, VLDB
+// 1997) — the balanced, paged metric index the paper's related-work
+// section groups with GNAT among the Voronoi-inspired structures
+// (Section 6.1). Every routing entry stores a pivot and a covering radius;
+// queries prune whole subtrees whose covering ball cannot intersect the
+// query ball, and insertion keeps the tree balanced through node splits
+// with pivot promotion.
+//
+// This implementation is an in-memory rendition with the classic design
+// choices: choose-subtree by minimum radius enlargement, split by
+// max-separated promotion with nearest-pivot partition, and best-first
+// kNN search. Distance evaluations (the expensive resource) are counted.
+package mtree
+
+import (
+	"math"
+	"sort"
+
+	"metricprox/internal/metric"
+)
+
+const capacity = 8 // max entries per node before a split
+
+// Tree is an M-tree over the objects of a metric.Space.
+type Tree struct {
+	space metric.Space
+	root  *node
+	size  int
+	calls int64
+}
+
+type entry struct {
+	id     int     // pivot (routing) or object (leaf)
+	radius float64 // covering radius; 0 for leaf entries
+	child  *node   // nil for leaf entries
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+// New returns an empty M-tree over the space.
+func New(space metric.Space) *Tree {
+	return &Tree{space: space, root: &node{leaf: true}}
+}
+
+// Build indexes all objects of the space in id order.
+func Build(space metric.Space) *Tree {
+	t := New(space)
+	for i := 0; i < space.Len(); i++ {
+		t.Add(i)
+	}
+	return t
+}
+
+// Len returns the number of indexed objects.
+func (t *Tree) Len() int { return t.size }
+
+// Calls returns the distance evaluations spent (construction + queries).
+func (t *Tree) Calls() int64 { return t.calls }
+
+func (t *Tree) d(i, j int) float64 {
+	t.calls++
+	return t.space.Distance(i, j)
+}
+
+// Add inserts an object.
+func (t *Tree) Add(id int) {
+	t.size++
+	split := t.insert(t.root, id)
+	if split != nil {
+		// Root split: grow the tree by one level.
+		old := t.root
+		t.root = &node{leaf: false, entries: []entry{
+			t.routingEntry(old),
+			t.routingEntry(split),
+		}}
+	}
+}
+
+// routingEntry wraps a node into a routing entry, electing its first
+// entry's id as pivot and computing the covering radius.
+func (t *Tree) routingEntry(n *node) entry {
+	pivot := n.entries[0].id
+	radius := 0.0
+	for _, e := range n.entries {
+		r := t.d(pivot, e.id) + e.radius
+		if r > radius {
+			radius = r
+		}
+	}
+	return entry{id: pivot, radius: radius, child: n}
+}
+
+// insert places id under n; if n overflows it splits and the spun-off
+// sibling is returned for the parent to absorb.
+func (t *Tree) insert(n *node, id int) *node {
+	if n.leaf {
+		n.entries = append(n.entries, entry{id: id})
+		if len(n.entries) > capacity {
+			return t.split(n)
+		}
+		return nil
+	}
+	// Choose the subtree needing the least radius enlargement; break ties
+	// by closer pivot.
+	best, bestEnl, bestDist := -1, math.Inf(1), math.Inf(1)
+	for i := range n.entries {
+		dd := t.d(id, n.entries[i].id)
+		enl := dd - n.entries[i].radius
+		if enl < 0 {
+			enl = 0
+		}
+		if enl < bestEnl || (enl == bestEnl && dd < bestDist) {
+			best, bestEnl, bestDist = i, enl, dd
+		}
+	}
+	e := &n.entries[best]
+	if bestDist > e.radius {
+		e.radius = bestDist
+	}
+	if sibling := t.insert(e.child, id); sibling != nil {
+		// Refresh the split child's routing entry and absorb the sibling.
+		n.entries[best] = t.routingEntry(e.child)
+		n.entries = append(n.entries, t.routingEntry(sibling))
+		if len(n.entries) > capacity {
+			return t.split(n)
+		}
+	}
+	return nil
+}
+
+// split partitions n's entries around two max-separated pivots, keeping
+// one group in n and returning the other as a new sibling.
+func (t *Tree) split(n *node) *node {
+	es := n.entries
+	// Promotion: the pair of entries with the largest pivot distance.
+	p1, p2, worst := 0, 1, -1.0
+	for i := 0; i < len(es); i++ {
+		for j := i + 1; j < len(es); j++ {
+			if dd := t.d(es[i].id, es[j].id); dd > worst {
+				p1, p2, worst = i, j, dd
+			}
+		}
+	}
+	var a, b []entry
+	for i, e := range es {
+		switch i {
+		case p1:
+			a = append(a, e)
+		case p2:
+			b = append(b, e)
+		default:
+			if t.d(e.id, es[p1].id) <= t.d(e.id, es[p2].id) {
+				a = append(a, e)
+			} else {
+				b = append(b, e)
+			}
+		}
+	}
+	n.entries = a
+	return &node{leaf: n.leaf, entries: b}
+}
+
+// Result is one query answer.
+type Result struct {
+	ID   int
+	Dist float64
+}
+
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(x, y int) bool {
+		if rs[x].Dist != rs[y].Dist {
+			return rs[x].Dist < rs[y].Dist
+		}
+		return rs[x].ID < rs[y].ID
+	})
+}
+
+// Range returns every indexed object within radius r of the query object
+// (the query itself included if indexed), sorted by (dist, id).
+func (t *Tree) Range(query int, r float64) []Result {
+	var out []Result
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, e := range n.entries {
+			dd := t.d(query, e.id)
+			if n.leaf {
+				if dd <= r {
+					out = append(out, Result{ID: e.id, Dist: dd})
+				}
+				continue
+			}
+			// Subtree ball B(pivot, radius) intersects B(query, r)?
+			if dd <= r+e.radius {
+				walk(e.child)
+			}
+		}
+	}
+	walk(t.root)
+	sortResults(out)
+	return out
+}
+
+// NN returns the k nearest indexed objects to the query object, excluding
+// the query itself. Best-first search: subtrees are visited in order of
+// their minimum possible distance, and abandoned once that minimum
+// exceeds the current k-th distance.
+func (t *Tree) NN(query, k int) []Result {
+	type frontier struct {
+		n      *node
+		minday float64 // lower bound on any object distance in n
+	}
+	var best []Result
+	worst := func() float64 {
+		if len(best) < k {
+			return math.Inf(1)
+		}
+		return best[len(best)-1].Dist
+	}
+	heap := []frontier{{n: t.root, minday: 0}}
+	pop := func() frontier {
+		bi := 0
+		for i := range heap {
+			if heap[i].minday < heap[bi].minday {
+				bi = i
+			}
+		}
+		f := heap[bi]
+		heap[bi] = heap[len(heap)-1]
+		heap = heap[:len(heap)-1]
+		return f
+	}
+	for len(heap) > 0 {
+		f := pop()
+		if f.minday > worst() {
+			continue
+		}
+		for _, e := range f.n.entries {
+			dd := t.d(query, e.id)
+			if f.n.leaf {
+				if e.id != query && dd < worst() {
+					best = append(best, Result{ID: e.id, Dist: dd})
+					sortResults(best)
+					if len(best) > k {
+						best = best[:k]
+					}
+				}
+				continue
+			}
+			if min := dd - e.radius; min <= worst() {
+				if min < 0 {
+					min = 0
+				}
+				heap = append(heap, frontier{n: e.child, minday: min})
+			}
+		}
+	}
+	return best
+}

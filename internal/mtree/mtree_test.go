@@ -1,0 +1,148 @@
+package mtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"metricprox/internal/datasets"
+	"metricprox/internal/metric"
+)
+
+func refRange(m metric.Space, q int, r float64) map[int]float64 {
+	out := map[int]float64{}
+	for x := 0; x < m.Len(); x++ {
+		if d := m.Distance(q, x); d <= r {
+			out[x] = d
+		}
+	}
+	return out
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	m := datasets.RandomMetric(150, 81)
+	tree := Build(m)
+	if tree.Len() != 150 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 30; trial++ {
+		q := rng.Intn(150)
+		r := 0.02 + rng.Float64()*0.4
+		got := tree.Range(q, r)
+		want := refRange(m, q, r)
+		if len(got) != len(want) {
+			t.Fatalf("q=%d r=%v: %d results, want %d", q, r, len(got), len(want))
+		}
+		for _, res := range got {
+			if wd, ok := want[res.ID]; !ok || wd != res.Dist {
+				t.Fatalf("q=%d r=%v: wrong result %+v", q, r, res)
+			}
+		}
+	}
+}
+
+func TestNNMatchesBruteForce(t *testing.T) {
+	m := datasets.RandomMetric(120, 83)
+	tree := Build(m)
+	for q := 0; q < 120; q += 13 {
+		got := tree.NN(q, 5)
+		if len(got) != 5 {
+			t.Fatalf("q=%d: %d results", q, len(got))
+		}
+		// Brute-force reference.
+		type res struct {
+			id int
+			d  float64
+		}
+		var all []res
+		for x := 0; x < 120; x++ {
+			if x != q {
+				all = append(all, res{id: x, d: m.Distance(q, x)})
+			}
+		}
+		for i := 0; i < 5; i++ {
+			bi := i
+			for j := i + 1; j < len(all); j++ {
+				if all[j].d < all[bi].d {
+					bi = j
+				}
+			}
+			all[i], all[bi] = all[bi], all[i]
+			if got[i].ID != all[i].id {
+				t.Fatalf("q=%d: NN[%d] = %d (%v), want %d (%v)",
+					q, i, got[i].ID, got[i].Dist, all[i].id, all[i].d)
+			}
+		}
+	}
+}
+
+func TestNNPrunes(t *testing.T) {
+	m := datasets.SFPOI(400, 84)
+	tree := Build(m)
+	before := tree.Calls()
+	tree.NN(7, 3)
+	queryCalls := tree.Calls() - before
+	if queryCalls >= 399 {
+		t.Fatalf("M-tree NN made %d calls — no pruning over a linear scan", queryCalls)
+	}
+}
+
+func TestCoveringRadiiInvariant(t *testing.T) {
+	// Every object under a routing entry must lie within its covering
+	// radius — the invariant all pruning rests on.
+	m := datasets.RandomMetric(200, 85)
+	tree := Build(m)
+	var check func(n *node) []int
+	check = func(n *node) []int {
+		if n.leaf {
+			ids := make([]int, len(n.entries))
+			for i, e := range n.entries {
+				ids[i] = e.id
+			}
+			return ids
+		}
+		var all []int
+		for _, e := range n.entries {
+			under := check(e.child)
+			for _, id := range under {
+				if d := m.Distance(e.id, id); d > e.radius+1e-9 {
+					t.Fatalf("object %d at %v outside covering radius %v of pivot %d",
+						id, d, e.radius, e.id)
+				}
+			}
+			all = append(all, under...)
+		}
+		return all
+	}
+	if got := len(check(tree.root)); got != 200 {
+		t.Fatalf("tree holds %d objects, want 200", got)
+	}
+}
+
+func TestNodeCapacityInvariant(t *testing.T) {
+	m := datasets.RandomMetric(300, 86)
+	tree := Build(m)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if len(n.entries) > capacity {
+			t.Fatalf("node holds %d entries, capacity %d", len(n.entries), capacity)
+		}
+		if !n.leaf {
+			for _, e := range n.entries {
+				walk(e.child)
+			}
+		}
+	}
+	walk(tree.root)
+}
+
+func TestSmallTrees(t *testing.T) {
+	m := datasets.RandomMetric(3, 87)
+	tree := Build(m)
+	if got := tree.NN(0, 2); len(got) != 2 {
+		t.Fatalf("n=3 NN returned %d", len(got))
+	}
+	if got := tree.Range(0, 1.0); len(got) != 3 {
+		t.Fatalf("full-radius range returned %d", len(got))
+	}
+}

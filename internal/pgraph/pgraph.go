@@ -1,0 +1,195 @@
+// Package pgraph implements the partial distance graph of Section 3.1 of
+// the paper: a weighted complete graph over n objects in which only a
+// subset of the edges (the distances resolved so far by the oracle) are
+// known. It is the shared data model of every bound-computation scheme.
+//
+// Each node's adjacency is kept both as a flat edge list (for SPLUB's
+// "scan all known edges" step) and as a sorted structure (a red–black tree,
+// for the Tri Scheme's merge intersection). Edge weights are additionally
+// indexed by a packed (i,j) key for O(1) lookup.
+package pgraph
+
+import (
+	"fmt"
+	"math"
+
+	"metricprox/internal/pqueue"
+	"metricprox/internal/rbtree"
+)
+
+// Edge is a known, weighted edge of the partial graph with U < V.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Graph is a partial distance graph over objects 0..n-1.
+type Graph struct {
+	n     int
+	adj   []*rbtree.Tree // adj[u]: neighbour -> weight, sorted by neighbour
+	edges []Edge         // append-only list of known edges
+	known map[int64]float64
+}
+
+// New returns an empty partial graph over n objects.
+func New(n int) *Graph {
+	g := &Graph{
+		n:     n,
+		adj:   make([]*rbtree.Tree, n),
+		known: make(map[int64]float64),
+	}
+	for i := range g.adj {
+		g.adj[i] = rbtree.New()
+	}
+	return g
+}
+
+// Key packs an unordered pair into a single map key.
+func Key(i, j int) int64 {
+	if i > j {
+		i, j = j, i
+	}
+	return int64(i)<<32 | int64(j)
+}
+
+// N returns the number of objects.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of known edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns the known edges. The returned slice is owned by the graph
+// and must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Weight returns the known weight of edge (i, j), if resolved.
+func (g *Graph) Weight(i, j int) (float64, bool) {
+	w, ok := g.known[Key(i, j)]
+	return w, ok
+}
+
+// Known reports whether the distance between i and j has been resolved.
+func (g *Graph) Known(i, j int) bool {
+	_, ok := g.known[Key(i, j)]
+	return ok
+}
+
+// Degree returns the number of known edges incident on u.
+func (g *Graph) Degree(u int) int { return g.adj[u].Len() }
+
+// Adjacency returns u's sorted adjacency tree (neighbour -> weight). The
+// tree is owned by the graph and must not be modified by callers.
+func (g *Graph) Adjacency(u int) *rbtree.Tree { return g.adj[u] }
+
+// AddEdge records the resolved distance w between i and j.
+// Re-adding an existing edge with the same weight is a no-op; re-adding
+// with a different weight panics, because a metric distance is immutable —
+// a disagreement means the caller's oracle is not a function.
+func (g *Graph) AddEdge(i, j int, w float64) {
+	if i == j {
+		panic("pgraph: self edge")
+	}
+	if i < 0 || j < 0 || i >= g.n || j >= g.n {
+		panic(fmt.Sprintf("pgraph: edge (%d,%d) outside universe of %d objects", i, j, g.n))
+	}
+	k := Key(i, j)
+	if old, ok := g.known[k]; ok {
+		if old != w {
+			panic(fmt.Sprintf("pgraph: conflicting weights %v and %v for edge (%d,%d)", old, w, i, j))
+		}
+		return
+	}
+	g.known[k] = w
+	g.adj[i].Put(j, w)
+	g.adj[j].Put(i, w)
+	if i > j {
+		i, j = j, i
+	}
+	g.edges = append(g.edges, Edge{U: i, V: j, W: w})
+}
+
+// Dijkstra computes single-source shortest paths over the known edges from
+// src and stores them into dist, which must have length n. Unreachable
+// nodes get +Inf. The scratch queue is allocated per call; for the hot path
+// use a Searcher.
+func (g *Graph) Dijkstra(src int, dist []float64) {
+	s := NewSearcher(g)
+	s.Run(src, dist)
+}
+
+// Searcher runs repeated Dijkstra searches over the same graph, reusing its
+// priority queue allocation. SPLUB issues two searches per bound query, so
+// this reuse matters.
+type Searcher struct {
+	g *Graph
+	q *pqueue.IndexedMin
+}
+
+// NewSearcher returns a Searcher bound to g. The Searcher sees edges added
+// to g after construction (it reads the live adjacency).
+func NewSearcher(g *Graph) *Searcher {
+	return &Searcher{g: g, q: pqueue.NewIndexedMin(g.n)}
+}
+
+// Run computes shortest path distances from src into dist (length n).
+func (s *Searcher) Run(src int, dist []float64) {
+	g := s.g
+	if len(dist) != g.n {
+		panic("pgraph: dist slice has wrong length")
+	}
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	q := s.q
+	for q.Len() > 0 { // drain any residue from an aborted prior run
+		q.Pop()
+	}
+	q.Push(src, 0)
+	for q.Len() > 0 {
+		u, du, _ := q.Pop()
+		if du > dist[u] {
+			continue
+		}
+		g.adj[u].Ascend(func(v int, w float64) bool {
+			if nd := du + w; nd < dist[v] {
+				dist[v] = nd
+				q.Push(v, nd)
+			}
+			return true
+		})
+	}
+}
+
+// RunTo computes shortest path distances from src but may stop early once
+// target is settled; entries for unsettled nodes are upper bounds or +Inf.
+// It returns the shortest-path distance to target (possibly +Inf).
+func (s *Searcher) RunTo(src, target int, dist []float64) float64 {
+	g := s.g
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	q := s.q
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	q.Push(src, 0)
+	for q.Len() > 0 {
+		u, du, _ := q.Pop()
+		if du > dist[u] {
+			continue
+		}
+		if u == target {
+			return du
+		}
+		g.adj[u].Ascend(func(v int, w float64) bool {
+			if nd := du + w; nd < dist[v] {
+				dist[v] = nd
+				q.Push(v, nd)
+			}
+			return true
+		})
+	}
+	return dist[target]
+}

@@ -1,0 +1,211 @@
+// Package pqueue provides priority queues used throughout the library.
+//
+// Two flavours are provided:
+//
+//   - IndexedMin: an indexed binary min-heap over a fixed universe of int
+//     keys 0..n-1 with float64 priorities, supporting DecreaseKey. This is
+//     the classic Dijkstra/Prim workhorse.
+//   - EdgeHeap: a grow-able binary min-heap of weighted edges, used by the
+//     lazy lower-bound Kruskal variant where items are pushed and re-pushed
+//     with refined keys.
+//
+// Both are written from scratch (no container/heap) so that DecreaseKey can
+// be O(log n) without interface boxing.
+package pqueue
+
+// IndexedMin is an indexed binary min-heap over keys 0..n-1.
+type IndexedMin struct {
+	n    int
+	heap []int     // heap[i] = key at heap position i
+	pos  []int     // pos[key] = heap position, -1 if absent
+	prio []float64 // prio[key]
+}
+
+// NewIndexedMin returns an empty indexed heap over the key universe 0..n-1.
+func NewIndexedMin(n int) *IndexedMin {
+	q := &IndexedMin{
+		n:    n,
+		heap: make([]int, 0, n),
+		pos:  make([]int, n),
+		prio: make([]float64, n),
+	}
+	for i := range q.pos {
+		q.pos[i] = -1
+	}
+	return q
+}
+
+// Len returns the number of keys currently queued.
+func (q *IndexedMin) Len() int { return len(q.heap) }
+
+// Contains reports whether key is currently queued.
+func (q *IndexedMin) Contains(key int) bool { return q.pos[key] >= 0 }
+
+// Priority returns the queued priority of key; only valid if Contains(key).
+func (q *IndexedMin) Priority(key int) float64 { return q.prio[key] }
+
+// Push inserts key with the given priority. If key is already present its
+// priority is updated (in either direction).
+func (q *IndexedMin) Push(key int, priority float64) {
+	if q.pos[key] >= 0 {
+		q.update(key, priority)
+		return
+	}
+	q.prio[key] = priority
+	q.pos[key] = len(q.heap)
+	q.heap = append(q.heap, key)
+	q.up(len(q.heap) - 1)
+}
+
+// DecreaseKey lowers key's priority; it is a no-op if the new priority is
+// not lower or the key is absent.
+func (q *IndexedMin) DecreaseKey(key int, priority float64) {
+	if q.pos[key] < 0 || priority >= q.prio[key] {
+		return
+	}
+	q.prio[key] = priority
+	q.up(q.pos[key])
+}
+
+func (q *IndexedMin) update(key int, priority float64) {
+	old := q.prio[key]
+	q.prio[key] = priority
+	if priority < old {
+		q.up(q.pos[key])
+	} else {
+		q.down(q.pos[key])
+	}
+}
+
+// Pop removes and returns the key with the smallest priority.
+// ok is false when the queue is empty.
+func (q *IndexedMin) Pop() (key int, priority float64, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, 0, false
+	}
+	key = q.heap[0]
+	priority = q.prio[key]
+	last := len(q.heap) - 1
+	q.swap(0, last)
+	q.heap = q.heap[:last]
+	q.pos[key] = -1
+	if last > 0 {
+		q.down(0)
+	}
+	return key, priority, true
+}
+
+func (q *IndexedMin) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.pos[q.heap[i]] = i
+	q.pos[q.heap[j]] = j
+}
+
+func (q *IndexedMin) less(i, j int) bool {
+	return q.prio[q.heap[i]] < q.prio[q.heap[j]]
+}
+
+func (q *IndexedMin) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *IndexedMin) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// Edge is a weighted pair of object indices, used by Kruskal-style
+// algorithms. Key is the sorting priority (a lower bound or an exact
+// weight); Exact records whether Key is the resolved distance.
+type Edge struct {
+	U, V  int
+	Key   float64
+	Exact bool
+}
+
+// EdgeHeap is a binary min-heap of Edges ordered by Key.
+// The zero value is an empty heap ready for use.
+type EdgeHeap struct {
+	items []Edge
+}
+
+// NewEdgeHeap returns an empty heap with the given capacity hint.
+func NewEdgeHeap(capacity int) *EdgeHeap {
+	return &EdgeHeap{items: make([]Edge, 0, capacity)}
+}
+
+// Len returns the number of queued edges.
+func (h *EdgeHeap) Len() int { return len(h.items) }
+
+// Push inserts an edge.
+func (h *EdgeHeap) Push(e Edge) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Key <= h.items[i].Key {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+// Peek returns the minimum edge without removing it.
+// ok is false when the heap is empty.
+func (h *EdgeHeap) Peek() (Edge, bool) {
+	if len(h.items) == 0 {
+		return Edge{}, false
+	}
+	return h.items[0], true
+}
+
+// Pop removes and returns the minimum edge.
+// ok is false when the heap is empty.
+func (h *EdgeHeap) Pop() (Edge, bool) {
+	if len(h.items) == 0 {
+		return Edge{}, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.items[l].Key < h.items[smallest].Key {
+			smallest = l
+		}
+		if r < last && h.items[r].Key < h.items[smallest].Key {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top, true
+}

@@ -1,0 +1,168 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexedEmpty(t *testing.T) {
+	q := NewIndexedMin(4)
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue succeeded")
+	}
+	if q.Contains(2) {
+		t.Fatal("empty queue contains key")
+	}
+}
+
+func TestIndexedOrdering(t *testing.T) {
+	q := NewIndexedMin(8)
+	prios := []float64{0.9, 0.1, 0.5, 0.3, 0.7, 0.2, 0.8, 0.4}
+	for k, p := range prios {
+		q.Push(k, p)
+	}
+	var out []float64
+	for q.Len() > 0 {
+		_, p, _ := q.Pop()
+		out = append(out, p)
+	}
+	if !sort.Float64sAreSorted(out) {
+		t.Fatalf("pop order not sorted: %v", out)
+	}
+}
+
+func TestIndexedDecreaseKey(t *testing.T) {
+	q := NewIndexedMin(3)
+	q.Push(0, 5)
+	q.Push(1, 3)
+	q.Push(2, 4)
+	q.DecreaseKey(0, 1)
+	k, p, _ := q.Pop()
+	if k != 0 || p != 1 {
+		t.Fatalf("Pop = (%d,%v), want (0,1)", k, p)
+	}
+	// DecreaseKey with a larger value must be a no-op.
+	q.DecreaseKey(2, 10)
+	k, p, _ = q.Pop()
+	if k != 1 || p != 3 {
+		t.Fatalf("Pop = (%d,%v), want (1,3)", k, p)
+	}
+}
+
+func TestIndexedPushUpdates(t *testing.T) {
+	q := NewIndexedMin(2)
+	q.Push(0, 1)
+	q.Push(0, 9) // update upward
+	q.Push(1, 5)
+	k, p, _ := q.Pop()
+	if k != 1 || p != 5 {
+		t.Fatalf("Pop = (%d,%v), want (1,5)", k, p)
+	}
+	if got := q.Priority(0); got != 9 {
+		t.Fatalf("Priority(0) = %v, want 9", got)
+	}
+}
+
+func TestIndexedQuickHeapOrder(t *testing.T) {
+	// Property: popping after random pushes and decreases yields a
+	// non-decreasing priority sequence and each key exactly once.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64
+		q := NewIndexedMin(n)
+		for k := 0; k < n; k++ {
+			q.Push(k, rng.Float64())
+		}
+		for i := 0; i < 40; i++ {
+			k := rng.Intn(n)
+			if q.Contains(k) {
+				q.DecreaseKey(k, q.Priority(k)*rng.Float64())
+			}
+		}
+		seen := map[int]bool{}
+		last := -1.0
+		for q.Len() > 0 {
+			k, p, ok := q.Pop()
+			if !ok || seen[k] || p < last {
+				return false
+			}
+			seen[k] = true
+			last = p
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeHeap(t *testing.T) {
+	h := NewEdgeHeap(0)
+	if _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty EdgeHeap succeeded")
+	}
+	if _, ok := h.Peek(); ok {
+		t.Fatal("Peek on empty EdgeHeap succeeded")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		h.Push(Edge{U: i, V: i + 1, Key: rng.Float64()})
+	}
+	if h.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", h.Len())
+	}
+	last := -1.0
+	for h.Len() > 0 {
+		top, _ := h.Peek()
+		e, _ := h.Pop()
+		if e != top {
+			t.Fatal("Peek disagrees with Pop")
+		}
+		if e.Key < last {
+			t.Fatalf("heap order violated: %v after %v", e.Key, last)
+		}
+		last = e.Key
+	}
+}
+
+func TestEdgeHeapReinsert(t *testing.T) {
+	// Kruskal's lazy pattern: pop a lower-bound edge, refine, re-push.
+	h := NewEdgeHeap(4)
+	h.Push(Edge{U: 0, V: 1, Key: 0.2})
+	h.Push(Edge{U: 2, V: 3, Key: 0.5})
+	e, _ := h.Pop()
+	e.Key, e.Exact = 0.9, true
+	h.Push(e)
+	e, _ = h.Pop()
+	if e.U != 2 || e.Exact {
+		t.Fatalf("expected inexact edge (2,3) first, got %+v", e)
+	}
+	e, _ = h.Pop()
+	if !e.Exact || e.Key != 0.9 {
+		t.Fatalf("expected refined edge, got %+v", e)
+	}
+}
+
+func BenchmarkIndexedPushPop(b *testing.B) {
+	n := 1024
+	rng := rand.New(rand.NewSource(11))
+	prios := make([]float64, n)
+	for i := range prios {
+		prios[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := NewIndexedMin(n)
+		for k := 0; k < n; k++ {
+			q.Push(k, prios[k])
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	}
+}

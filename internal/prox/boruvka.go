@@ -1,0 +1,56 @@
+package prox
+
+import (
+	"metricprox/internal/core"
+	"metricprox/internal/unionfind"
+)
+
+// BoruvkaMST computes the MST with Borůvka's algorithm: every round, each
+// component selects its cheapest outgoing edge and all selections are
+// merged. The per-component selection is a tournament of edge-versus-edge
+// comparisons — Session.Less — so, like the lazy Prim, only the edges that
+// actually win a round need exact resolution.
+//
+// With distinct edge weights (the library's continuous datasets) Borůvka,
+// Prim and Kruskal all return the identical unique MST; the package tests
+// assert it.
+func BoruvkaMST(s *core.Session) MST {
+	n := s.N()
+	dsu := unionfind.New(n)
+	var out MST
+	for dsu.Sets() > 1 {
+		// cheapest[root] = best outgoing candidate edge of that component.
+		type cand struct{ u, v int }
+		cheapest := make(map[int]cand)
+		for u := 0; u < n; u++ {
+			ru := dsu.Find(u)
+			for v := u + 1; v < n; v++ {
+				if dsu.Find(v) == ru {
+					continue
+				}
+				best, ok := cheapest[ru]
+				if !ok || s.Less(u, v, best.u, best.v) {
+					cheapest[ru] = cand{u: u, v: v}
+				}
+				rv := dsu.Find(v)
+				bestV, okV := cheapest[rv]
+				if !okV || s.Less(u, v, bestV.u, bestV.v) {
+					cheapest[rv] = cand{u: u, v: v}
+				}
+			}
+		}
+		progressed := false
+		for _, c := range cheapest {
+			if dsu.Union(c.u, c.v) {
+				w := s.Dist(c.u, c.v)
+				out.Edges = append(out.Edges, normEdge(c.u, c.v, w))
+				out.Weight += w
+				progressed = true
+			}
+		}
+		if !progressed {
+			break // defensively avoid looping on degenerate ties
+		}
+	}
+	return out
+}

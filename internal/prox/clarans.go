@@ -1,0 +1,84 @@
+package prox
+
+import (
+	"math"
+	"math/rand"
+
+	"metricprox/internal/core"
+)
+
+// CLARANSConfig parameterises the randomised search. Zero values take the
+// defaults of Ng & Han (2002): NumLocal 2, MaxNeighbor
+// max(250, ⌈0.0125·l·(n−l)⌉).
+type CLARANSConfig struct {
+	NumLocal    int
+	MaxNeighbor int
+	Seed        int64
+}
+
+func (c CLARANSConfig) withDefaults(n, l int) CLARANSConfig {
+	if c.NumLocal == 0 {
+		c.NumLocal = 2
+	}
+	if c.MaxNeighbor == 0 {
+		c.MaxNeighbor = int(math.Ceil(0.0125 * float64(l) * float64(n-l)))
+		if c.MaxNeighbor < 250 {
+			c.MaxNeighbor = 250
+		}
+	}
+	return c
+}
+
+// CLARANS runs the randomised medoid search of Ng & Han: from NumLocal
+// random starts it repeatedly probes a random (medoid, non-medoid) swap,
+// accepting any improvement and declaring a local optimum after
+// MaxNeighbor consecutive failures. The swap-cost evaluation is the same
+// bound-pruned computation PAM uses, so the trajectory — including every
+// random draw — is identical across bound schemes and the result matches
+// the unmodified algorithm exactly.
+func CLARANS(s *core.Session, l int, cfg CLARANSConfig) Clustering {
+	n := s.N()
+	if l > n {
+		l = n
+	}
+	cfg = cfg.withDefaults(n, l)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	best := Clustering{Cost: math.Inf(1)}
+	for local := 0; local < cfg.NumLocal; local++ {
+		medoids := append([]int(nil), rng.Perm(n)[:l]...)
+		isMedoid := make([]bool, n)
+		for _, m := range medoids {
+			isMedoid[m] = true
+		}
+		a := assignAll(s, medoids)
+		cost := a.totalCost()
+
+		for fails := 0; fails < cfg.MaxNeighbor; {
+			mi := rng.Intn(l)
+			h := rng.Intn(n)
+			if isMedoid[h] {
+				continue // redraw; depends only on the medoid set
+			}
+			delta := swapDelta(s, medoids, mi, h, a)
+			if delta < -1e-12 {
+				isMedoid[medoids[mi]] = false
+				isMedoid[h] = true
+				medoids[mi] = h
+				a = assignAll(s, medoids)
+				cost = a.totalCost()
+				fails = 0
+			} else {
+				fails++
+			}
+		}
+		if cost < best.Cost {
+			best = Clustering{
+				Medoids: append([]int(nil), medoids...),
+				Assign:  append([]int(nil), a.near...),
+				Cost:    cost,
+			}
+		}
+	}
+	return best
+}

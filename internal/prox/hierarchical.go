@@ -1,0 +1,107 @@
+package prox
+
+import (
+	"sort"
+
+	"metricprox/internal/core"
+	"metricprox/internal/unionfind"
+)
+
+// Merge is one agglomeration step of a dendrogram: clusters A and B (ids
+// 0..n-1 are the leaf objects; n+i is the cluster created by Merges[i])
+// joined at the given distance.
+type Merge struct {
+	A, B int
+	Dist float64
+}
+
+// Dendrogram is the full single-linkage merge tree over n objects.
+// Merges are ordered by nondecreasing distance.
+type Dendrogram struct {
+	N      int
+	Merges []Merge
+}
+
+// SingleLinkage computes the single-linkage hierarchical clustering — the
+// dendrogram construction behind the fMRI cluster-analysis application the
+// paper cites — via the classic MST equivalence: sorting the minimum
+// spanning tree's edges by weight yields exactly the single-linkage merge
+// order. All distance savings therefore come from the session-driven MST.
+func SingleLinkage(s *core.Session) Dendrogram {
+	n := s.N()
+	mst := KruskalMST(s)
+	es := append(mst.Edges[:0:0], mst.Edges...)
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].W != es[b].W {
+			return es[a].W < es[b].W
+		}
+		if es[a].U != es[b].U {
+			return es[a].U < es[b].U
+		}
+		return es[a].V < es[b].V
+	})
+
+	d := Dendrogram{N: n}
+	dsu := unionfind.New(n)
+	clusterOf := make([]int, n) // DSU root -> current cluster id
+	for i := range clusterOf {
+		clusterOf[i] = i
+	}
+	next := n
+	for _, e := range es {
+		ca := clusterOf[dsu.Find(e.U)]
+		cb := clusterOf[dsu.Find(e.V)]
+		dsu.Union(e.U, e.V)
+		clusterOf[dsu.Find(e.U)] = next
+		d.Merges = append(d.Merges, Merge{A: ca, B: cb, Dist: e.W})
+		next++
+	}
+	return d
+}
+
+// leaf returns one leaf object under the given cluster id.
+func (d Dendrogram) leaf(id int) int {
+	for id >= d.N {
+		id = d.Merges[id-d.N].A
+	}
+	return id
+}
+
+// CutAt returns a flat clustering: every merge with distance ≤ h is
+// applied, and the result maps each object to a dense cluster label
+// (labels are assigned in object order).
+func (d Dendrogram) CutAt(h float64) []int {
+	dsu := unionfind.New(d.N)
+	for _, m := range d.Merges {
+		if m.Dist > h {
+			break // merges are sorted by distance
+		}
+		dsu.Union(d.leaf(m.A), d.leaf(m.B))
+	}
+	labels := make([]int, d.N)
+	next := 0
+	seen := map[int]int{}
+	for x := 0; x < d.N; x++ {
+		r := dsu.Find(x)
+		id, ok := seen[r]
+		if !ok {
+			id = next
+			next++
+			seen[r] = id
+		}
+		labels[x] = id
+	}
+	return labels
+}
+
+// Clusters returns the number of clusters after cutting at h.
+func (d Dendrogram) Clusters(h float64) int {
+	labels := d.CutAt(h)
+	max := -1
+	for _, l := range labels {
+		if l > max {
+			max = l
+		}
+	}
+	return max + 1
+}

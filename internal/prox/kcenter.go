@@ -1,0 +1,71 @@
+package prox
+
+import (
+	"math"
+
+	"metricprox/internal/core"
+)
+
+// KCenterResult is the output of the k-center facility allocation.
+type KCenterResult struct {
+	Centers []int
+	Assign  []int   // point -> index into Centers
+	Radius  float64 // max distance of any point to its center
+}
+
+// KCenter solves the metric k-center (facility allocation) problem with
+// the Gonzalez farthest-first traversal — a 2-approximation, and one of
+// the "more sophisticated optimization problems" the paper's conclusion
+// proposes extending the framework to.
+//
+// The inner IF is `if dist(c, x) < minDist[x]` — the same shape as Prim's
+// relaxation — so the re-authoring is identical: DistIfLess skips the
+// oracle whenever the lower bound already exceeds the point's current
+// distance-to-centers. Output is exact Gonzalez (identical across bound
+// schemes).
+func KCenter(s *core.Session, k int) KCenterResult {
+	n := s.N()
+	if k > n {
+		k = n
+	}
+	minDist := make([]float64, n)
+	assign := make([]int, n)
+	for x := range minDist {
+		minDist[x] = math.Inf(1)
+	}
+	res := KCenterResult{Assign: assign}
+
+	c := 0 // deterministic first center
+	for round := 0; round < k; round++ {
+		res.Centers = append(res.Centers, c)
+		minDist[c] = 0
+		assign[c] = round
+		for x := 0; x < n; x++ {
+			if x == c || minDist[x] == 0 {
+				continue
+			}
+			if d, less := s.DistIfLess(c, x, minDist[x]); less {
+				minDist[x] = d
+				assign[x] = round
+			}
+		}
+		if round == k-1 {
+			break
+		}
+		// Farthest-first: the next center is the point worst served. The
+		// minDist values are exact resolved distances, so no calls here.
+		far, farD := -1, -1.0
+		for x := 0; x < n; x++ {
+			if minDist[x] > farD {
+				far, farD = x, minDist[x]
+			}
+		}
+		c = far
+	}
+	for x := 0; x < n; x++ {
+		if minDist[x] > res.Radius {
+			res.Radius = minDist[x]
+		}
+	}
+	return res
+}

@@ -1,0 +1,78 @@
+package prox
+
+import (
+	"sort"
+
+	"metricprox/internal/core"
+)
+
+// KNNGraph constructs the k-nearest-neighbour graph in the style of KNNrp
+// (Paredes et al., "Practical construction of k-nearest neighbor graphs in
+// metric spaces", WEA 2006): for each object the candidate objects are
+// processed in ascending order of their current *lower bound*, and the scan
+// stops as soon as the next candidate's lower bound reaches the running
+// k-th-nearest distance — every remaining candidate is pruned wholesale.
+// Bounds only tighten as edges resolve, so the early exit is sound.
+//
+// Each inner comparison is the paper's canonical IF: `is dist(u,v) smaller
+// than the current k-th nearest distance?` — re-authored as
+// Session.DistIfLess. Output: for every object, its k nearest neighbours
+// sorted by (distance, id). Ties beyond position k resolve by object id,
+// deterministically across schemes.
+func KNNGraph(s *core.Session, k int) [][]Neighbor {
+	n := s.N()
+	if k >= n {
+		k = n - 1
+	}
+	out := make([][]Neighbor, n)
+
+	type cand struct {
+		id int
+		lb float64
+	}
+	cands := make([]cand, 0, n-1)
+
+	for u := 0; u < n; u++ {
+		cands = cands[:0]
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			lb, _ := s.Bounds(u, v)
+			cands = append(cands, cand{id: v, lb: lb})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].lb != cands[b].lb {
+				return cands[a].lb < cands[b].lb
+			}
+			return cands[a].id < cands[b].id
+		})
+
+		// Running top-k as a simple sorted slice (k is small).
+		best := make([]Neighbor, 0, k+1)
+		kth := s.MaxDistance() * 2 // +∞ until k candidates are in
+		for _, c := range cands {
+			if len(best) == k && c.lb >= kth {
+				break // all remaining candidates have lb ≥ kth: pruned
+			}
+			threshold := kth
+			if len(best) < k {
+				threshold = s.MaxDistance() * 2
+			}
+			d, less := s.DistIfLess(u, c.id, threshold)
+			if !less {
+				continue
+			}
+			best = append(best, Neighbor{ID: c.id, Dist: d})
+			sortNeighbors(best)
+			if len(best) > k {
+				best = best[:k]
+			}
+			if len(best) == k {
+				kth = best[k-1].Dist
+			}
+		}
+		out[u] = best
+	}
+	return out
+}

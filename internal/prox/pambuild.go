@@ -1,0 +1,120 @@
+package prox
+
+import (
+	"math"
+
+	"metricprox/internal/core"
+)
+
+// PAMBuild runs the full Kaufman–Rousseeuw PAM: the classic BUILD
+// initialisation followed by the same swap phase PAM uses. BUILD is
+// deterministic (no seed) and usually starts the swap phase much closer to
+// a local optimum, at the price of additional distance work — which is
+// exactly where the framework helps:
+//
+//   - the first medoid minimises a *sum* of distances over all objects;
+//     candidates are compared with Session.SumLess, so whole candidate
+//     sums are rejected from bounds without resolving every term;
+//   - each subsequent medoid maximises the total assignment gain
+//     Σ max(D_i − d(i,c), 0); a candidate's term for object i is provably
+//     zero when lb(i,c) ≥ D_i, skipping the call.
+//
+// As everywhere in the library, the output is identical under every bound
+// scheme.
+func PAMBuild(s *core.Session, l int) Clustering {
+	n := s.N()
+	if l > n {
+		l = n
+	}
+	medoids := buildInit(s, l)
+	isMedoid := make([]bool, n)
+	for _, m := range medoids {
+		isMedoid[m] = true
+	}
+
+	const improveEps = 1e-12
+	for {
+		a := assignAll(s, medoids)
+		bestDelta, bestMi, bestH := -improveEps, -1, -1
+		for mi := range medoids {
+			for h := 0; h < n; h++ {
+				if isMedoid[h] {
+					continue
+				}
+				if delta := swapDelta(s, medoids, mi, h, a); delta < bestDelta {
+					bestDelta, bestMi, bestH = delta, mi, h
+				}
+			}
+		}
+		if bestMi == -1 {
+			return Clustering{Medoids: medoids, Assign: a.near, Cost: a.totalCost()}
+		}
+		isMedoid[medoids[bestMi]] = false
+		isMedoid[bestH] = true
+		medoids[bestMi] = bestH
+	}
+}
+
+// buildInit selects l medoids with the BUILD heuristic.
+func buildInit(s *core.Session, l int) []int {
+	n := s.N()
+	// First medoid: the object minimising the sum of distances to all
+	// others — a tournament of aggregate comparisons.
+	pairsOf := func(c int) []core.Pair {
+		ps := make([]core.Pair, 0, n-1)
+		for x := 0; x < n; x++ {
+			if x != c {
+				ps = append(ps, core.Pair{A: c, B: x})
+			}
+		}
+		return ps
+	}
+	best := 0
+	for c := 1; c < n; c++ {
+		if s.SumLess(pairsOf(c), pairsOf(best)) {
+			best = c
+		}
+	}
+	medoids := []int{best}
+
+	// D[i] = distance to the nearest chosen medoid. Exact values are
+	// needed for the gain computation; the first medoid's row may already
+	// be partially resolved by the tournament.
+	D := make([]float64, n)
+	for i := 0; i < n; i++ {
+		D[i] = s.Dist(i, best)
+	}
+
+	for len(medoids) < l {
+		inSet := make(map[int]bool, len(medoids))
+		for _, m := range medoids {
+			inSet[m] = true
+		}
+		bestC, bestGain := -1, math.Inf(-1)
+		for c := 0; c < n; c++ {
+			if inSet[c] {
+				continue
+			}
+			gain := 0.0
+			for i := 0; i < n; i++ {
+				if i == c || inSet[i] {
+					continue
+				}
+				// Term max(D_i − d(i,c), 0): zero unless d(i,c) < D_i.
+				if d, less := s.DistIfLess(i, c, D[i]); less {
+					gain += D[i] - d
+				}
+			}
+			if gain > bestGain {
+				bestGain, bestC = gain, c
+			}
+		}
+		medoids = append(medoids, bestC)
+		for i := 0; i < n; i++ {
+			if d, less := s.DistIfLess(i, bestC, D[i]); less {
+				D[i] = d
+			}
+		}
+	}
+	return medoids
+}

@@ -1,0 +1,93 @@
+package prox
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"metricprox/internal/core"
+)
+
+// KNNGraphParallel builds the k-nearest-neighbour graph with the per-node
+// searches fanned out over workers goroutines (0 means GOMAXPROCS). All
+// workers share one session view, so every resolved distance tightens the
+// bounds seen by all of them.
+//
+// The neighbour sets are identical to KNNGraph's (both compute the exact
+// k nearest per node); the oracle-call count may differ slightly because
+// the resolution *order* — and therefore which comparisons the bounds
+// manage to prune — depends on the interleaving.
+func KNNGraphParallel(s *core.SharedSession, k, workers int) [][]Neighbor {
+	n := s.N()
+	if k >= n {
+		k = n - 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([][]Neighbor, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range next {
+				out[u] = knnForNode(s, u, k)
+			}
+		}()
+	}
+	for u := 0; u < n; u++ {
+		next <- u
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// knnForNode runs the candidate scan for one node over the shared session.
+func knnForNode(s *core.SharedSession, u, k int) []Neighbor {
+	n := s.N()
+	type cand struct {
+		id int
+		lb float64
+	}
+	cands := make([]cand, 0, n-1)
+	for v := 0; v < n; v++ {
+		if v == u {
+			continue
+		}
+		lb, _ := s.Bounds(u, v)
+		cands = append(cands, cand{id: v, lb: lb})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].lb != cands[b].lb {
+			return cands[a].lb < cands[b].lb
+		}
+		return cands[a].id < cands[b].id
+	})
+	best := make([]Neighbor, 0, k+1)
+	kth := s.MaxDistance() * 2
+	for _, c := range cands {
+		if len(best) == k && c.lb >= kth {
+			break
+		}
+		threshold := kth
+		if len(best) < k {
+			threshold = s.MaxDistance() * 2
+		}
+		d, less := s.DistIfLess(u, c.id, threshold)
+		if !less {
+			continue
+		}
+		best = append(best, Neighbor{ID: c.id, Dist: d})
+		sortNeighbors(best)
+		if len(best) > k {
+			best = best[:k]
+		}
+		if len(best) == k {
+			kth = best[k-1].Dist
+		}
+	}
+	return best
+}

@@ -1,0 +1,72 @@
+package prox
+
+import (
+	"testing"
+
+	"metricprox/internal/core"
+	"metricprox/internal/datasets"
+	"metricprox/internal/metric"
+)
+
+func TestKNNGraphParallelMatchesSequential(t *testing.T) {
+	m := datasets.RandomMetric(60, 51)
+	want := refKNN(m, 4)
+
+	o := metric.NewOracle(m)
+	s := core.Share(core.NewSession(o, core.SchemeTri))
+	got := KNNGraphParallel(s, 4, 4)
+	if !knnEqual(got, want) {
+		t.Fatal("parallel kNN graph diverged from brute force")
+	}
+}
+
+func TestKNNGraphParallelSavesCalls(t *testing.T) {
+	m := datasets.SFPOI(80, 52)
+	oN := metric.NewOracle(m)
+	noop := core.Share(core.NewSession(oN, core.SchemeNoop))
+	KNNGraphParallel(noop, 5, 4)
+
+	oT := metric.NewOracle(m)
+	tri := core.Share(core.NewSession(oT, core.SchemeTri))
+	KNNGraphParallel(tri, 5, 4)
+
+	if oT.Calls() >= oN.Calls() {
+		t.Fatalf("parallel Tri kNN made %d calls, Noop %d", oT.Calls(), oN.Calls())
+	}
+}
+
+func TestKNNGraphParallelSingleWorker(t *testing.T) {
+	// One worker must match the sequential builder exactly, calls included.
+	m := datasets.RandomMetric(40, 53)
+	oSeq := metric.NewOracle(m)
+	seq := core.NewSession(oSeq, core.SchemeTri)
+	wantG := KNNGraph(seq, 3)
+
+	oPar := metric.NewOracle(m)
+	par := core.Share(core.NewSession(oPar, core.SchemeTri))
+	gotG := KNNGraphParallel(par, 3, 1)
+
+	if !knnEqual(gotG, wantG) {
+		t.Fatal("single-worker parallel build diverged from sequential")
+	}
+	if oPar.Calls() != oSeq.Calls() {
+		t.Fatalf("single worker made %d calls, sequential %d", oPar.Calls(), oSeq.Calls())
+	}
+}
+
+func TestSharedSessionStats(t *testing.T) {
+	m := datasets.RandomMetric(20, 54)
+	o := metric.NewOracle(m)
+	s := core.Share(core.NewSession(o, core.SchemeTri))
+	s.Bootstrap(core.PickLandmarks(20, 4, 1))
+	s.Dist(0, 1)
+	s.Less(0, 2, 3, 4)
+	s.LessThan(5, 6, 0.5)
+	st := s.Stats()
+	if st.OracleCalls != o.Calls() {
+		t.Fatalf("stats count %d, oracle %d", st.OracleCalls, o.Calls())
+	}
+	if st.BootstrapCalls == 0 {
+		t.Fatal("bootstrap not recorded through shared view")
+	}
+}

@@ -1,0 +1,29 @@
+// Package prox implements the proximity algorithms evaluated in the paper —
+// Prim's and Kruskal's MST, a KNNrp-style k-nearest-neighbour graph
+// construction, and the PAM and CLARANS medoid clusterings — re-authored
+// against the core.Session comparison API per the paper's practitioner
+// guide.
+//
+// Each algorithm is written exactly once: running it over a Session with
+// the Noop scheme reproduces the unmodified ("Without Plug") algorithm,
+// while any other scheme saves oracle calls without changing the output.
+// The package tests assert this output identity across all schemes.
+package prox
+
+import "sort"
+
+// Neighbor is one entry of a k-nearest-neighbour list.
+type Neighbor struct {
+	ID   int
+	Dist float64
+}
+
+// sortNeighbors orders by (distance, id) for deterministic output.
+func sortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(a, b int) bool {
+		if ns[a].Dist != ns[b].Dist {
+			return ns[a].Dist < ns[b].Dist
+		}
+		return ns[a].ID < ns[b].ID
+	})
+}

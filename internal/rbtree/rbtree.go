@@ -1,0 +1,287 @@
+// Package rbtree implements a left-leaning red–black binary search tree
+// keyed by int with float64 values.
+//
+// The Tri Scheme (Section 4.2 of the paper) stores each node's adjacency
+// list in a balanced binary search tree so that (a) inserting a newly
+// resolved edge costs O(log n) and (b) the triangle search — the sorted
+// intersection of two adjacency lists — can walk both trees in key order in
+// linear time. This package is that substrate. It is also reused anywhere a
+// sorted int→float64 dictionary is needed.
+package rbtree
+
+const (
+	red   = true
+	black = false
+)
+
+type node struct {
+	key         int
+	value       float64
+	left, right *node
+	color       bool // color of the link from the parent
+}
+
+// Tree is a sorted map from int keys to float64 values.
+// The zero value is an empty tree ready for use.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree. Equivalent to &Tree{}; provided for symmetry
+// with the other substrate packages.
+func New() *Tree { return &Tree{} }
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value stored under key and whether it is present.
+func (t *Tree) Get(key int) (float64, bool) {
+	x := t.root
+	for x != nil {
+		switch {
+		case key < x.key:
+			x = x.left
+		case key > x.key:
+			x = x.right
+		default:
+			return x.value, true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present.
+func (t *Tree) Contains(key int) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// Put inserts key with value, replacing any existing value.
+func (t *Tree) Put(key int, value float64) {
+	t.root = t.put(t.root, key, value)
+	t.root.color = black
+}
+
+func (t *Tree) put(h *node, key int, value float64) *node {
+	if h == nil {
+		t.size++
+		return &node{key: key, value: value, color: red}
+	}
+	switch {
+	case key < h.key:
+		h.left = t.put(h.left, key, value)
+	case key > h.key:
+		h.right = t.put(h.right, key, value)
+	default:
+		h.value = value
+	}
+	return fixUp(h)
+}
+
+// Delete removes key if present and reports whether it was removed.
+func (t *Tree) Delete(key int) bool {
+	if !t.Contains(key) {
+		return false
+	}
+	if !isRed(t.root.left) && !isRed(t.root.right) {
+		t.root.color = red
+	}
+	t.root = t.del(t.root, key)
+	if t.root != nil {
+		t.root.color = black
+	}
+	t.size--
+	return true
+}
+
+func (t *Tree) del(h *node, key int) *node {
+	if key < h.key {
+		if !isRed(h.left) && h.left != nil && !isRed(h.left.left) {
+			h = moveRedLeft(h)
+		}
+		h.left = t.del(h.left, key)
+	} else {
+		if isRed(h.left) {
+			h = rotateRight(h)
+		}
+		if key == h.key && h.right == nil {
+			return nil
+		}
+		if !isRed(h.right) && h.right != nil && !isRed(h.right.left) {
+			h = moveRedRight(h)
+		}
+		if key == h.key {
+			m := min(h.right)
+			h.key, h.value = m.key, m.value
+			h.right = deleteMin(h.right)
+		} else {
+			h.right = t.del(h.right, key)
+		}
+	}
+	return fixUp(h)
+}
+
+func min(x *node) *node {
+	for x.left != nil {
+		x = x.left
+	}
+	return x
+}
+
+func deleteMin(h *node) *node {
+	if h.left == nil {
+		return nil
+	}
+	if !isRed(h.left) && !isRed(h.left.left) {
+		h = moveRedLeft(h)
+	}
+	h.left = deleteMin(h.left)
+	return fixUp(h)
+}
+
+// Min returns the smallest key. ok is false when the tree is empty.
+func (t *Tree) Min() (key int, ok bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	return min(t.root).key, true
+}
+
+// Max returns the largest key. ok is false when the tree is empty.
+func (t *Tree) Max() (key int, ok bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	x := t.root
+	for x.right != nil {
+		x = x.right
+	}
+	return x.key, true
+}
+
+// Ascend calls fn for every key/value pair in increasing key order until fn
+// returns false.
+func (t *Tree) Ascend(fn func(key int, value float64) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend(x *node, fn func(int, float64) bool) bool {
+	if x == nil {
+		return true
+	}
+	if !ascend(x.left, fn) {
+		return false
+	}
+	if !fn(x.key, x.value) {
+		return false
+	}
+	return ascend(x.right, fn)
+}
+
+// Keys returns all keys in increasing order.
+func (t *Tree) Keys() []int {
+	out := make([]int, 0, t.size)
+	t.Ascend(func(k int, _ float64) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Iterator walks the tree in increasing key order without recursion, using
+// an explicit stack. It is the workhorse of the Tri Scheme merge
+// intersection: two iterators are advanced in lockstep like a sorted-list
+// merge.
+type Iterator struct {
+	stack []*node
+}
+
+// Iter returns an iterator positioned before the smallest key.
+func (t *Tree) Iter() *Iterator {
+	it := &Iterator{}
+	it.pushLeft(t.root)
+	return it
+}
+
+func (it *Iterator) pushLeft(x *node) {
+	for x != nil {
+		it.stack = append(it.stack, x)
+		x = x.left
+	}
+}
+
+// Next returns the next key/value pair. ok is false when exhausted.
+func (it *Iterator) Next() (key int, value float64, ok bool) {
+	if len(it.stack) == 0 {
+		return 0, 0, false
+	}
+	x := it.stack[len(it.stack)-1]
+	it.stack = it.stack[:len(it.stack)-1]
+	it.pushLeft(x.right)
+	return x.key, x.value, true
+}
+
+// --- red–black helpers ---
+
+func isRed(x *node) bool { return x != nil && x.color == red }
+
+func rotateLeft(h *node) *node {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.color = h.color
+	h.color = red
+	return x
+}
+
+func rotateRight(h *node) *node {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.color = h.color
+	h.color = red
+	return x
+}
+
+func colorFlip(h *node) {
+	h.color = !h.color
+	if h.left != nil {
+		h.left.color = !h.left.color
+	}
+	if h.right != nil {
+		h.right.color = !h.right.color
+	}
+}
+
+func fixUp(h *node) *node {
+	if isRed(h.right) && !isRed(h.left) {
+		h = rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		colorFlip(h)
+	}
+	return h
+}
+
+func moveRedLeft(h *node) *node {
+	colorFlip(h)
+	if h.right != nil && isRed(h.right.left) {
+		h.right = rotateRight(h.right)
+		h = rotateLeft(h)
+		colorFlip(h)
+	}
+	return h
+}
+
+func moveRedRight(h *node) *node {
+	colorFlip(h)
+	if h.left != nil && isRed(h.left.left) {
+		h = rotateRight(h)
+		colorFlip(h)
+	}
+	return h
+}

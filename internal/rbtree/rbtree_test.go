@@ -1,0 +1,257 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree reported presence")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree reported presence")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree reported presence")
+	}
+	if tr.Delete(7) {
+		t.Fatal("Delete on empty tree reported removal")
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	tr := New()
+	tr.Put(5, 0.5)
+	tr.Put(3, 0.3)
+	tr.Put(9, 0.9)
+	if got, _ := tr.Get(3); got != 0.3 {
+		t.Fatalf("Get(3) = %v, want 0.3", got)
+	}
+	tr.Put(3, 0.33) // replace
+	if got, _ := tr.Get(3); got != 0.33 {
+		t.Fatalf("after replace Get(3) = %v, want 0.33", got)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", tr.Len())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	for _, k := range []int{8, 2, 14, 6, 1} {
+		tr.Put(k, float64(k))
+	}
+	if k, _ := tr.Min(); k != 1 {
+		t.Fatalf("Min = %d, want 1", k)
+	}
+	if k, _ := tr.Max(); k != 14 {
+		t.Fatalf("Max = %d, want 14", k)
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(1))
+	want := map[int]float64{}
+	for i := 0; i < 500; i++ {
+		k := rng.Intn(200)
+		v := rng.Float64()
+		tr.Put(k, v)
+		want[k] = v
+	}
+	var keys []int
+	tr.Ascend(func(k int, v float64) bool {
+		keys = append(keys, k)
+		if want[k] != v {
+			t.Fatalf("key %d value = %v, want %v", k, v, want[k])
+		}
+		return true
+	})
+	if !sort.IntsAreSorted(keys) {
+		t.Fatal("Ascend produced unsorted keys")
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("Ascend yielded %d keys, want %d", len(keys), len(want))
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr.Put(i, 0)
+	}
+	n := 0
+	tr.Ascend(func(k int, _ float64) bool {
+		n++
+		return n < 4
+	})
+	if n != 4 {
+		t.Fatalf("early-stop visited %d keys, want 4", n)
+	}
+}
+
+func TestIterator(t *testing.T) {
+	tr := New()
+	for _, k := range []int{5, 1, 9, 3, 7} {
+		tr.Put(k, float64(k)*2)
+	}
+	it := tr.Iter()
+	want := []int{1, 3, 5, 7, 9}
+	for _, wk := range want {
+		k, v, ok := it.Next()
+		if !ok {
+			t.Fatalf("iterator exhausted early, wanted key %d", wk)
+		}
+		if k != wk || v != float64(wk)*2 {
+			t.Fatalf("iterator yielded (%d,%v), want (%d,%v)", k, v, wk, float64(wk)*2)
+		}
+	}
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("iterator yielded past the end")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	keys := []int{50, 20, 80, 10, 30, 70, 90, 25, 35}
+	for _, k := range keys {
+		tr.Put(k, float64(k))
+	}
+	for _, k := range []int{20, 90, 50} {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+		if tr.Contains(k) {
+			t.Fatalf("key %d still present after delete", k)
+		}
+	}
+	if tr.Len() != len(keys)-3 {
+		t.Fatalf("Len() = %d, want %d", tr.Len(), len(keys)-3)
+	}
+	checkInvariants(t, tr)
+}
+
+func TestDeleteAllRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New()
+	perm := rng.Perm(300)
+	for _, k := range perm {
+		tr.Put(k, float64(k))
+	}
+	checkInvariants(t, tr)
+	for _, k := range rng.Perm(300) {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+		checkInvariants(t, tr)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len() = %d after deleting all, want 0", tr.Len())
+	}
+}
+
+// checkInvariants verifies BST ordering, no right-leaning red links, no
+// consecutive red links, and uniform black height.
+func checkInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	var verify func(x *node, lo, hi int) int // returns black height
+	verify = func(x *node, lo, hi int) int {
+		if x == nil {
+			return 1
+		}
+		if x.key <= lo || x.key >= hi {
+			t.Fatalf("BST order violated at key %d (bounds %d..%d)", x.key, lo, hi)
+		}
+		if isRed(x.right) {
+			t.Fatalf("right-leaning red link at key %d", x.key)
+		}
+		if isRed(x) && isRed(x.left) {
+			t.Fatalf("consecutive red links at key %d", x.key)
+		}
+		lh := verify(x.left, lo, x.key)
+		rh := verify(x.right, x.key, hi)
+		if lh != rh {
+			t.Fatalf("black height mismatch at key %d: %d vs %d", x.key, lh, rh)
+		}
+		if !isRed(x) {
+			lh++
+		}
+		return lh
+	}
+	if tr.root != nil && isRed(tr.root) {
+		t.Fatal("root is red")
+	}
+	verify(tr.root, -1<<62, 1<<62)
+}
+
+func TestQuickMatchesMap(t *testing.T) {
+	// Property: after any sequence of puts and deletes the tree agrees with
+	// a reference map and Keys() is sorted.
+	f := func(ops []int16) bool {
+		tr := New()
+		ref := map[int]float64{}
+		for _, op := range ops {
+			k := int(op) % 64
+			if k < 0 {
+				k = -k
+			}
+			if op%3 == 0 {
+				tr.Delete(k)
+				delete(ref, k)
+			} else {
+				v := float64(op)
+				tr.Put(k, v)
+				ref[k] = v
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return sort.IntsAreSorted(tr.Keys())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]int, b.N)
+	for i := range keys {
+		keys[i] = rng.Int()
+	}
+	tr := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(keys[i], 1)
+	}
+}
+
+func BenchmarkIterate(b *testing.B) {
+	tr := New()
+	for i := 0; i < 4096; i++ {
+		tr.Put(i*7%4096, float64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := tr.Iter()
+		for {
+			if _, _, ok := it.Next(); !ok {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package stats provides the small reporting toolkit used by the
+// experiment harness: aligned text tables (one per paper table/figure) and
+// duration/number formatting helpers.
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a titled grid of cells. Rows are rendered with columns aligned.
+type Table struct {
+	ID      string // experiment id, e.g. "table2" or "fig3a"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string // free-form footnotes (substitutions, scaling)
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for c, col := range t.Columns {
+		widths[c] = len(col)
+	}
+	for _, row := range t.Rows {
+		for c, cell := range row {
+			if c < len(widths) && len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	fmt.Fprintf(w, "## %s — %s\n\n", t.ID, t.Title)
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for c, cell := range cells {
+			if c < len(widths) {
+				parts[c] = pad(cell, widths[c])
+			} else {
+				parts[c] = cell
+			}
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	line(t.Columns)
+	seps := make([]string, len(t.Columns))
+	for c := range seps {
+		seps[c] = strings.Repeat("-", widths[c])
+	}
+	line(seps)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n> %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Int formats an integer with thousands separators.
+func Int(v int64) string {
+	s := fmt.Sprintf("%d", v)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg, s = true, s[1:]
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+		if len(s) > lead {
+			b.WriteByte(',')
+		}
+	}
+	for i := lead; i < len(s); i += 3 {
+		b.WriteString(s[i : i+3])
+		if i+3 < len(s) {
+			b.WriteByte(',')
+		}
+	}
+	if neg {
+		return "-" + b.String()
+	}
+	return b.String()
+}
+
+// Pct formats a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// F formats a float with 4 decimals, normalising values that would render
+// as negative zero.
+func F(v float64) string {
+	if v > -5e-5 && v < 5e-5 {
+		v = 0
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// Dur formats a duration compactly with millisecond precision for small
+// values and second precision beyond.
+func Dur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	case d < time.Minute:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	}
+}
+
+// SavePct returns the percentage of calls saved by ours relative to theirs.
+func SavePct(ours, theirs int64) float64 {
+	if theirs == 0 {
+		return 0
+	}
+	return 100 * float64(theirs-ours) / float64(theirs)
+}
+
+// RenderCSV writes the table as CSV (header row first, notes omitted) for
+// downstream plotting.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

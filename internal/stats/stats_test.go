@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInt(t *testing.T) {
+	cases := map[int64]string{
+		0:        "0",
+		7:        "7",
+		999:      "999",
+		1000:     "1,000",
+		1234567:  "1,234,567",
+		-9876543: "-9,876,543",
+	}
+	for v, want := range cases {
+		if got := Int(v); got != want {
+			t.Errorf("Int(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSavePct(t *testing.T) {
+	if got := SavePct(60, 100); got != 40 {
+		t.Fatalf("SavePct = %v, want 40", got)
+	}
+	if got := SavePct(10, 0); got != 0 {
+		t.Fatalf("SavePct with zero base = %v, want 0", got)
+	}
+}
+
+func TestDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Microsecond: "0.500ms",
+		250 * time.Millisecond: "250.0ms",
+		3 * time.Second:        "3.00s",
+		90 * time.Second:       "1.5m",
+	}
+	for d, want := range cases {
+		if got := Dur(d); got != want {
+			t.Errorf("Dur(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		ID:      "fig0",
+		Title:   "demo",
+		Columns: []string{"a", "longer"},
+	}
+	tb.AddRow("1", "2")
+	tb.AddRow("333333", "4")
+	tb.Note("footnote %d", 1)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"## fig0 — demo", "| a      | longer |", "| 333333 | 4      |", "> footnote 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPctF(t *testing.T) {
+	if Pct(12.345) != "12.3%" {
+		t.Fatalf("Pct = %q", Pct(12.345))
+	}
+	if F(0.123456) != "0.1235" {
+		t.Fatalf("F = %q", F(0.123456))
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := &Table{ID: "x", Title: "t", Columns: []string{"a", "b"}}
+	tb.AddRow("1", "with,comma")
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"with,comma\"\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFNegativeZero(t *testing.T) {
+	if got := F(-1e-17); got != "0.0000" {
+		t.Fatalf("F(-1e-17) = %q", got)
+	}
+}

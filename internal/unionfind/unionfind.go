@@ -1,0 +1,55 @@
+// Package unionfind implements a disjoint-set forest with union by rank
+// and path halving. It is the substrate for the Kruskal MST algorithm: an
+// edge whose endpoints are already connected can be discarded without ever
+// resolving its distance, which is one of the call-saving levers in the
+// paper's Kruskal evaluation (Figure 6a).
+package unionfind
+
+// DSU is a disjoint-set union structure over elements 0..n-1.
+type DSU struct {
+	parent []int
+	rank   []byte
+	sets   int
+}
+
+// New returns a DSU with every element in its own singleton set.
+func New(n int) *DSU {
+	d := &DSU{parent: make([]int, n), rank: make([]byte, n), sets: n}
+	for i := range d.parent {
+		d.parent[i] = i
+	}
+	return d
+}
+
+// Find returns the canonical representative of x's set.
+func (d *DSU) Find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]] // path halving
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// happened (false when they were already connected).
+func (d *DSU) Union(x, y int) bool {
+	rx, ry := d.Find(x), d.Find(y)
+	if rx == ry {
+		return false
+	}
+	if d.rank[rx] < d.rank[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = rx
+	if d.rank[rx] == d.rank[ry] {
+		d.rank[rx]++
+	}
+	d.sets--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (d *DSU) Connected(x, y int) bool { return d.Find(x) == d.Find(y) }
+
+// Sets returns the current number of disjoint sets.
+func (d *DSU) Sets() int { return d.sets }

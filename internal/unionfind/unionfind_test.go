@@ -1,0 +1,97 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingletons(t *testing.T) {
+	d := New(5)
+	if d.Sets() != 5 {
+		t.Fatalf("Sets = %d, want 5", d.Sets())
+	}
+	for i := 0; i < 5; i++ {
+		if d.Find(i) != i {
+			t.Fatalf("Find(%d) = %d, want %d", i, d.Find(i), i)
+		}
+	}
+	if d.Connected(0, 1) {
+		t.Fatal("singletons reported connected")
+	}
+}
+
+func TestUnionConnect(t *testing.T) {
+	d := New(6)
+	if !d.Union(0, 1) {
+		t.Fatal("first union failed")
+	}
+	if d.Union(1, 0) {
+		t.Fatal("repeated union reported a merge")
+	}
+	d.Union(2, 3)
+	d.Union(1, 3)
+	if !d.Connected(0, 2) {
+		t.Fatal("transitive connectivity broken")
+	}
+	if d.Connected(0, 5) {
+		t.Fatal("unrelated elements connected")
+	}
+	if d.Sets() != 3 {
+		t.Fatalf("Sets = %d, want 3", d.Sets())
+	}
+}
+
+func TestSpanningTreeUnions(t *testing.T) {
+	// n-1 successful unions must always produce a single set.
+	n := 100
+	d := New(n)
+	rng := rand.New(rand.NewSource(5))
+	merges := 0
+	for merges < n-1 {
+		if d.Union(rng.Intn(n), rng.Intn(n)) {
+			merges++
+		}
+	}
+	if d.Sets() != 1 {
+		t.Fatalf("Sets = %d after %d merges, want 1", d.Sets(), n-1)
+	}
+}
+
+func TestQuickMatchesNaive(t *testing.T) {
+	// Property: DSU connectivity matches a naive label-propagation model.
+	type op struct{ X, Y uint8 }
+	f := func(ops []op) bool {
+		n := 32
+		d := New(n)
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range label {
+				if label[i] == from {
+					label[i] = to
+				}
+			}
+		}
+		for _, o := range ops {
+			x, y := int(o.X)%n, int(o.Y)%n
+			d.Union(x, y)
+			if label[x] != label[y] {
+				relabel(label[y], label[x])
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if d.Connected(i, j) != (label[i] == label[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package vptree implements a Vantage-Point Tree (Yianilos, SODA 1993) —
+// one of the general-metric-space index structures the paper surveys as
+// related work (Section 6.1). It answers nearest-neighbour and range
+// queries over a metric.Space with triangle-inequality pruning of subtrees.
+//
+// The VP-tree represents the opposite end of the design space from the
+// paper's framework: it pays a fixed Θ(n log n) distance-call construction
+// cost up front and then prunes *index traversal*; the paper's schemes pay
+// nothing up front and prune *algorithm comparisons*. The query package
+// benchmarks the two against each other on the kNN-query workload.
+package vptree
+
+import (
+	"math/rand"
+	"sort"
+
+	"metricprox/internal/metric"
+)
+
+// Tree is an immutable vantage-point tree over the objects of a Space.
+type Tree struct {
+	space metric.Space
+	root  *node
+	calls int64 // distance calls spent during construction
+}
+
+type node struct {
+	vantage int     // object id
+	radius  float64 // median distance of the inside set
+	inside  *node   // objects with d(vantage, x) < radius
+	outside *node   // objects with d(vantage, x) ≥ radius
+	bucket  []int   // leaf objects (vantage not used below leafSize)
+}
+
+const leafSize = 8
+
+// Build constructs a VP-tree over all objects of the space, selecting
+// vantage points pseudo-randomly from seed. The number of distance calls
+// spent is available via ConstructionCalls.
+func Build(space metric.Space, seed int64) *Tree {
+	t := &Tree{space: space}
+	ids := make([]int, space.Len())
+	for i := range ids {
+		ids[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t.root = t.build(ids, rng)
+	return t
+}
+
+// ConstructionCalls returns the distance computations spent building.
+func (t *Tree) ConstructionCalls() int64 { return t.calls }
+
+func (t *Tree) dist(i, j int) float64 {
+	t.calls++
+	return t.space.Distance(i, j)
+}
+
+func (t *Tree) build(ids []int, rng *rand.Rand) *node {
+	if len(ids) == 0 {
+		return nil
+	}
+	if len(ids) <= leafSize {
+		return &node{vantage: -1, bucket: append([]int(nil), ids...)}
+	}
+	// Pick a vantage point and partition the rest by the median distance.
+	vi := rng.Intn(len(ids))
+	ids[0], ids[vi] = ids[vi], ids[0]
+	v := ids[0]
+	rest := ids[1:]
+	type od struct {
+		id int
+		d  float64
+	}
+	ods := make([]od, len(rest))
+	for i, x := range rest {
+		ods[i] = od{id: x, d: t.dist(v, x)}
+	}
+	sort.Slice(ods, func(a, b int) bool { return ods[a].d < ods[b].d })
+	mid := len(ods) / 2
+	radius := ods[mid].d
+	insideIDs := make([]int, 0, mid)
+	outsideIDs := make([]int, 0, len(ods)-mid)
+	for _, e := range ods {
+		if e.d < radius {
+			insideIDs = append(insideIDs, e.id)
+		} else {
+			outsideIDs = append(outsideIDs, e.id)
+		}
+	}
+	return &node{
+		vantage: v,
+		radius:  radius,
+		inside:  t.build(insideIDs, rng),
+		outside: t.build(outsideIDs, rng),
+	}
+}
+
+// Result is one query answer.
+type Result struct {
+	ID   int
+	Dist float64
+}
+
+// NN returns the k nearest neighbours of the query object (excluding the
+// object itself), and the number of distance calls spent. dist is the
+// caller's distance function to the query — typically a counting closure
+// over the oracle, so external callers control accounting.
+func (t *Tree) NN(query int, k int, dist func(x int) float64) ([]Result, int64) {
+	s := &search{query: query, k: k, dist: dist}
+	s.walk(t.root)
+	sort.Slice(s.best, func(a, b int) bool {
+		if s.best[a].Dist != s.best[b].Dist {
+			return s.best[a].Dist < s.best[b].Dist
+		}
+		return s.best[a].ID < s.best[b].ID
+	})
+	return s.best, s.calls
+}
+
+type search struct {
+	query int
+	k     int
+	dist  func(int) float64
+	best  []Result // unsorted top-k, worst tracked linearly (k is small)
+	worst float64
+	calls int64
+}
+
+func (s *search) d(x int) float64 {
+	s.calls++
+	return s.dist(x)
+}
+
+func (s *search) offer(id int, d float64) {
+	if len(s.best) < s.k {
+		s.best = append(s.best, Result{ID: id, Dist: d})
+		if len(s.best) == s.k {
+			s.recomputeWorst()
+		}
+		return
+	}
+	if d >= s.worst {
+		return
+	}
+	// Replace the current worst.
+	wi := 0
+	for i, r := range s.best {
+		if r.Dist > s.best[wi].Dist {
+			wi = i
+		}
+		_ = r
+	}
+	s.best[wi] = Result{ID: id, Dist: d}
+	s.recomputeWorst()
+}
+
+func (s *search) recomputeWorst() {
+	s.worst = 0
+	for _, r := range s.best {
+		if r.Dist > s.worst {
+			s.worst = r.Dist
+		}
+	}
+}
+
+func (s *search) tau() float64 {
+	if len(s.best) < s.k {
+		return 1e18
+	}
+	return s.worst
+}
+
+func (s *search) walk(n *node) {
+	if n == nil {
+		return
+	}
+	if n.vantage == -1 {
+		for _, id := range n.bucket {
+			if id == s.query {
+				continue
+			}
+			if d := s.d(id); d < s.tau() || len(s.best) < s.k {
+				s.offer(id, d)
+			}
+		}
+		return
+	}
+	dv := 0.0
+	if n.vantage != s.query {
+		dv = s.d(n.vantage)
+		s.offer(n.vantage, dv)
+	}
+	// Triangle-inequality pruning: a subtree can only contain an answer if
+	// its annulus intersects the ball of radius tau around the query.
+	if dv < n.radius {
+		s.walk(n.inside)
+		if dv+s.tau() >= n.radius {
+			s.walk(n.outside)
+		}
+	} else {
+		s.walk(n.outside)
+		if dv-s.tau() < n.radius {
+			s.walk(n.inside)
+		}
+	}
+}
+
+// Range returns every object within radius r of the query (excluding the
+// query itself), plus the distance calls spent.
+func (t *Tree) Range(query int, r float64, dist func(x int) float64) ([]Result, int64) {
+	var out []Result
+	var calls int64
+	d := func(x int) float64 {
+		calls++
+		return dist(x)
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.vantage == -1 {
+			for _, id := range n.bucket {
+				if id == query {
+					continue
+				}
+				if dd := d(id); dd <= r {
+					out = append(out, Result{ID: id, Dist: dd})
+				}
+			}
+			return
+		}
+		dv := 0.0
+		if n.vantage != query {
+			dv = d(n.vantage)
+			if dv <= r {
+				out = append(out, Result{ID: n.vantage, Dist: dv})
+			}
+		}
+		if dv-r < n.radius {
+			walk(n.inside)
+		}
+		if dv+r >= n.radius {
+			walk(n.outside)
+		}
+	}
+	walk(t.root)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out, calls
+}

@@ -1,0 +1,95 @@
+package vptree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"metricprox/internal/datasets"
+	"metricprox/internal/metric"
+)
+
+func refNN(m metric.Space, q, k int) []Result {
+	var all []Result
+	for x := 0; x < m.Len(); x++ {
+		if x != q {
+			all = append(all, Result{ID: x, Dist: m.Distance(q, x)})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Dist != all[b].Dist {
+			return all[a].Dist < all[b].Dist
+		}
+		return all[a].ID < all[b].ID
+	})
+	return all[:k]
+}
+
+func TestNNMatchesBruteForce(t *testing.T) {
+	m := datasets.RandomMetric(120, 1)
+	tree := Build(m, 2)
+	for q := 0; q < 120; q += 7 {
+		want := refNN(m, q, 5)
+		got, _ := tree.NN(q, 5, func(x int) float64 { return m.Distance(q, x) })
+		if len(got) != 5 {
+			t.Fatalf("q=%d: got %d results", q, len(got))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("q=%d: NN[%d] = %d (%v), want %d (%v)",
+					q, i, got[i].ID, got[i].Dist, want[i].ID, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestNNPrunes(t *testing.T) {
+	m := datasets.SFPOI(300, 3)
+	tree := Build(m, 4)
+	_, calls := tree.NN(0, 3, func(x int) float64 { return m.Distance(0, x) })
+	if calls >= 299 {
+		t.Fatalf("VP-tree NN made %d calls — no pruning over linear scan", calls)
+	}
+	if tree.ConstructionCalls() == 0 {
+		t.Fatal("construction spent no calls?")
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	m := datasets.RandomMetric(100, 5)
+	tree := Build(m, 6)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		q := rng.Intn(100)
+		r := 0.05 + rng.Float64()*0.3
+		got, _ := tree.Range(q, r, func(x int) float64 { return m.Distance(q, x) })
+		want := map[int]bool{}
+		for x := 0; x < 100; x++ {
+			if x != q && m.Distance(q, x) <= r {
+				want[x] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("q=%d r=%v: %d results, want %d", q, r, len(got), len(want))
+		}
+		for _, res := range got {
+			if !want[res.ID] {
+				t.Fatalf("q=%d r=%v: spurious result %d", q, r, res.ID)
+			}
+		}
+	}
+}
+
+func TestSmallUniverse(t *testing.T) {
+	m := datasets.RandomMetric(3, 8)
+	tree := Build(m, 9)
+	got, _ := tree.NN(0, 2, func(x int) float64 { return m.Distance(0, x) })
+	if len(got) != 2 {
+		t.Fatalf("got %d results, want 2", len(got))
+	}
+	// k larger than the universe returns everything else.
+	got, _ = tree.NN(0, 10, func(x int) float64 { return m.Distance(0, x) })
+	if len(got) != 2 {
+		t.Fatalf("k>n returned %d results, want 2", len(got))
+	}
+}
