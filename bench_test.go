@@ -66,6 +66,7 @@ func BenchmarkExt6(b *testing.B)   { benchExperiment(b, "ext6") }
 func BenchmarkExt7(b *testing.B)   { benchExperiment(b, "ext7") }
 func BenchmarkExt8(b *testing.B)   { benchExperiment(b, "ext8") }
 func BenchmarkExt9(b *testing.B)   { benchExperiment(b, "ext9") }
+func BenchmarkExt10(b *testing.B)  { benchExperiment(b, "ext10") }
 
 // --- micro-benchmarks of the core primitives ---
 

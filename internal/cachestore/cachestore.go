@@ -65,6 +65,13 @@ func Create(path string, n int) (*Store, error) {
 		f.Close()
 		return nil, err
 	}
+	// The crash-safety story starts at the header: without this fsync a
+	// power loss could leave a zero-length or half-written header that
+	// Open rejects as corrupt, losing every record appended meanwhile.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return &Store{f: f, n: n}, nil
 }
 

@@ -234,11 +234,26 @@ func (s *Session) Dist(i, j int) float64 {
 	if w, ok := s.g.Weight(i, j); ok {
 		return w
 	}
-	d := s.oracle.Distance(i, j)
+	d := s.oracleDistance(i, j)
+	s.commitResolution(i, j, d)
+	return d
+}
+
+// oracleDistance performs the raw oracle round-trip with no bookkeeping.
+// It is the only Session path that touches the oracle, split from
+// commitResolution so SharedSession can release its lock around the call.
+func (s *Session) oracleDistance(i, j int) float64 {
+	return s.oracle.Distance(i, j)
+}
+
+// commitResolution records a freshly resolved distance: statistics, the
+// partial graph, the bound scheme, and the attached store. Callers must
+// ensure the pair is not already recorded (pgraph panics on conflicting
+// weights, and a duplicate would double-count OracleCalls).
+func (s *Session) commitResolution(i, j int, d float64) {
 	s.stats.OracleCalls++
 	s.record(i, j, d)
 	s.persistResolution(i, j, d)
-	return d
 }
 
 func (s *Session) record(i, j int, d float64) {
@@ -268,65 +283,86 @@ func (s *Session) Bounds(i, j int) (lb, ub float64) {
 // statement — resolving distances only when the bound scheme (and
 // comparator, if any) cannot decide.
 func (s *Session) Less(i, j, k, l int) bool {
+	if r, decided := s.decideLess(i, j, k, l); decided {
+		return r
+	}
+	return s.Dist(i, j) < s.Dist(k, l)
+}
+
+// decideLess attempts to settle dist(i,j) < dist(k,l) from cached
+// distances, interval bounds, and the comparator alone, updating
+// statistics. decided=false means the caller must resolve both distances
+// and compare; ResolvedComparisons has already been counted in that case.
+// This is the bookkeeping half of Less, callable under SharedSession's
+// lock because it never touches the oracle.
+func (s *Session) decideLess(i, j, k, l int) (result, decided bool) {
 	kn1, ok1 := s.Known(i, j)
 	kn2, ok2 := s.Known(k, l)
 	if ok1 && ok2 {
 		s.stats.CacheHits++
-		return kn1 < kn2
+		return kn1 < kn2, true
 	}
 	lb1, ub1 := s.Bounds(i, j)
 	lb2, ub2 := s.Bounds(k, l)
 	if ub1 < lb2 {
 		s.stats.SavedComparisons++
-		return true
+		return true, true
 	}
 	if lb1 >= ub2 {
 		s.stats.SavedComparisons++
-		return false
+		return false, true
 	}
 	if s.cmp != nil {
 		if s.cmp.ProveLess(i, j, k, l) {
 			s.stats.SavedComparisons++
-			return true
+			return true, true
 		}
 		if s.cmp.ProveLess(k, l, i, j) {
 			// dist(k,l) < dist(i,j) implies not less.
 			s.stats.SavedComparisons++
-			return false
+			return false, true
 		}
 	}
 	s.stats.ResolvedComparisons++
-	return s.Dist(i, j) < s.Dist(k, l)
+	return false, false
 }
 
 // LessThan reports whether dist(i,j) < c, resolving the distance only when
 // the bounds are inconclusive.
 func (s *Session) LessThan(i, j int, c float64) bool {
+	if r, decided := s.decideLessThan(i, j, c); decided {
+		return r
+	}
+	return s.Dist(i, j) < c
+}
+
+// decideLessThan is the bookkeeping half of LessThan; see decideLess.
+func (s *Session) decideLessThan(i, j int, c float64) (result, decided bool) {
 	if w, ok := s.Known(i, j); ok {
 		s.stats.CacheHits++
-		return w < c
+		return w < c, true
 	}
 	lb, ub := s.Bounds(i, j)
 	if ub < c {
 		s.stats.SavedComparisons++
-		return true
+		return true, true
 	}
 	if lb >= c {
 		s.stats.SavedComparisons++
-		return false
+		return false, true
 	}
 	if s.cmp != nil {
 		if s.cmp.ProveLessC(i, j, c) {
 			s.stats.SavedComparisons++
-			return true
+			return true, true
 		}
 		if s.cmp.ProveGEC(i, j, c) {
 			s.stats.SavedComparisons++
-			return false
+			return false, true
 		}
 	}
 	s.stats.ResolvedComparisons++
-	return s.Dist(i, j) < c
+	return false, false
 }
 
 // DistIfLess is the value-needed variant of LessThan used by algorithms
@@ -335,22 +371,30 @@ func (s *Session) LessThan(i, j int, c float64) bool {
 // from bounds, it returns (0, false) with no oracle call; otherwise it
 // resolves the distance and reports whether it is below c.
 func (s *Session) DistIfLess(i, j int, c float64) (float64, bool) {
+	if d, less, decided := s.decideDistIfLess(i, j, c); decided {
+		return d, less
+	}
+	d := s.Dist(i, j)
+	return d, d < c
+}
+
+// decideDistIfLess is the bookkeeping half of DistIfLess; see decideLess.
+func (s *Session) decideDistIfLess(i, j int, c float64) (d float64, less, decided bool) {
 	if w, ok := s.Known(i, j); ok {
 		s.stats.CacheHits++
-		return w, w < c
+		return w, w < c, true
 	}
 	lb, _ := s.Bounds(i, j)
 	if lb >= c {
 		s.stats.SavedComparisons++
-		return 0, false
+		return 0, false, true
 	}
 	if s.cmp != nil && s.cmp.ProveGEC(i, j, c) {
 		s.stats.SavedComparisons++
-		return 0, false
+		return 0, false, true
 	}
 	s.stats.ResolvedComparisons++
-	d := s.Dist(i, j)
-	return d, d < c
+	return 0, false, false
 }
 
 // Bootstrap resolves all landmark-to-object distances through the oracle
@@ -406,8 +450,12 @@ func (s *Session) GreedyLandmarks(k int) []int {
 	for i := range minDist {
 		minDist[i] = s.maxDist * 2
 	}
+	// selected[x] replaces a linear scan of the landmark slice inside the
+	// selection loop, turning the selection from O(n·k²) into O(n·k).
+	selected := make([]bool, n)
 	cur := 0 // arbitrary first landmark
 	landmarks = append(landmarks, cur)
+	selected[cur] = true
 	for len(landmarks) < k {
 		far, farD := -1, -1.0
 		for x := 0; x < n; x++ {
@@ -418,11 +466,12 @@ func (s *Session) GreedyLandmarks(k int) []int {
 			if d := s.Dist(cur, x); d < minDist[x] {
 				minDist[x] = d
 			}
-			if minDist[x] > farD && !contains(landmarks, x) {
+			if minDist[x] > farD && !selected[x] {
 				far, farD = x, minDist[x]
 			}
 		}
 		landmarks = append(landmarks, far)
+		selected[far] = true
 		cur = far
 	}
 	// Finish the final landmark's row so the bootstrap is complete.
@@ -433,13 +482,4 @@ func (s *Session) GreedyLandmarks(k int) []int {
 	}
 	s.stats.BootstrapCalls += s.stats.OracleCalls - before
 	return landmarks
-}
-
-func contains(xs []int, v int) bool {
-	for _, x := range xs {
-		if x == v {
-			return true
-		}
-	}
-	return false
 }

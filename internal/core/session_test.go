@@ -203,6 +203,39 @@ func TestGreedyLandmarks(t *testing.T) {
 	}
 }
 
+// TestGreedyLandmarksPinned pins the exact landmark set (and call count)
+// the greedy max-min rule returns for fixed seeds. The sets were captured
+// from the pre-bitmap O(n·k²) implementation, so this is the proof that
+// the O(n·k) selected-bitmap rewrite is behaviour-preserving.
+func TestGreedyLandmarksPinned(t *testing.T) {
+	cases := []struct {
+		n, k  int
+		seed  int64
+		want  []int
+		calls int64
+	}{
+		{40, 6, 77, []int{0, 31, 26, 20, 39, 25}, 219},
+		{64, 8, 77, []int{0, 31, 26, 40, 20, 44, 11, 62}, 476},
+		{30, 30, 5, []int{0, 20, 11, 14, 19, 3, 15, 13, 2, 9, 27, 12, 26, 5, 8, 1, 22, 16, 21, 18, 28, 23, 17, 6, 4, 29, 25, 24, 7, 10}, 435},
+	}
+	for _, tc := range cases {
+		m := datasets.RandomMetric(tc.n, tc.seed)
+		s := NewSession(metric.NewOracle(m), SchemeNoop)
+		got := s.GreedyLandmarks(tc.k)
+		if len(got) != len(tc.want) {
+			t.Fatalf("n=%d k=%d: got %d landmarks, want %d", tc.n, tc.k, len(got), len(tc.want))
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("n=%d k=%d: landmarks %v, want %v", tc.n, tc.k, got, tc.want)
+			}
+		}
+		if c := s.Stats().OracleCalls; c != tc.calls {
+			t.Fatalf("n=%d k=%d: %d oracle calls, want %d", tc.n, tc.k, c, tc.calls)
+		}
+	}
+}
+
 func TestPickLandmarksDeterministic(t *testing.T) {
 	a := PickLandmarks(100, 7, 42)
 	b := PickLandmarks(100, 7, 42)

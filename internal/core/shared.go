@@ -1,37 +1,89 @@
 package core
 
-import "sync"
+import (
+	"sync"
 
-// SharedSession is a mutex-guarded view of a Session that is safe for
-// concurrent use. All knowledge (resolved pairs, tightened bounds,
-// statistics) remains shared: a distance resolved by one goroutine prunes
-// comparisons for every other.
+	"metricprox/internal/pgraph"
+)
+
+// SharedSession is a concurrency-safe view of a Session. All knowledge
+// (resolved pairs, tightened bounds, statistics) remains shared: a
+// distance resolved by one goroutine prunes comparisons for every other.
 //
-// The lock is coarse by design — the point of this library is that oracle
-// calls dominate; serialising the in-memory bookkeeping costs nothing by
-// comparison, and a coarse lock keeps the exactness argument identical to
-// the sequential session's.
+// The lock protects only the in-memory bookkeeping — the partial graph,
+// the bound scheme, the statistics. It is never held across an oracle
+// round-trip: a comparison first tries to decide itself from bounds under
+// the lock, and only when that fails does it resolve distances with the
+// lock released. This matters because the library's entire premise is
+// that the oracle dominates cost (milliseconds to seconds per call);
+// holding a mutex across it would serialise every worker back to
+// sequential wall-clock exactly when parallelism pays most.
+//
+// Concurrent resolutions of the same pair are deduplicated with a
+// single-flight map: the first goroutine to need an unresolved pair makes
+// the one oracle call, every other goroutine needing that pair blocks on
+// the in-flight result. Each pair therefore costs at most one oracle call
+// across all workers — the same guarantee the memoising sequential
+// Session gives.
+//
+// Output identity still holds: a comparison is only short-circuited when
+// the bounds make its outcome certain, and bounds only tighten as edges
+// resolve, so every decision is sound regardless of the interleaving.
+// Which comparisons get short-circuited (and hence the call count) does
+// depend on resolution order; the answers do not.
 type SharedSession struct {
-	mu sync.Mutex
-	s  *Session
+	mu       sync.Mutex
+	s        *Session
+	inflight map[int64]*flight
 }
 
 // Share wraps a Session for concurrent use. The underlying Session must
 // not be used directly while the shared view is live.
-func Share(s *Session) *SharedSession { return &SharedSession{s: s} }
+func Share(s *Session) *SharedSession {
+	return &SharedSession{s: s, inflight: make(map[int64]*flight)}
+}
 
 // N returns the number of objects.
 func (c *SharedSession) N() int { return c.s.N() } // immutable, no lock
 
 // MaxDistance returns the configured distance cap.
-func (c *SharedSession) MaxDistance() float64 { return c.s.MaxDistance() }
+func (c *SharedSession) MaxDistance() float64 { return c.s.MaxDistance() } // immutable, no lock
 
-// Dist resolves the exact distance (memoised).
-func (c *SharedSession) Dist(i, j int) float64 {
+// resolve returns the exact distance for (i, j), making at most one
+// oracle call per pair across all goroutines. The lock is released for
+// the duration of the oracle round-trip.
+func (c *SharedSession) resolve(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	key := pgraph.Key(i, j)
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.s.Dist(i, j)
+	if w, ok := c.s.Known(i, j); ok {
+		c.mu.Unlock()
+		return w
+	}
+	if f, ok := c.inflight[key]; ok {
+		// Another goroutine owns the oracle call for this pair; wait for
+		// its result instead of duplicating the call.
+		c.mu.Unlock()
+		return f.wait()
+	}
+	f := newFlight()
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	d := c.s.oracleDistance(i, j) // the expensive part, unlocked
+
+	c.mu.Lock()
+	c.s.commitResolution(i, j, d)
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	f.finish(d)
+	return d
 }
+
+// Dist resolves the exact distance (memoised, single-flight).
+func (c *SharedSession) Dist(i, j int) float64 { return c.resolve(i, j) }
 
 // Known reports an already-resolved pair.
 func (c *SharedSession) Known(i, j int) (float64, bool) {
@@ -47,28 +99,44 @@ func (c *SharedSession) Bounds(i, j int) (float64, float64) {
 	return c.s.Bounds(i, j)
 }
 
-// Less reports whether dist(i,j) < dist(k,l).
+// Less reports whether dist(i,j) < dist(k,l). The bound-only decision
+// runs under the lock; if it is inconclusive both distances are resolved
+// with the lock released.
 func (c *SharedSession) Less(i, j, k, l int) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.s.Less(i, j, k, l)
+	r, decided := c.s.decideLess(i, j, k, l)
+	c.mu.Unlock()
+	if decided {
+		return r
+	}
+	return c.resolve(i, j) < c.resolve(k, l)
 }
 
 // LessThan reports whether dist(i,j) < v.
 func (c *SharedSession) LessThan(i, j int, v float64) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.s.LessThan(i, j, v)
+	r, decided := c.s.decideLessThan(i, j, v)
+	c.mu.Unlock()
+	if decided {
+		return r
+	}
+	return c.resolve(i, j) < v
 }
 
 // DistIfLess is the value-needed comparison; see Session.DistIfLess.
 func (c *SharedSession) DistIfLess(i, j int, v float64) (float64, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.s.DistIfLess(i, j, v)
+	d, less, decided := c.s.decideDistIfLess(i, j, v)
+	c.mu.Unlock()
+	if decided {
+		return d, less
+	}
+	d = c.resolve(i, j)
+	return d, d < v
 }
 
-// Bootstrap resolves landmark rows; see Session.Bootstrap.
+// Bootstrap resolves landmark rows; see Session.Bootstrap. Bootstrap is a
+// setup phase, not a hot path, so it runs under the full lock.
 func (c *SharedSession) Bootstrap(landmarks []int) int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()

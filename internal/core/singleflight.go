@@ -1,0 +1,28 @@
+package core
+
+// flight is one in-progress oracle resolution. The first goroutine that
+// needs an unresolved pair registers a flight under the SharedSession
+// lock, performs the oracle round-trip with the lock released, publishes
+// the result, and closes done. Every other goroutine that needs the same
+// pair while the call is outstanding blocks on done instead of issuing a
+// duplicate oracle call — the single-flight guarantee.
+type flight struct {
+	done chan struct{}
+	// d is written exactly once, before done is closed; the channel close
+	// is the happens-before edge that makes the read in waiters safe.
+	d float64
+}
+
+func newFlight() *flight { return &flight{done: make(chan struct{})} }
+
+// finish publishes the resolved distance and releases all waiters.
+func (f *flight) finish(d float64) {
+	f.d = d
+	close(f.done)
+}
+
+// wait blocks until the resolution lands and returns it.
+func (f *flight) wait() float64 {
+	<-f.done
+	return f.d
+}

@@ -1,0 +1,34 @@
+package core
+
+// View is the comparison interface proximity algorithms are written
+// against: everything a re-authored IF statement needs, with no
+// constructor or bootstrap surface. Both Session (single-goroutine) and
+// SharedSession (concurrent) implement it, so an algorithm written once
+// against View runs unchanged in either setting — the sequential and
+// parallel builders in internal/prox share their inner loops this way.
+type View interface {
+	// N returns the number of objects in the universe.
+	N() int
+	// MaxDistance returns the a-priori cap on any distance.
+	MaxDistance() float64
+	// Known reports an already-resolved pair without any oracle call.
+	Known(i, j int) (float64, bool)
+	// Bounds returns the current lower/upper bounds without an oracle call.
+	Bounds(i, j int) (lb, ub float64)
+	// Dist resolves the exact distance (memoised).
+	Dist(i, j int) float64
+	// Less reports whether dist(i,j) < dist(k,l).
+	Less(i, j, k, l int) bool
+	// LessThan reports whether dist(i,j) < c.
+	LessThan(i, j int, c float64) bool
+	// DistIfLess resolves dist(i,j) only when the bounds cannot prove
+	// dist(i,j) ≥ c; see Session.DistIfLess for the exact contract.
+	DistIfLess(i, j int, c float64) (float64, bool)
+	// Stats snapshots the session statistics.
+	Stats() Stats
+}
+
+var (
+	_ View = (*Session)(nil)
+	_ View = (*SharedSession)(nil)
+)

@@ -1,0 +1,76 @@
+package metric
+
+import (
+	"sync"
+	"time"
+)
+
+// Instrumented wraps a Space for concurrency tests and experiments: it
+// injects a fixed per-call latency (simulating the expensive third-party
+// oracle the cost model abstracts) and counts resolutions per unordered
+// pair, so tests can assert the Session layer's single-flight guarantee —
+// no pair is ever paid for twice, no matter how many goroutines race on
+// it. Instrumented is safe for concurrent use.
+type Instrumented struct {
+	base    Space
+	latency time.Duration
+
+	mu    sync.Mutex
+	pairs map[[2]int]int
+}
+
+// NewInstrumented wraps base; latency 0 disables sleeping.
+func NewInstrumented(base Space, latency time.Duration) *Instrumented {
+	return &Instrumented{base: base, latency: latency, pairs: make(map[[2]int]int)}
+}
+
+// Len returns the base universe size.
+func (t *Instrumented) Len() int { return t.base.Len() }
+
+// Distance counts the call against the unordered pair, sleeps for the
+// injected latency, and delegates to the base space.
+func (t *Instrumented) Distance(i, j int) float64 {
+	t.mu.Lock()
+	t.pairs[pairKey(i, j)]++
+	t.mu.Unlock()
+	if t.latency > 0 {
+		time.Sleep(t.latency)
+	}
+	return t.base.Distance(i, j)
+}
+
+// PairCalls returns how many times the unordered pair (i, j) has been
+// resolved through this space.
+func (t *Instrumented) PairCalls(i, j int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pairs[pairKey(i, j)]
+}
+
+// MaxPairCalls returns the largest per-pair call count — 1 everywhere
+// means perfect deduplication.
+func (t *Instrumented) MaxPairCalls() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	max := 0
+	for _, c := range t.pairs {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// DistinctPairs returns the number of distinct pairs resolved.
+func (t *Instrumented) DistinctPairs() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pairs)
+}
+
+func pairKey(i, j int) [2]int {
+	if i > j {
+		i, j = j, i
+	}
+	return [2]int{i, j}
+}

@@ -5,6 +5,32 @@ import (
 	"metricprox/internal/unionfind"
 )
 
+// candEdge is a candidate outgoing edge of a component during a Borůvka
+// round.
+type candEdge struct{ u, v int }
+
+// boruvkaScanFrom scans vertex u's edges to all higher-numbered vertices,
+// updating both endpoints' components' cheapest-outgoing-edge candidates
+// via Session.Less tournaments. roots is the per-vertex component
+// representative snapshot for the current round; it is read-only here,
+// which is what lets the parallel builder share this loop across workers.
+func boruvkaScanFrom(s core.View, roots []int, u int, cheapest map[int]candEdge) {
+	n := len(roots)
+	ru := roots[u]
+	for v := u + 1; v < n; v++ {
+		if roots[v] == ru {
+			continue
+		}
+		if best, ok := cheapest[ru]; !ok || s.Less(u, v, best.u, best.v) {
+			cheapest[ru] = candEdge{u: u, v: v}
+		}
+		rv := roots[v]
+		if best, ok := cheapest[rv]; !ok || s.Less(u, v, best.u, best.v) {
+			cheapest[rv] = candEdge{u: u, v: v}
+		}
+	}
+}
+
 // BoruvkaMST computes the MST with Borůvka's algorithm: every round, each
 // component selects its cheapest outgoing edge and all selections are
 // merged. The per-component selection is a tournament of edge-versus-edge
@@ -13,42 +39,18 @@ import (
 //
 // With distinct edge weights (the library's continuous datasets) Borůvka,
 // Prim and Kruskal all return the identical unique MST; the package tests
-// assert it.
+// assert it, as well as identity with BoruvkaMSTParallel.
 func BoruvkaMST(s *core.Session) MST {
 	n := s.N()
 	dsu := unionfind.New(n)
 	var out MST
 	for dsu.Sets() > 1 {
-		// cheapest[root] = best outgoing candidate edge of that component.
-		type cand struct{ u, v int }
-		cheapest := make(map[int]cand)
+		roots := componentRoots(dsu, n)
+		cheapest := make(map[int]candEdge)
 		for u := 0; u < n; u++ {
-			ru := dsu.Find(u)
-			for v := u + 1; v < n; v++ {
-				if dsu.Find(v) == ru {
-					continue
-				}
-				best, ok := cheapest[ru]
-				if !ok || s.Less(u, v, best.u, best.v) {
-					cheapest[ru] = cand{u: u, v: v}
-				}
-				rv := dsu.Find(v)
-				bestV, okV := cheapest[rv]
-				if !okV || s.Less(u, v, bestV.u, bestV.v) {
-					cheapest[rv] = cand{u: u, v: v}
-				}
-			}
+			boruvkaScanFrom(s, roots, u, cheapest)
 		}
-		progressed := false
-		for _, c := range cheapest {
-			if dsu.Union(c.u, c.v) {
-				w := s.Dist(c.u, c.v)
-				out.Edges = append(out.Edges, normEdge(c.u, c.v, w))
-				out.Weight += w
-				progressed = true
-			}
-		}
-		if !progressed {
+		if !boruvkaMerge(s, dsu, cheapest, &out) {
 			break // defensively avoid looping on degenerate ties
 		}
 	}

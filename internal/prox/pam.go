@@ -28,36 +28,43 @@ type assignment struct {
 // The inner IF — `is dist(p, m) among the two smallest so far?` — is
 // re-authored as DistIfLess against the current second-best, so medoids
 // whose lower bound already exceeds it are skipped without oracle calls.
-func assignAll(s *core.Session, medoids []int) assignment {
+func assignAll(s core.View, medoids []int) assignment {
 	n := s.N()
 	a := assignment{
 		near: make([]int, n),
 		d1:   make([]float64, n),
 		d2:   make([]float64, n),
 	}
-	inf := math.Inf(1)
 	for p := 0; p < n; p++ {
-		best, bd1, bd2 := -1, inf, inf
-		for mi, m := range medoids {
-			var d float64
-			if p == m {
-				d = 0
-			} else {
-				var less bool
-				d, less = s.DistIfLess(p, m, bd2)
-				if !less {
-					continue // cannot enter the top two
-				}
-			}
-			if d < bd1 {
-				best, bd2, bd1 = mi, bd1, d
-			} else {
-				bd2 = d
-			}
-		}
-		a.near[p], a.d1[p], a.d2[p] = best, bd1, bd2
+		a.near[p], a.d1[p], a.d2[p] = assignPoint(s, medoids, p)
 	}
 	return a
+}
+
+// assignPoint scans one point's medoids for its nearest and second-nearest.
+// Points are independent, so assignAllParallel fans this exact loop out
+// over workers with identical results.
+func assignPoint(s core.View, medoids []int, p int) (near int, d1, d2 float64) {
+	inf := math.Inf(1)
+	best, bd1, bd2 := -1, inf, inf
+	for mi, m := range medoids {
+		var d float64
+		if p == m {
+			d = 0
+		} else {
+			var less bool
+			d, less = s.DistIfLess(p, m, bd2)
+			if !less {
+				continue // cannot enter the top two
+			}
+		}
+		if d < bd1 {
+			best, bd2, bd1 = mi, bd1, d
+		} else {
+			bd2 = d
+		}
+	}
+	return best, bd1, bd2
 }
 
 // swapDelta returns the exact cost change of replacing medoids[mi] with
@@ -68,7 +75,7 @@ func assignAll(s *core.Session, medoids []int) assignment {
 //	                     → d2[p] − d1[p] without a call if lb(p,h) ≥ d2[p]
 //	p keeps its medoid:  term = min(d(p,h), d1[p]) − d1[p]
 //	                     → 0 without a call if lb(p,h) ≥ d1[p]
-func swapDelta(s *core.Session, medoids []int, mi, h int, a assignment) float64 {
+func swapDelta(s core.View, medoids []int, mi, h int, a assignment) float64 {
 	delta := 0.0
 	n := s.N()
 	for p := 0; p < n; p++ {

@@ -1,30 +1,44 @@
+// Parallel builders. Every algorithm here shares its inner loops with its
+// sequential counterpart through core.View, and all workers share one
+// SharedSession, so every resolved distance tightens the bounds seen by
+// every other worker and no pair is ever resolved twice (the session's
+// single-flight guarantee). The oracle-call *count* may differ from the
+// sequential run — which comparisons the bounds manage to prune depends on
+// the resolution interleaving — but the outputs are identical.
 package prox
 
 import (
+	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
 
 	"metricprox/internal/core"
+	"metricprox/internal/unionfind"
 )
 
+// normWorkers resolves the workers argument (0 or less means GOMAXPROCS).
+func normWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
 // KNNGraphParallel builds the k-nearest-neighbour graph with the per-node
-// searches fanned out over workers goroutines (0 means GOMAXPROCS). All
-// workers share one session view, so every resolved distance tightens the
-// bounds seen by all of them.
-//
-// The neighbour sets are identical to KNNGraph's (both compute the exact
-// k nearest per node); the oracle-call count may differ slightly because
-// the resolution *order* — and therefore which comparisons the bounds
-// manage to prune — depends on the interleaving.
+// searches fanned out over workers goroutines (0 means GOMAXPROCS). The
+// neighbour sets are identical to KNNGraph's: both return the canonical k
+// smallest (distance, id) pairs per node. k ≤ 0 yields empty lists, like
+// KNNGraph.
 func KNNGraphParallel(s *core.SharedSession, k, workers int) [][]Neighbor {
 	n := s.N()
 	if k >= n {
 		k = n - 1
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if k <= 0 {
+		return emptyNeighborLists(n)
 	}
+	workers = normWorkers(workers)
 	out := make([][]Neighbor, n)
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -45,49 +59,150 @@ func KNNGraphParallel(s *core.SharedSession, k, workers int) [][]Neighbor {
 	return out
 }
 
-// knnForNode runs the candidate scan for one node over the shared session.
-func knnForNode(s *core.SharedSession, u, k int) []Neighbor {
+// BoruvkaMSTParallel computes the MST with Borůvka's algorithm, fanning
+// the per-round cheapest-outgoing-edge scan out over workers goroutines
+// (0 means GOMAXPROCS). Each worker scans a strided share of the vertices
+// into a private candidate map; the partial maps are then merged with the
+// same Session.Less tournament the scan uses, and the merge phase applies
+// the winning edges exactly like the sequential algorithm.
+//
+// With distinct edge weights (the library's continuous datasets) each
+// component's cheapest outgoing edge is unique, so the merged candidate
+// set — and therefore the MST — is identical to sequential BoruvkaMST's
+// regardless of how the tournament comparisons interleave.
+func BoruvkaMSTParallel(s *core.SharedSession, workers int) MST {
 	n := s.N()
-	type cand struct {
-		id int
-		lb float64
-	}
-	cands := make([]cand, 0, n-1)
-	for v := 0; v < n; v++ {
-		if v == u {
-			continue
+	workers = normWorkers(workers)
+	dsu := unionfind.New(n)
+	var out MST
+	for dsu.Sets() > 1 {
+		roots := componentRoots(dsu, n)
+		locals := make([]map[int]candEdge, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				local := make(map[int]candEdge)
+				for u := w; u < n; u += workers {
+					boruvkaScanFrom(s, roots, u, local)
+				}
+				locals[w] = local
+			}(w)
 		}
-		lb, _ := s.Bounds(u, v)
-		cands = append(cands, cand{id: v, lb: lb})
-	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].lb != cands[b].lb {
-			return cands[a].lb < cands[b].lb
+		wg.Wait()
+		cheapest := make(map[int]candEdge)
+		for _, local := range locals {
+			for r, c := range local {
+				if best, ok := cheapest[r]; !ok || s.Less(c.u, c.v, best.u, best.v) {
+					cheapest[r] = c
+				}
+			}
 		}
-		return cands[a].id < cands[b].id
-	})
-	best := make([]Neighbor, 0, k+1)
-	kth := s.MaxDistance() * 2
-	for _, c := range cands {
-		if len(best) == k && c.lb >= kth {
-			break
-		}
-		threshold := kth
-		if len(best) < k {
-			threshold = s.MaxDistance() * 2
-		}
-		d, less := s.DistIfLess(u, c.id, threshold)
-		if !less {
-			continue
-		}
-		best = append(best, Neighbor{ID: c.id, Dist: d})
-		sortNeighbors(best)
-		if len(best) > k {
-			best = best[:k]
-		}
-		if len(best) == k {
-			kth = best[k-1].Dist
+		if !boruvkaMerge(s, dsu, cheapest, &out) {
+			break // defensively avoid looping on degenerate ties
 		}
 	}
-	return best
+	return out
+}
+
+// PAMParallel runs the PAM swap phase with the assignment phase fanned out
+// over workers goroutines (0 means GOMAXPROCS). Each point's
+// nearest/second-nearest medoid computation is independent, so the phase
+// is embarrassingly parallel; the swap scan itself visits candidates in
+// the same order as PAM. The medoid set, assignment, and cost are
+// identical to PAM's for the same seed.
+func PAMParallel(s *core.SharedSession, l int, seed int64, workers int) Clustering {
+	n := s.N()
+	if l > n {
+		l = n
+	}
+	workers = normWorkers(workers)
+	rng := rand.New(rand.NewSource(seed))
+	medoids := append([]int(nil), rng.Perm(n)[:l]...)
+	isMedoid := make([]bool, n)
+	for _, m := range medoids {
+		isMedoid[m] = true
+	}
+
+	const improveEps = 1e-12
+	for {
+		a := assignAllParallel(s, medoids, workers)
+		bestDelta, bestMi, bestH := -improveEps, -1, -1
+		for mi := range medoids {
+			for h := 0; h < n; h++ {
+				if isMedoid[h] {
+					continue
+				}
+				if delta := swapDelta(s, medoids, mi, h, a); delta < bestDelta {
+					bestDelta, bestMi, bestH = delta, mi, h
+				}
+			}
+		}
+		if bestMi == -1 {
+			return Clustering{Medoids: medoids, Assign: a.near, Cost: a.totalCost()}
+		}
+		isMedoid[medoids[bestMi]] = false
+		isMedoid[bestH] = true
+		medoids[bestMi] = bestH
+	}
+}
+
+// assignAllParallel computes the same nearest/second-nearest structure as
+// assignAll with points fanned out over workers. Workers write disjoint
+// indices, and each point's scan is the sequential one, so the result is
+// identical to assignAll's for any worker count.
+func assignAllParallel(s core.View, medoids []int, workers int) assignment {
+	n := s.N()
+	a := assignment{
+		near: make([]int, n),
+		d1:   make([]float64, n),
+		d2:   make([]float64, n),
+	}
+	workers = normWorkers(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for p := w; p < n; p += workers {
+				a.near[p], a.d1[p], a.d2[p] = assignPoint(s, medoids, p)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return a
+}
+
+// componentRoots snapshots every vertex's component representative so the
+// scan phase can read roots without mutating the DSU (Find's path
+// compression is not safe for concurrent use).
+func componentRoots(dsu *unionfind.DSU, n int) []int {
+	roots := make([]int, n)
+	for u := range roots {
+		roots[u] = dsu.Find(u)
+	}
+	return roots
+}
+
+// boruvkaMerge applies one round's winning candidate edges in ascending
+// root order (deterministic float accumulation) and reports whether any
+// union happened.
+func boruvkaMerge(s core.View, dsu *unionfind.DSU, cheapest map[int]candEdge, out *MST) bool {
+	order := make([]int, 0, len(cheapest))
+	for r := range cheapest {
+		order = append(order, r)
+	}
+	sort.Ints(order)
+	progressed := false
+	for _, r := range order {
+		c := cheapest[r]
+		if dsu.Union(c.u, c.v) {
+			w := s.Dist(c.u, c.v)
+			out.Edges = append(out.Edges, normEdge(c.u, c.v, w))
+			out.Weight += w
+			progressed = true
+		}
+	}
+	return progressed
 }
