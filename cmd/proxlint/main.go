@@ -1,0 +1,184 @@
+// Command proxlint is the project's analyzer suite: a multichecker that
+// mechanically enforces the oracle-discipline invariants (see DESIGN.md,
+// "Static guarantees").
+//
+// It runs in two modes:
+//
+//   - vettool mode, driven by the go command:
+//
+//     go build -o bin/proxlint ./cmd/proxlint
+//     go vet -vettool=bin/proxlint ./...
+//
+//     This is how CI gates the repository; it covers test files and
+//     caches results per package like any vet run.
+//
+//   - standalone mode, for quick local runs on non-test code:
+//
+//     go run ./cmd/proxlint ./...
+//
+// Analyzers: oracleescape, lockheldoracle, commitonce, floatcmp.
+// Suppress a finding with an explanation:
+//
+//	//proxlint:allow <analyzer> -- <rationale>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"metricprox/internal/analysis"
+	"metricprox/internal/proxlint"
+)
+
+const version = "v1.0.0"
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The go command probes the tool before using it as a vettool:
+	// `proxlint -V=full` must print a version line usable as a cache
+	// key, and `proxlint -flags` must describe the supported flags.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V=") {
+		fmt.Printf("proxlint version %s\n", version)
+		return 0
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		printFlagsJSON()
+		return 0
+	}
+
+	fs := flag.NewFlagSet("proxlint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit JSON diagnostics to stdout instead of text to stderr")
+	fs.Int("c", -1, "display offending line with this many lines of context (accepted for vet compatibility; ignored)")
+	fs.Bool("fix", false, "accepted for vet compatibility; proxlint never rewrites code")
+	enabled := make(map[string]*bool)
+	for _, a := range proxlint.Analyzers() {
+		enabled[a.Name] = fs.Bool(a.Name, false, "enable only the "+a.Name+" analyzer: "+a.Doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := selectAnalyzers(enabled)
+
+	if fs.NArg() == 1 && strings.HasSuffix(fs.Arg(0), ".cfg") {
+		return runVet(fs.Arg(0), analyzers, *jsonOut)
+	}
+	return runStandalone(fs.Args(), analyzers, *jsonOut)
+}
+
+// selectAnalyzers honours explicit -<name> flags; with none set, the full
+// suite runs.
+func selectAnalyzers(enabled map[string]*bool) []*analysis.Analyzer {
+	any := false
+	for _, v := range enabled {
+		any = any || *v
+	}
+	all := proxlint.Analyzers()
+	if !any {
+		return all
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if *enabled[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// runVet implements the go vet -vettool contract for one package unit.
+func runVet(cfgPath string, analyzers []*analysis.Analyzer, jsonOut bool) int {
+	res, err := analysis.RunUnit(cfgPath, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proxlint: %v\n", err)
+		return 1
+	}
+	return emit([]*analysis.UnitResult{res}, jsonOut)
+}
+
+// runStandalone loads the named package patterns (default ./...) from
+// source and analyzes each.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proxlint: %v\n", err)
+		return 1
+	}
+	var results []*analysis.UnitResult
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proxlint: %v\n", err)
+			return 1
+		}
+		results = append(results, &analysis.UnitResult{ImportPath: pkg.Pkg.Path(), Diagnostics: diags})
+	}
+	return emit(results, jsonOut)
+}
+
+// emit prints diagnostics and returns the process exit code: 0 when
+// clean, 2 when findings exist (the exit code go vet expects from a
+// failing vet tool).
+func emit(results []*analysis.UnitResult, jsonOut bool) int {
+	if jsonOut {
+		// The unitchecker JSON shape: package -> analyzer -> findings.
+		type posDiag struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		out := make(map[string]map[string][]posDiag)
+		for _, r := range results {
+			if len(r.Diagnostics) == 0 {
+				continue
+			}
+			byAnalyzer := make(map[string][]posDiag)
+			for _, d := range r.Diagnostics {
+				byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], posDiag{Posn: d.Position.String(), Message: d.Message})
+			}
+			out[r.ImportPath] = byAnalyzer
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		enc.Encode(out)
+		return 0
+	}
+	found := false
+	for _, r := range results {
+		for _, d := range r.Diagnostics {
+			fmt.Fprintln(os.Stderr, d.String())
+			found = true
+		}
+	}
+	if found {
+		return 2
+	}
+	return 0
+}
+
+// printFlagsJSON answers the go command's -flags probe with the list of
+// flags the tool accepts, in the encoding cmd/go expects.
+func printFlagsJSON() {
+	type jsonFlag struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	flags := []jsonFlag{
+		{Name: "json", Bool: true, Usage: "emit JSON diagnostics"},
+		{Name: "c", Bool: false, Usage: "display offending line plus this many lines of context"},
+		{Name: "fix", Bool: true, Usage: "no-op; proxlint never rewrites code"},
+	}
+	for _, a := range proxlint.Analyzers() {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, _ := json.Marshal(flags)
+	fmt.Println(string(data))
+}

@@ -14,6 +14,7 @@ import (
 
 	"metricprox/internal/core"
 	"metricprox/internal/datasets"
+	"metricprox/internal/fcmp"
 	"metricprox/internal/metric"
 	"metricprox/internal/prox"
 )
@@ -38,7 +39,7 @@ func main() {
 
 	fmt.Printf("PAM over %d DNA sequences (length %d), l = %d medoids\n\n", n, seqLen, l)
 	fmt.Printf("clustering cost: vanilla %.4f, tri %.4f (must match)\n", vanilla.Cost, tri.Cost)
-	if vanilla.Cost != tri.Cost {
+	if !fcmp.ExactEq(vanilla.Cost, tri.Cost) {
 		panic("clusterings diverged")
 	}
 	fmt.Printf("edit-distance computations: vanilla %d, tri %d (%.1f%% saved)\n\n",

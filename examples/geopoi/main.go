@@ -16,6 +16,7 @@ import (
 
 	"metricprox/internal/core"
 	"metricprox/internal/datasets"
+	"metricprox/internal/fcmp"
 	"metricprox/internal/metric"
 	"metricprox/internal/prox"
 )
@@ -44,7 +45,7 @@ func main() {
 	fmt.Printf("MST over %d points of interest, simulated maps API latency %v\n\n", n, apiLatency)
 	vCalls, _, vWeight := run(core.SchemeNoop, "without plug:")
 	tCalls, _, tWeight := run(core.SchemeTri, "tri scheme:")
-	if vWeight != tWeight {
+	if !fcmp.ExactEq(vWeight, tWeight) {
 		panic("outputs diverged")
 	}
 

@@ -10,6 +10,7 @@ import (
 
 	"metricprox/internal/core"
 	"metricprox/internal/datasets"
+	"metricprox/internal/fcmp"
 	"metricprox/internal/metric"
 	"metricprox/internal/prox"
 )
@@ -35,7 +36,7 @@ func main() {
 
 	fmt.Printf("MST weight (vanilla): %.6f over %d edges\n", mstVanilla.Weight, len(mstVanilla.Edges))
 	fmt.Printf("MST weight (tri):     %.6f over %d edges\n", mstTri.Weight, len(mstTri.Edges))
-	if mstVanilla.Weight != mstTri.Weight {
+	if !fcmp.ExactEq(mstVanilla.Weight, mstTri.Weight) {
 		panic("outputs must be identical — the framework guarantees it")
 	}
 

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive syntax:
+//
+//	//proxlint:allow analyzer1,analyzer2 -- rationale
+//
+// A directive suppresses matching diagnostics reported on the same line,
+// or — when the directive occupies a line of its own — on the line
+// directly below it. The rationale after " -- " is mandatory: the whole
+// point of the allowlist is that every sanctioned bypass of the oracle
+// discipline is greppable (`grep -rn proxlint:allow`) together with its
+// justification.
+const directivePrefix = "proxlint:allow"
+
+type directiveIndex struct {
+	// byLine maps filename:line to the analyzer names allowed there.
+	byLine map[string]map[string]bool
+}
+
+func (ix directiveIndex) allows(d Diagnostic) bool {
+	key := d.Position.Filename + ":" + itoa(d.Position.Line)
+	names := ix.byLine[key]
+	return names[d.Analyzer] || names["all"]
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// parseDirectives scans every comment in the files, building the
+// suppression index and reporting malformed directives (missing analyzer
+// list or missing rationale) as diagnostics.
+func parseDirectives(fset *token.FileSet, files []*ast.File) (directiveIndex, []Diagnostic) {
+	ix := directiveIndex{byLine: make(map[string]map[string]bool)}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				names, rationale, found := strings.Cut(text, "--")
+				names = strings.TrimSpace(names)
+				if !found || strings.TrimSpace(rationale) == "" || names == "" {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Position: pos,
+						Analyzer: "proxlint",
+						Message:  "malformed //proxlint:allow directive: want \"//proxlint:allow <analyzers> -- <rationale>\"",
+					})
+					continue
+				}
+				// A directive on its own line covers the next line; a
+				// trailing directive covers its own line.
+				line := pos.Line
+				if isOwnLine(fset, f, c) {
+					line++
+				}
+				key := pos.Filename + ":" + itoa(line)
+				if ix.byLine[key] == nil {
+					ix.byLine[key] = make(map[string]bool)
+				}
+				for _, n := range strings.Split(names, ",") {
+					ix.byLine[key][strings.TrimSpace(n)] = true
+				}
+			}
+		}
+	}
+	return ix, bad
+}
+
+// isOwnLine reports whether the comment is the first token on its line.
+func isOwnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	// If any declaration or statement starts on the same line before the
+	// comment, the comment is trailing. Checking the column is enough for
+	// gofmt-ed code: a trailing comment never starts at the line's first
+	// non-blank column unless nothing precedes it. We approximate by
+	// scanning the file's tokens via positions of all nodes would be
+	// costly; instead, treat comments starting at column 1..8 that are
+	// not preceded by code as own-line. A simpler exact rule: a trailing
+	// comment always follows some node that ends on the same line.
+	var trailing bool
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || trailing {
+			return false
+		}
+		if n.End() <= c.Pos() && fset.Position(n.End()).Line == pos.Line {
+			// Some code ends on the comment's line before it.
+			if _, isFile := n.(*ast.File); !isFile {
+				trailing = true
+			}
+		}
+		return n.Pos() < c.Pos()
+	})
+	return !trailing
+}

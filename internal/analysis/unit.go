@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+)
+
+// vetConfig mirrors the JSON configuration file the go command hands a
+// -vettool for each package unit (the unitchecker protocol). Field names
+// must match cmd/go's encoding exactly.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoreFiles               []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// UnitResult is the outcome of one vettool invocation.
+type UnitResult struct {
+	// ImportPath of the analyzed unit (for JSON output grouping).
+	ImportPath  string
+	Diagnostics []Diagnostic
+}
+
+// RunUnit executes the analyzers on the package described by the vet
+// config file at cfgPath, implementing the contract `go vet -vettool`
+// expects: facts output is always written (ours is empty — no analyzer
+// here exports facts), dependency-only units are not analyzed, and type
+// errors respect SucceedOnTypecheckFailure.
+func RunUnit(cfgPath string, analyzers []*Analyzer) (*UnitResult, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", cfgPath, err)
+	}
+	// The go command requires the facts file to exist after every run,
+	// including VetxOnly (dependency) runs.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("proxlint: no facts\n"), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	res := &UnitResult{ImportPath: cfg.ImportPath}
+	if cfg.VetxOnly {
+		return res, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return res, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	imp := ExportDataImporter(fset, func(path string) (string, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return "", fmt.Errorf("no package file for %q", path)
+		}
+		return file, nil
+	})
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", envOr("GOARCH", "amd64")),
+		GoVersion: cfg.GoVersion,
+	}
+	info := NewInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return res, nil
+		}
+		return nil, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
+	}
+	diags, err := Run(&Package{Fset: fset, Files: files, Pkg: pkg, Info: info}, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	res.Diagnostics = diags
+	return res, nil
+}

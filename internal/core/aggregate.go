@@ -1,5 +1,7 @@
 package core
 
+import "metricprox/internal/fcmp"
+
 // Pair identifies one distance term of an aggregate comparison.
 type Pair struct{ A, B int }
 
@@ -24,7 +26,7 @@ func (s *Session) SumLessThan(pairs []Pair, c float64) bool {
 		lb, ub := s.Bounds(p.A, p.B)
 		lbSum += lb
 		ubSum += ub
-		if lb != ub {
+		if !fcmp.ExactEq(lb, ub) {
 			open = append(open, term{p: p, lb: lb, ub: ub})
 		}
 	}
@@ -82,7 +84,7 @@ func (s *Session) SumLess(left, right []Pair) bool {
 				lo -= ub
 				hi -= lb
 			}
-			if lb != ub {
+			if !fcmp.ExactEq(lb, ub) {
 				open = append(open, term{p: p, lb: lb, ub: ub, sign: sign})
 			}
 		}

@@ -132,7 +132,7 @@ func RandomMetric(n int, seed int64) *metric.Matrix {
 	for i := range d {
 		d[i] = make([]float64, n)
 		for j := range d[i] {
-			d[i][j] = v.Distance(i, j)
+			d[i][j] = v.Distance(i, j) //proxlint:allow oracleescape -- dataset synthesis: materialising the ground-truth matrix that the sessions under test will later treat as the oracle
 		}
 	}
 	m, err := metric.NewMatrix(d)

@@ -93,6 +93,7 @@ func autoScale(pts [][]float64, p float64) float64 {
 		span[k] = hi[k] - lo[k]
 	}
 	corner := metric.NewVectors([][]float64{make([]float64, dim), span}, p, 1)
+	//proxlint:allow oracleescape -- dataset ingest: one probe of a throwaway two-point space to compute the normalisation scale, before any session exists
 	diam := corner.Distance(0, 1)
 	if diam == 0 {
 		return 1

@@ -52,7 +52,7 @@ func newBoundLab(space metric.Space, nLandmarks int, seed int64) *boundLab {
 	// the same known-edge set.
 	lab.tlaesa.Bootstrap(func(i, j int) float64 {
 		lab.reveal(i, j)
-		return lab.space.Distance(i, j)
+		return lab.space.Distance(i, j) //proxlint:allow oracleescape -- bound-quality lab: feeds ground-truth distances to every bounder directly; no session is under test here
 	}, lms)
 	return lab
 }
@@ -63,7 +63,7 @@ func (lab *boundLab) reveal(i, j int) {
 		return
 	}
 	lab.revealed[k] = true
-	d := lab.space.Distance(i, j)
+	d := lab.space.Distance(i, j) //proxlint:allow oracleescape -- bound-quality lab: reveals ground-truth edges to all bounders in lockstep; no session is under test here
 	lab.g.AddEdge(i, j, d)
 	lab.adm.Update(i, j, d)
 	lab.laesa.Update(i, j, d)
@@ -209,7 +209,7 @@ func fig3c(cfg Config) *stats.Table {
 					continue
 				}
 				seen[pgraph.Key(i, j)] = true
-				update(i, j, space.Distance(i, j))
+				update(i, j, space.Distance(i, j)) //proxlint:allow oracleescape -- bound-maintenance benchmark: measures bounder update cost on ground-truth edges, not oracle discipline
 				added++
 			}
 			for q := 0; q < 200; {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"metricprox/internal/core"
 	"metricprox/internal/datasets"
+	"metricprox/internal/fcmp"
 	"metricprox/internal/stats"
 )
 
@@ -35,7 +36,7 @@ func fig4a(cfg Config) *stats.Table {
 		space := datasets.SFPOI(n, cfg.Seed)
 		adm := runScheme(space, core.SchemeADM, 0, false, cfg.Seed, primLazyAlgo)
 		dft := runScheme(space, core.SchemeDFT, 0, false, cfg.Seed, primLazyAlgo)
-		if adm.Checksum != dft.Checksum {
+		if !fcmp.ExactEq(adm.Checksum, dft.Checksum) {
 			// MST weights are float-identical across schemes by design.
 			panic("fig4a: MST weight diverged between ADM and DFT")
 		}

@@ -5,6 +5,7 @@ import (
 
 	"metricprox/internal/core"
 	"metricprox/internal/datasets"
+	"metricprox/internal/fcmp"
 	"metricprox/internal/stats"
 )
 
@@ -34,7 +35,7 @@ func ext7(cfg Config) *stats.Table {
 		tri := runScheme(space, core.SchemeTri, 0, false, cfg.Seed, primAlgo)
 		hybrid := runScheme(space, core.SchemeHybrid, 0, false, cfg.Seed, primAlgo)
 		splub := runScheme(space, core.SchemeSPLUB, 0, false, cfg.Seed, primAlgo)
-		if tri.Checksum != hybrid.Checksum || tri.Checksum != splub.Checksum {
+		if !fcmp.ExactEq(tri.Checksum, hybrid.Checksum) || !fcmp.ExactEq(tri.Checksum, splub.Checksum) {
 			panic(fmt.Sprintf("ext7 n=%d: MST weight diverged", n))
 		}
 		t.AddRow(

@@ -8,6 +8,7 @@ import (
 	"metricprox/internal/bounds"
 	"metricprox/internal/core"
 	"metricprox/internal/datasets"
+	"metricprox/internal/fcmp"
 	"metricprox/internal/metric"
 	"metricprox/internal/pgraph"
 	"metricprox/internal/prox"
@@ -75,7 +76,7 @@ func ext1(cfg Config) *stats.Table {
 		a := query.BuildAESA(space)
 		var qcalls int64
 		for _, q := range queries {
-			_, c := a.NN(k, q, func(x int) float64 { return space.Distance(q, x) })
+			_, c := a.NN(k, q, func(x int) float64 { return space.Distance(q, x) }) //proxlint:allow oracleescape -- baseline query hook: AESA does its own call accounting (c), outside the session framework by design
 			qcalls += c
 		}
 		t.AddRow("aesa", stats.Int(a.ConstructionCalls()), stats.F(float64(qcalls)/40), stats.Int(a.ConstructionCalls()+qcalls))
@@ -85,7 +86,7 @@ func ext1(cfg Config) *stats.Table {
 		tree := vptree.Build(space, cfg.Seed)
 		var qcalls int64
 		for _, q := range queries {
-			_, c := tree.NN(q, k, func(x int) float64 { return space.Distance(q, x) })
+			_, c := tree.NN(q, k, func(x int) float64 { return space.Distance(q, x) }) //proxlint:allow oracleescape -- baseline query hook: the VP-tree does its own call accounting (c), outside the session framework by design
 			qcalls += c
 		}
 		t.AddRow("vp-tree", stats.Int(tree.ConstructionCalls()), stats.F(float64(qcalls)/40), stats.Int(tree.ConstructionCalls()+qcalls))
@@ -115,7 +116,7 @@ func ext2(cfg Config) *stats.Table {
 		tri := runScheme(space, core.SchemeTri, 0, false, cfg.Seed, func(s *core.Session) float64 {
 			return prox.KCenter(s, 8).Radius
 		})
-		if noop.Checksum != tri.Checksum {
+		if !fcmp.ExactEq(noop.Checksum, tri.Checksum) {
 			panic("ext2: k-center radius diverged across schemes")
 		}
 		t.AddRow(stats.Int(int64(n)), stats.Int(noop.Calls), stats.Int(tri.Calls),
@@ -152,7 +153,7 @@ func ext3(cfg Config) *stats.Table {
 	for _, st := range stages {
 		noop := runScheme(space, core.SchemeNoop, 0, false, cfg.Seed, st.run)
 		tri := runScheme(space, core.SchemeTri, 0, false, cfg.Seed, st.run)
-		if noop.Checksum != tri.Checksum {
+		if !fcmp.ExactEq(noop.Checksum, tri.Checksum) {
 			panic("ext3: tour diverged across schemes")
 		}
 		t.AddRow(st.name, stats.Int(noop.Calls), stats.Int(tri.Calls),
@@ -232,7 +233,7 @@ func ext5(cfg Config) *stats.Table {
 		for g.M() < m {
 			i, j := rng.Intn(n), rng.Intn(n)
 			if i != j && !g.Known(i, j) {
-				g.AddEdge(i, j, space.Distance(i, j))
+				g.AddEdge(i, j, space.Distance(i, j)) //proxlint:allow oracleescape -- microbenchmark: populates a partial graph with ground-truth edges directly; measures lookup cost, not oracle discipline
 			}
 		}
 		// Sample unknown pairs and time the lookups.

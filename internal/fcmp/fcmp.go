@@ -1,0 +1,51 @@
+// Package fcmp is the single sanctioned home of float64 distance
+// comparison semantics.
+//
+// Distances flow through this library from different producers — oracle
+// resolutions, bound arithmetic, cached replays — and the floatcmp
+// analyzer (cmd/proxlint) forbids comparing them with raw == or != in
+// non-test code. The three comparison disciplines that are actually
+// sound live here instead:
+//
+//   - TieLess: the canonical (distance, id) total order used everywhere a
+//     result list or candidate queue must be deterministic across bound
+//     schemes, resolution orders, and worker counts.
+//   - ExactEq: a deliberate bit-exact comparison, for invariants that are
+//     exact by construction (a partial-graph weight replayed from the
+//     same oracle, interval bounds that collapse to the resolved value,
+//     output-identity checksums). Calling ExactEq is the greppable
+//     declaration that exactness is intended, not accidental.
+//   - Eq: tolerance-based equality for derived quantities that have been
+//     through float arithmetic.
+//
+// This package is exempt from the floatcmp analyzer by construction; see
+// internal/proxlint/floatcmp.
+package fcmp
+
+import "math"
+
+// Eps is the default tolerance of Eq: loose enough to absorb one pass of
+// float64 arithmetic over normalised ([0,1]-scaled) distances, tight
+// enough to distinguish genuinely different distances in every dataset
+// the experiments use.
+const Eps = 1e-9
+
+// Eq reports whether a and b are equal within Eps.
+func Eq(a, b float64) bool { return math.Abs(a-b) <= Eps }
+
+// ExactEq reports whether a and b are bit-exactly equal. Use it only
+// where exactness holds by construction; the call site is the
+// documentation that the comparison is deliberate.
+func ExactEq(a, b float64) bool { return a == b }
+
+// TieLess is the canonical (distance, id) ordering: ascending distance,
+// ties broken by ascending id. Every deterministic result ordering in the
+// library — kNN lists, candidate scans, index search results — must use
+// this rule so that outputs are identical across bound schemes and
+// resolution orders.
+func TieLess(d1 float64, id1 int, d2 float64, id2 int) bool {
+	if d1 != d2 {
+		return d1 < d2
+	}
+	return id1 < id2
+}

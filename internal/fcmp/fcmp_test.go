@@ -1,0 +1,59 @@
+package fcmp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	if !Eq(0.5, 0.5+1e-12) {
+		t.Error("Eq should absorb sub-Eps noise")
+	}
+	if Eq(0.5, 0.5+1e-6) {
+		t.Error("Eq must distinguish differences above Eps")
+	}
+	if !Eq(0, 0) {
+		t.Error("Eq(0,0) must hold")
+	}
+}
+
+func TestExactEq(t *testing.T) {
+	if !ExactEq(0.1+0.2, 0.1+0.2) {
+		t.Error("identical expressions must be exactly equal")
+	}
+	// Force runtime float64 arithmetic: Go constant-folds 0.1+0.2 exactly,
+	// so the classic mismatch only appears with variables.
+	a, b := 0.1, 0.2
+	if ExactEq(a+b, 0.3) {
+		t.Error("0.1+0.2 is famously not exactly 0.3 in float64 arithmetic")
+	}
+	if ExactEq(math.NaN(), math.NaN()) {
+		t.Error("NaN is not equal to itself; ExactEq must preserve IEEE semantics")
+	}
+}
+
+func TestTieLess(t *testing.T) {
+	cases := []struct {
+		d1   float64
+		id1  int
+		d2   float64
+		id2  int
+		want bool
+	}{
+		{1, 0, 2, 1, true},  // distance decides
+		{2, 0, 1, 1, false}, // distance decides
+		{1, 3, 1, 7, true},  // tie broken by id
+		{1, 7, 1, 3, false}, // tie broken by id
+		{1, 5, 1, 5, false}, // strict order: equal is not less
+	}
+	for _, c := range cases {
+		if got := TieLess(c.d1, c.id1, c.d2, c.id2); got != c.want {
+			t.Errorf("TieLess(%v,%d,%v,%d) = %v, want %v", c.d1, c.id1, c.d2, c.id2, got, c.want)
+		}
+	}
+	// TieLess must be a strict weak ordering usable by sort.Slice: check
+	// asymmetry on a tie.
+	if TieLess(1, 2, 1, 2) || !TieLess(1, 2, 1, 3) || TieLess(1, 3, 1, 2) {
+		t.Error("TieLess tie handling is not a strict order")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"metricprox/internal/fcmp"
 	"metricprox/internal/metric"
 )
 
@@ -57,6 +58,7 @@ func (t *Tree) ConstructionCalls() int64 { return t.calls }
 
 func (t *Tree) d(i, j int) float64 {
 	t.calls++
+	//proxlint:allow oracleescape -- related-work baseline: GNAT pays raw construction-time distance calls to build its range tables by design; t.calls keeps its own accounting for the experiments
 	return t.space.Distance(i, j)
 }
 
@@ -182,10 +184,7 @@ func (t *Tree) Range(query int, r float64, dist func(x int) float64) ([]Result, 
 	}
 	walk(t.root)
 	sort.Slice(out, func(a, b int) bool {
-		if out[a].Dist != out[b].Dist {
-			return out[a].Dist < out[b].Dist
-		}
-		return out[a].ID < out[b].ID
+		return fcmp.TieLess(out[a].Dist, out[a].ID, out[b].Dist, out[b].ID)
 	})
 	return out, calls
 }

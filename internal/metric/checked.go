@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+
+	"metricprox/internal/fcmp"
 )
 
 // Checked wraps a Space with on-line metric-axiom validation. Every bound
@@ -88,7 +90,8 @@ func (c *Checked) Distance(i, j int) float64 {
 		return d
 	}
 	// Symmetry spot check.
-	if back := c.space.Distance(j, i); back != d {
+	//proxlint:allow lockheldoracle -- verification probe: Checked deliberately replays the wrapped space under its own mutex to keep err/sample state consistent; this is below the session layer, so no session lock can deadlock against it
+	if back := c.space.Distance(j, i); !fcmp.ExactEq(back, d) {
 		c.err = fmt.Errorf("metric: asymmetry d(%d,%d)=%v but d(%d,%d)=%v", i, j, d, j, i, back)
 		return d
 	}
@@ -99,8 +102,8 @@ func (c *Checked) Distance(i, j int) float64 {
 			if k == i || k == j {
 				continue
 			}
-			dik := c.space.Distance(i, k)
-			dkj := c.space.Distance(k, j)
+			dik := c.space.Distance(i, k) //proxlint:allow lockheldoracle -- triangle spot check under Checked's own mutex, below the session layer
+			dkj := c.space.Distance(k, j) //proxlint:allow lockheldoracle -- triangle spot check under Checked's own mutex, below the session layer
 			if d > dik+dkj+1e-9 {
 				c.err = fmt.Errorf("metric: triangle violation d(%d,%d)=%v > d(%d,%d)+d(%d,%d)=%v",
 					i, j, d, i, k, k, j, dik+dkj)

@@ -18,6 +18,8 @@ import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"metricprox/internal/fcmp"
 )
 
 // Space is a finite universe of objects 0..Len()-1 with a metric distance.
@@ -159,7 +161,7 @@ func NewMatrix(d [][]float64) (*Matrix, error) {
 			return nil, fmt.Errorf("metric: nonzero diagonal at %d", i)
 		}
 		for j := range d[i] {
-			if d[i][j] != d[j][i] {
+			if !fcmp.ExactEq(d[i][j], d[j][i]) {
 				return nil, fmt.Errorf("metric: asymmetry at (%d,%d)", i, j)
 			}
 			if d[i][j] < 0 || math.IsNaN(d[i][j]) {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"metricprox/internal/fcmp"
 	"metricprox/internal/pqueue"
 	"metricprox/internal/rbtree"
 )
@@ -94,7 +95,7 @@ func (g *Graph) AddEdge(i, j int, w float64) {
 	}
 	k := Key(i, j)
 	if old, ok := g.known[k]; ok {
-		if old != w {
+		if !fcmp.ExactEq(old, w) {
 			panic(fmt.Sprintf("pgraph: conflicting weights %v and %v for edge (%d,%d)", old, w, i, j))
 		}
 		return

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"metricprox/internal/core"
+	"metricprox/internal/fcmp"
 	"metricprox/internal/unionfind"
 )
 
@@ -32,7 +33,7 @@ func SingleLinkage(s *core.Session) Dendrogram {
 	mst := KruskalMST(s)
 	es := append(mst.Edges[:0:0], mst.Edges...)
 	sort.Slice(es, func(a, b int) bool {
-		if es[a].W != es[b].W {
+		if !fcmp.ExactEq(es[a].W, es[b].W) {
 			return es[a].W < es[b].W
 		}
 		if es[a].U != es[b].U {

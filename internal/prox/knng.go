@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"metricprox/internal/core"
+	"metricprox/internal/fcmp"
 )
 
 // KNNGraph constructs the k-nearest-neighbour graph in the style of KNNrp
@@ -69,10 +70,7 @@ func knnForNode(s core.View, u, k int) []Neighbor {
 		cands = append(cands, cand{id: v, lb: lb})
 	}
 	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].lb != cands[b].lb {
-			return cands[a].lb < cands[b].lb
-		}
-		return cands[a].id < cands[b].id
+		return fcmp.TieLess(cands[a].lb, cands[a].id, cands[b].lb, cands[b].id)
 	})
 
 	// Running top-k as a simple sorted slice (k is small).
@@ -80,7 +78,7 @@ func knnForNode(s core.View, u, k int) []Neighbor {
 	kth := s.MaxDistance() * 2 // +∞ until k candidates are in
 	kthID := -1                // id of the current k-th neighbour
 	for _, c := range cands {
-		if len(best) == k && (c.lb > kth || (c.lb == kth && c.id > kthID)) {
+		if len(best) == k && (c.lb > kth || (fcmp.ExactEq(c.lb, kth) && c.id > kthID)) {
 			// Candidates are sorted by (lb, id): every remaining one has
 			// d ≥ lb > kth, or ties at kth with an id that loses to the
 			// incumbent k-th neighbour. All pruned wholesale.
@@ -106,7 +104,7 @@ func knnForNode(s core.View, u, k int) []Neighbor {
 				}
 				d = s.Dist(u, c.id)
 			}
-			if d != kth {
+			if !fcmp.ExactEq(d, kth) {
 				continue
 			}
 		}

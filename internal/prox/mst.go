@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"metricprox/internal/core"
+	"metricprox/internal/fcmp"
 	"metricprox/internal/pgraph"
 	"metricprox/internal/pqueue"
 	"metricprox/internal/unionfind"
@@ -121,7 +122,7 @@ func KruskalMST(s *core.Session) MST {
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			lb, ub := s.Bounds(i, j)
-			h.Push(pqueue.Edge{U: i, V: j, Key: lb, Exact: lb == ub})
+			h.Push(pqueue.Edge{U: i, V: j, Key: lb, Exact: fcmp.ExactEq(lb, ub)})
 		}
 	}
 	dsu := unionfind.New(n)
@@ -136,7 +137,7 @@ func KruskalMST(s *core.Session) MST {
 			continue // discarded with no oracle call
 		}
 		if !e.Exact {
-			if lb, ub := s.Bounds(e.U, e.V); lb == ub {
+			if lb, ub := s.Bounds(e.U, e.V); fcmp.ExactEq(lb, ub) {
 				// Resolved as a side effect of earlier resolutions.
 				h.Push(pqueue.Edge{U: e.U, V: e.V, Key: lb, Exact: true})
 			} else if lb > e.Key+eps {

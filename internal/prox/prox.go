@@ -10,7 +10,11 @@
 // The package tests assert this output identity across all schemes.
 package prox
 
-import "sort"
+import (
+	"sort"
+
+	"metricprox/internal/fcmp"
+)
 
 // Neighbor is one entry of a k-nearest-neighbour list.
 type Neighbor struct {
@@ -21,9 +25,6 @@ type Neighbor struct {
 // sortNeighbors orders by (distance, id) for deterministic output.
 func sortNeighbors(ns []Neighbor) {
 	sort.Slice(ns, func(a, b int) bool {
-		if ns[a].Dist != ns[b].Dist {
-			return ns[a].Dist < ns[b].Dist
-		}
-		return ns[a].ID < ns[b].ID
+		return fcmp.TieLess(ns[a].Dist, ns[a].ID, ns[b].Dist, ns[b].ID)
 	})
 }

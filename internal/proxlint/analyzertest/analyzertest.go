@@ -1,0 +1,231 @@
+// Package analyzertest is a self-contained analogue of
+// golang.org/x/tools/go/analysis/analysistest: it loads small test
+// packages from a testdata/src tree, runs one analyzer over them, and
+// checks the reported diagnostics against `// want "regexp"` comments in
+// the sources. Fake dependency packages (for example a stub
+// metricprox/internal/metric) live in the same tree under their import
+// path; standard-library imports are resolved from compiler export data
+// via `go list -export`, so the harness needs no network access.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"metricprox/internal/analysis"
+)
+
+// Run loads each of the named packages from testdataDir/src and applies
+// the analyzer, failing the test on any mismatch between reported and
+// expected diagnostics.
+func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := &loader{
+		srcdir: filepath.Join(testdataDir, "src"),
+		fset:   token.NewFileSet(),
+		cache:  make(map[string]*entry),
+		std:    newStdImporter(),
+	}
+	for _, path := range paths {
+		e, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := analysis.Run(&analysis.Package{Fset: l.fset, Files: e.files, Pkg: e.pkg, Info: e.info}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		check(t, l.fset, e.files, diags)
+	}
+}
+
+type entry struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	srcdir string
+	fset   *token.FileSet
+	cache  map[string]*entry
+	std    *stdImporter
+}
+
+func (l *loader) load(path string) (*entry, error) {
+	if e, ok := l.cache[path]; ok {
+		if e == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return e, nil
+	}
+	l.cache[path] = nil // cycle marker
+	dir := filepath.Join(l.srcdir, filepath.FromSlash(path))
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: importerFunc(l.importPkg)}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	e := &entry{files: files, pkg: pkg, info: info}
+	l.cache[path] = e
+	return e, nil
+}
+
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dirExists(filepath.Join(l.srcdir, filepath.FromSlash(path))) {
+		e, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return e.pkg, nil
+	}
+	return l.std.Import(l.fset, path)
+}
+
+func goFilesIn(dir string) ([]string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".go") {
+			names = append(names, de.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return names, nil
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// --- expectation checking ---
+
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range parsePatterns(t, pos, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == d.Position.Filename && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parsePatterns extracts the sequence of quoted or backquoted regexps
+// after `want`.
+func parsePatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := findStringEnd(s)
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %s: %v", pos, s[:end+1], err)
+			}
+			pats = append(pats, unq)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			pats = append(pats, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			t.Fatalf("%s: malformed want clause at %q", pos, s)
+		}
+	}
+	return pats
+}
+
+func findStringEnd(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}

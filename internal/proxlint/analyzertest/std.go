@@ -1,0 +1,77 @@
+package analyzertest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"sync"
+
+	"metricprox/internal/analysis"
+)
+
+// stdImporter resolves standard-library imports for testdata packages
+// from compiler export data, produced on demand (and cached by the go
+// build cache) with `go list -deps -export`.
+type stdImporter struct {
+	mu      sync.Mutex
+	exports map[string]string // import path -> export file
+}
+
+func newStdImporter() *stdImporter {
+	return &stdImporter{exports: make(map[string]string)}
+}
+
+func (s *stdImporter) Import(fset *token.FileSet, path string) (*types.Package, error) {
+	if err := s.ensure(path); err != nil {
+		return nil, err
+	}
+	imp := analysis.ExportDataImporter(fset, func(p string) (string, error) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		file, ok := s.exports[p]
+		if !ok {
+			return "", fmt.Errorf("no export data for %q", p)
+		}
+		return file, nil
+	})
+	return imp.Import(path)
+}
+
+// ensure lists path with its dependency closure, recording export files.
+func (s *stdImporter) ensure(path string) error {
+	s.mu.Lock()
+	_, ok := s.exports[path]
+	s.mu.Unlock()
+	if ok {
+		return nil
+	}
+	cmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list %s: %v: %s", path, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if p.Export != "" {
+			s.exports[p.ImportPath] = p.Export
+		}
+	}
+	if _, ok := s.exports[path]; !ok {
+		return fmt.Errorf("no export data produced for %q", path)
+	}
+	return nil
+}

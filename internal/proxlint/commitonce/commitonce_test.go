@@ -1,0 +1,12 @@
+package commitonce_test
+
+import (
+	"testing"
+
+	"metricprox/internal/proxlint/analyzertest"
+	"metricprox/internal/proxlint/commitonce"
+)
+
+func TestCommitOnce(t *testing.T) {
+	analyzertest.Run(t, "testdata", commitonce.Analyzer, "c")
+}

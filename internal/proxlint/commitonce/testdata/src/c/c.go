@@ -1,0 +1,50 @@
+// Package c exercises the commitonce analyzer: every function touching
+// the resolution primitives must pair exactly one oracleDistance with
+// exactly one commitResolution, round-trip first.
+package c
+
+type session struct{ calls int64 }
+
+func (s *session) oracleDistance(i, j int) float64 { s.calls++; return float64(i + j) }
+
+func (s *session) commitResolution(i, j int, d float64) {}
+
+func (s *session) known(i, j int) (float64, bool) { return 0, false }
+
+// goodPair is the canonical resolution path.
+func (s *session) goodPair(i, j int) float64 {
+	if w, ok := s.known(i, j); ok {
+		return w
+	}
+	d := s.oracleDistance(i, j)
+	s.commitResolution(i, j, d)
+	return d
+}
+
+func (s *session) uncommitted(i, j int) float64 {
+	return s.oracleDistance(i, j) // want `uncommitted calls oracleDistance without a matching commitResolution`
+}
+
+func (s *session) phantomCommit(i, j int) {
+	s.commitResolution(i, j, 0) // want `phantomCommit calls commitResolution without a matching oracleDistance`
+}
+
+func (s *session) committedBeforeResolved(i, j int) float64 {
+	s.commitResolution(i, j, 0) // want `committedBeforeResolved commits a resolution before the oracle round-trip`
+	return s.oracleDistance(i, j)
+}
+
+func (s *session) doublePair(i, j, k, l int) { // want `doublePair contains 2 oracleDistance and 2 commitResolution calls`
+	d1 := s.oracleDistance(i, j)
+	s.commitResolution(i, j, d1)
+	d2 := s.oracleDistance(k, l)
+	s.commitResolution(k, l, d2)
+}
+
+func (s *session) allowlisted(i, j int) float64 {
+	//proxlint:allow commitonce -- replaying a persisted resolution, counted at write time
+	return s.oracleDistance(i, j)
+}
+
+// unrelated functions never trip the analyzer.
+func unrelated(x int) int { return x * 2 }

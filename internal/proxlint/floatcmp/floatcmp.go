@@ -1,0 +1,71 @@
+// Package floatcmp defines an analyzer that forbids exact equality
+// comparison of computed float64 values outside tests.
+//
+// Distances in this library are float64s produced by different code paths
+// (oracle resolutions, bound arithmetic, cached replays); comparing them
+// with == or != is only sound when both sides are bit-identical by
+// construction. The few places that genuinely need exact comparison — the
+// canonical (distance, id) tie rule and deliberate bit-exact validation —
+// live in internal/fcmp, which is this analyzer's one sanctioned home.
+// Everywhere else, a float equality is either a latent tie-breaking bug
+// or an undocumented exactness assumption, and must be rewritten against
+// internal/fcmp (TieLess, ExactEq, Eq) or annotated with
+// //proxlint:allow floatcmp -- <why>.
+//
+// Comparisons where either operand is a compile-time constant (sentinel
+// checks like `scale == 0`) are exempt: they test a value set by
+// assignment, not a computed distance.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"metricprox/internal/analysis"
+)
+
+// Analyzer flags ==/!= between two computed float64 values.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "forbid ==/!= between computed float64 values outside tests and " +
+		"internal/fcmp; use fcmp.TieLess/fcmp.ExactEq/fcmp.Eq instead",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if path := pass.Pkg.Path(); path == "metricprox/internal/fcmp" || strings.HasSuffix(path, "internal/fcmp") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isComputedFloat(pass.TypesInfo, be.X) || !isComputedFloat(pass.TypesInfo, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"%s compares computed float64 values exactly; use fcmp.TieLess for (distance, id) ordering, fcmp.ExactEq for deliberate bit-exact checks, or fcmp.Eq for tolerance, or annotate with //proxlint:allow floatcmp -- <why>",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isComputedFloat reports whether the expression has float64/float32 type
+// and is not a compile-time constant.
+func isComputedFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Float64 || b.Kind() == types.Float32)
+}

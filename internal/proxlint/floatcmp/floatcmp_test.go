@@ -1,0 +1,15 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"metricprox/internal/proxlint/analyzertest"
+	"metricprox/internal/proxlint/floatcmp"
+)
+
+func TestFloatCmp(t *testing.T) {
+	analyzertest.Run(t, "testdata", floatcmp.Analyzer,
+		"d",
+		"metricprox/internal/fcmp", // exempt package: no findings expected
+	)
+}

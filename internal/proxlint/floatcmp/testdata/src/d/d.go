@@ -1,0 +1,43 @@
+// Package d exercises the floatcmp analyzer: exact equality between two
+// computed float64 values is flagged; constant sentinels, integers, and
+// allowlisted sites are not.
+package d
+
+type result struct {
+	id   int
+	dist float64
+}
+
+func exactEquality(a, b float64) bool {
+	return a == b // want `== compares computed float64 values exactly`
+}
+
+func exactInequality(rs []result) bool {
+	return rs[0].dist != rs[1].dist // want `!= compares computed float64 values exactly`
+}
+
+func sentinelZero(scale float64) float64 {
+	if scale == 0 { // constant operand: a set-or-default check, not a distance comparison
+		scale = 1
+	}
+	return scale
+}
+
+const defaultCap = 1.0
+
+func sentinelNamedConst(c float64) bool {
+	return c == defaultCap // constant operand: fine
+}
+
+func intComparison(i, j int) bool { return i == j }
+
+func orderingIsFine(a, b float64) bool { return a < b }
+
+func allowlisted(a, b float64) bool {
+	//proxlint:allow floatcmp -- checksum identity must match bit-exactly
+	return a == b
+}
+
+func float32Too(a, b float32) bool {
+	return a != b // want `!= compares computed float64 values exactly`
+}

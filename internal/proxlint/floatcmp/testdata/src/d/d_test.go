@@ -1,0 +1,7 @@
+package d
+
+// Tests may compare floats exactly (verifying deterministic replay, cache
+// hits, and ground truth): no diagnostics in this file.
+func exactInTest(a, b float64) bool {
+	return a == b
+}

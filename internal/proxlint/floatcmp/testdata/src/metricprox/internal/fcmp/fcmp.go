@@ -1,0 +1,14 @@
+// Package fcmp is the sanctioned home of exact float comparison: the
+// analyzer must not flag anything here.
+package fcmp
+
+// ExactEq is a deliberate bit-exact comparison.
+func ExactEq(a, b float64) bool { return a == b }
+
+// TieLess is the canonical (distance, id) ordering.
+func TieLess(d1 float64, id1 int, d2 float64, id2 int) bool {
+	if d1 != d2 {
+		return d1 < d2
+	}
+	return id1 < id2
+}

@@ -1,0 +1,120 @@
+// Package lintutil holds the type-level pattern matching shared by the
+// proxlint analyzers: identifying "metric-space-shaped" distance methods,
+// resolving call targets, and recognising the core session API.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Callee returns the static *types.Func a call resolves to, or nil when
+// the callee is dynamic (a function value) or a type conversion.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		return SelectedFunc(info, fun)
+	}
+	return nil
+}
+
+// SelectedFunc returns the method or package-level function named by the
+// selector, or nil.
+func SelectedFunc(info *types.Info, sel *ast.SelectorExpr) *types.Func {
+	if s, ok := info.Selections[sel]; ok {
+		if f, ok := s.Obj().(*types.Func); ok {
+			return f
+		}
+		return nil
+	}
+	// Package-qualified reference (pkg.Func).
+	if f, ok := info.Uses[sel.Sel].(*types.Func); ok {
+		return f
+	}
+	return nil
+}
+
+// IsSpaceDistance reports whether f is a distance resolution in the shape
+// of metric.Space: a method named Distance with signature
+// func(int, int) float64 whose receiver type also has Len() int. Matching
+// structurally (rather than against the metric.Space interface object)
+// catches the interface itself, every concrete space, metric.Oracle, and
+// any future wrapper — anything through which an algorithm could pay for
+// a distance without the session noticing.
+func IsSpaceDistance(f *types.Func) bool {
+	if f == nil || f.Name() != "Distance" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	if sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		return false
+	}
+	if !isBasic(sig.Params().At(0).Type(), types.Int) ||
+		!isBasic(sig.Params().At(1).Type(), types.Int) ||
+		!isBasic(sig.Results().At(0).Type(), types.Float64) {
+		return false
+	}
+	recv := sig.Recv().Type()
+	obj, _, _ := types.LookupFieldOrMethod(recv, true, f.Pkg(), "Len")
+	lf, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	lsig, ok := lf.Type().(*types.Signature)
+	return ok && lsig.Params().Len() == 0 && lsig.Results().Len() == 1 &&
+		isBasic(lsig.Results().At(0).Type(), types.Int)
+}
+
+func isBasic(t types.Type, kind types.BasicKind) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == kind
+}
+
+// InCorePackage reports whether the path names the session layer
+// (internal/core), matching both the real module path and testdata fakes.
+func InCorePackage(path string) bool {
+	return path == "metricprox/internal/core" || strings.HasSuffix(path, "internal/core")
+}
+
+// InMetricPackage reports whether the path names the oracle layer.
+func InMetricPackage(path string) bool {
+	return path == "metricprox/internal/metric" || strings.HasSuffix(path, "internal/metric")
+}
+
+// coreOracleEntrypoints are the core-session methods that may reach the
+// oracle. Any call to one of these from another package is treated as
+// oracle-reaching by lockheldoracle.
+var coreOracleEntrypoints = map[string]bool{
+	"Dist":            true,
+	"Less":            true,
+	"LessThan":        true,
+	"DistIfLess":      true,
+	"SumLessThan":     true,
+	"Bootstrap":       true,
+	"GreedyLandmarks": true,
+	"resolve":         true,
+	"oracleDistance":  true,
+}
+
+// IsCoreOracleEntry reports whether f is a core-session method that can
+// reach the distance oracle (directly or transitively). It matches by
+// package path and method name so it works on core.Session,
+// core.SharedSession, and the core.View interface alike.
+func IsCoreOracleEntry(f *types.Func) bool {
+	if f == nil || f.Pkg() == nil || !InCorePackage(f.Pkg().Path()) {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return coreOracleEntrypoints[f.Name()]
+}

@@ -1,0 +1,12 @@
+package lockheldoracle_test
+
+import (
+	"testing"
+
+	"metricprox/internal/proxlint/analyzertest"
+	"metricprox/internal/proxlint/lockheldoracle"
+)
+
+func TestLockHeldOracle(t *testing.T) {
+	analyzertest.Run(t, "testdata", lockheldoracle.Analyzer, "b")
+}

@@ -1,0 +1,107 @@
+// Package b exercises the lockheldoracle analyzer: oracle-reaching calls
+// under a held sync.Mutex/RWMutex must be flagged; calls after release,
+// in goroutine bodies, or on non-reaching methods must not.
+package b
+
+import (
+	"sync"
+
+	"metricprox/internal/core"
+)
+
+type space struct{ n int }
+
+func (s *space) Len() int                  { return s.n }
+func (s *space) Distance(i, j int) float64 { return 0 }
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	s  *core.Session
+	sp *space
+}
+
+func directUnderLock(g *guarded) float64 {
+	g.mu.Lock()
+	d := g.s.Dist(1, 2) // want `call to Dist may reach the distance oracle while "g\.mu" is held`
+	g.mu.Unlock()
+	return d
+}
+
+func rawSpaceUnderLock(g *guarded) float64 {
+	g.rw.RLock()
+	d := g.sp.Distance(1, 2) // want `call to Distance may reach the distance oracle while "g\.rw" is held`
+	g.rw.RUnlock()
+	return d
+}
+
+// helper reaches the oracle transitively; callers holding a lock must be
+// flagged at the helper call site.
+func helper(g *guarded) float64 { return g.s.Dist(3, 4) }
+
+func transitiveUnderLock(g *guarded) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return helper(g) // want `call to helper may reach the distance oracle while "g\.mu" is held`
+}
+
+func unlockFirst(g *guarded) float64 {
+	g.mu.Lock()
+	if w, ok := g.s.Known(1, 2); ok {
+		g.mu.Unlock()
+		return w
+	}
+	g.mu.Unlock()
+	return g.s.Dist(1, 2) // resolved with the lock released: fine
+}
+
+func earlyReturnKeepsHeld(g *guarded) float64 {
+	g.mu.Lock()
+	if w, ok := g.s.Known(1, 2); ok {
+		g.mu.Unlock()
+		return w
+	}
+	d := g.s.Dist(1, 2) // want `call to Dist may reach the distance oracle while "g\.mu" is held`
+	g.mu.Unlock()
+	return d
+}
+
+func deferKeepsHeld(g *guarded) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.s.Dist(1, 2) // want `call to Dist may reach the distance oracle while "g\.mu" is held`
+}
+
+func bookkeepingUnderLockIsFine(g *guarded) (float64, float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	lb, ub := g.s.Bounds(1, 2) // Bounds never calls the oracle
+	return lb, ub
+}
+
+func goroutineBodyStartsUnlocked(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = g.s.Dist(1, 2) // runs concurrently, not under this lock
+	}()
+}
+
+func allowlisted(g *guarded) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	//proxlint:allow lockheldoracle -- bootstrap is a setup phase, not a hot path
+	return g.s.Bootstrap(nil)
+}
+
+func differentLockReleased(g *guarded) float64 {
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.rw.Lock()
+	d := g.s.Dist(5, 6) // want `call to Dist may reach the distance oracle while "g\.rw" is held`
+	g.rw.Unlock()
+	return d
+}

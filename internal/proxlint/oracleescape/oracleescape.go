@@ -1,0 +1,81 @@
+// Package oracleescape defines an analyzer that forbids resolving
+// distances outside the session layer.
+//
+// The library's entire cost accounting — Stats.OracleCalls, the bound
+// learning in the UPDATE step, the persistent cache — assumes that every
+// expensive distance resolution flows through core.Session / core.View.
+// A single stray metric.Oracle.Distance or metric.Space.Distance call in
+// an algorithm silently breaks the paper's call-count guarantees while
+// producing correct answers, which is exactly the kind of bug code review
+// misses. This analyzer makes the channel discipline mechanical: any
+// metric-space-shaped Distance call (or method-value reference) outside
+// internal/metric, internal/core, a _test.go file, or an explicit
+// //proxlint:allow oracleescape directive is a lint error.
+package oracleescape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"metricprox/internal/analysis"
+	"metricprox/internal/proxlint/lintutil"
+)
+
+// Analyzer flags distance resolutions that bypass the session layer.
+var Analyzer = &analysis.Analyzer{
+	Name: "oracleescape",
+	Doc: "forbid metric.Oracle.Distance / metric.Space.Distance calls outside " +
+		"internal/metric, internal/core, tests, and the explicit allowlist",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if lintutil.InMetricPackage(path) || lintutil.InCorePackage(path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		// Selectors that are the callee of a call expression report as
+		// calls; any other reference to the method is a method value
+		// being passed around, which escapes just the same.
+		callFuns := make(map[*ast.SelectorExpr]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					callFuns[sel] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f := lintutil.SelectedFunc(pass.TypesInfo, sel)
+			if !lintutil.IsSpaceDistance(f) {
+				return true
+			}
+			recv := receiverTypeString(pass.TypesInfo, sel)
+			if callFuns[sel] {
+				pass.Reportf(sel.Sel.Pos(),
+					"call to (%s).Distance bypasses the session layer: resolve distances through core.Session/core.View so OracleCalls accounting and bound learning stay sound, or annotate with //proxlint:allow oracleescape -- <why>", recv)
+			} else {
+				pass.Reportf(sel.Sel.Pos(),
+					"method value (%s).Distance escapes the session layer: pass a session-backed resolver instead, or annotate with //proxlint:allow oracleescape -- <why>", recv)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func receiverTypeString(info *types.Info, sel *ast.SelectorExpr) string {
+	if s, ok := info.Selections[sel]; ok {
+		return types.TypeString(s.Recv(), func(p *types.Package) string { return p.Name() })
+	}
+	return "unknown"
+}

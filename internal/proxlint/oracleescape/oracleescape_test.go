@@ -1,0 +1,15 @@
+package oracleescape_test
+
+import (
+	"testing"
+
+	"metricprox/internal/proxlint/analyzertest"
+	"metricprox/internal/proxlint/oracleescape"
+)
+
+func TestOracleEscape(t *testing.T) {
+	analyzertest.Run(t, "testdata", oracleescape.Analyzer,
+		"a",
+		"metricprox/internal/core", // exempt package: no findings expected
+	)
+}

@@ -1,0 +1,52 @@
+// Package a exercises the oracleescape analyzer: metric-space-shaped
+// Distance calls outside the session layer must be flagged unless
+// explicitly allowlisted.
+package a
+
+import "metricprox/internal/metric"
+
+func rawOracleCall(o *metric.Oracle) float64 {
+	return o.Distance(1, 2) // want `call to \(\*metric\.Oracle\)\.Distance bypasses the session layer`
+}
+
+func rawSpaceCall(s metric.Space) float64 {
+	return s.Distance(1, 2) // want `call to \(metric\.Space\)\.Distance bypasses the session layer`
+}
+
+func concreteSpaceCall(v *metric.Vectors) float64 {
+	return v.Distance(3, 4) // want `call to \(\*metric\.Vectors\)\.Distance bypasses the session layer`
+}
+
+func methodValueEscape(o *metric.Oracle) func(int, int) float64 {
+	return o.Distance // want `method value \(\*metric\.Oracle\)\.Distance escapes the session layer`
+}
+
+func inClosure(s metric.Space) func(int) float64 {
+	return func(x int) float64 {
+		return s.Distance(0, x) // want `call to \(metric\.Space\)\.Distance bypasses the session layer`
+	}
+}
+
+func allowlisted(o *metric.Oracle) float64 {
+	//proxlint:allow oracleescape -- index construction measures its own calls
+	return o.Distance(1, 2)
+}
+
+func allowlistedTrailing(o *metric.Oracle) float64 {
+	return o.Distance(1, 2) //proxlint:allow oracleescape -- baseline measurement
+}
+
+// notASpace has a Distance method but no Len: not metric-space-shaped, so
+// calls to it are fine.
+type notASpace struct{}
+
+func (notASpace) Distance(i, j int) float64 { return 0 }
+
+func unrelatedDistance(n notASpace) float64 { return n.Distance(1, 2) }
+
+// intDistance has the wrong signature: also fine.
+type intDistance struct{}
+
+func (intDistance) Len() int              { return 0 }
+func (intDistance) Distance(i, j int) int { return 0 }
+func useIntDistance(d intDistance) int    { return d.Distance(1, 2) }

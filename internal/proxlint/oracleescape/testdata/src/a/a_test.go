@@ -1,0 +1,9 @@
+package a
+
+import "metricprox/internal/metric"
+
+// Test files verify algorithms against ground truth, so raw distance
+// calls are allowed here: no diagnostics expected anywhere in this file.
+func groundTruth(o *metric.Oracle) float64 {
+	return o.Distance(1, 2)
+}

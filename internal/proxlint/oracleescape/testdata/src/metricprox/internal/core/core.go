@@ -1,0 +1,13 @@
+// Package core is a stub of the session layer: as the one place allowed
+// to talk to the oracle, nothing in it is ever flagged.
+package core
+
+import "metricprox/internal/metric"
+
+// Session mirrors the real session.
+type Session struct{ oracle *metric.Oracle }
+
+// Dist is the sanctioned resolution path.
+func (s *Session) Dist(i, j int) float64 {
+	return s.oracle.Distance(i, j)
+}

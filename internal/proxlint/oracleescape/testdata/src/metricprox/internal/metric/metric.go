@@ -1,0 +1,27 @@
+// Package metric is a stub of the real oracle layer for analyzer tests.
+package metric
+
+// Space mirrors the real metric.Space interface.
+type Space interface {
+	Len() int
+	Distance(i, j int) float64
+}
+
+// Oracle mirrors the real call-counting oracle.
+type Oracle struct{ n int }
+
+func NewOracle(n int) *Oracle { return &Oracle{n: n} }
+
+func (o *Oracle) Len() int { return o.n }
+
+func (o *Oracle) Distance(i, j int) float64 { return float64(i + j) }
+
+// Vectors is a concrete space.
+type Vectors struct{ Points [][]float64 }
+
+func (v *Vectors) Len() int { return len(v.Points) }
+
+func (v *Vectors) Distance(i, j int) float64 { return 0 }
+
+// Internal uses are always allowed: this package IS the oracle layer.
+func internalUse(s Space) float64 { return s.Distance(0, 1) }

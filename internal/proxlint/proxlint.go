@@ -1,0 +1,24 @@
+// Package proxlint assembles the project's analyzer suite: the static
+// checks that keep the oracle discipline — the invariants the paper's
+// call-count guarantees and the PR-1 concurrency speedup rest on —
+// machine-enforced rather than review-enforced. See DESIGN.md, "Static
+// guarantees".
+package proxlint
+
+import (
+	"metricprox/internal/analysis"
+	"metricprox/internal/proxlint/commitonce"
+	"metricprox/internal/proxlint/floatcmp"
+	"metricprox/internal/proxlint/lockheldoracle"
+	"metricprox/internal/proxlint/oracleescape"
+)
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		oracleescape.Analyzer,
+		lockheldoracle.Analyzer,
+		commitonce.Analyzer,
+		floatcmp.Analyzer,
+	}
+}

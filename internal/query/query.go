@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"metricprox/internal/core"
+	"metricprox/internal/fcmp"
 	"metricprox/internal/metric"
 )
 
@@ -24,10 +25,7 @@ type Result struct {
 
 func sortResults(rs []Result) {
 	sort.Slice(rs, func(a, b int) bool {
-		if rs[a].Dist != rs[b].Dist {
-			return rs[a].Dist < rs[b].Dist
-		}
-		return rs[a].ID < rs[b].ID
+		return fcmp.TieLess(rs[a].Dist, rs[a].ID, rs[b].Dist, rs[b].ID)
 	})
 }
 
@@ -57,10 +55,7 @@ func KNN(s *core.Session, q, k int) []Result {
 		cands = append(cands, cand{id: x, lb: lb})
 	}
 	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].lb != cands[b].lb {
-			return cands[a].lb < cands[b].lb
-		}
-		return cands[a].id < cands[b].id
+		return fcmp.TieLess(cands[a].lb, cands[a].id, cands[b].lb, cands[b].id)
 	})
 
 	best := make([]Result, 0, k+1)
@@ -165,6 +160,7 @@ func BuildAESA(space metric.Space) *AESA {
 	a := &AESA{n: n, d: make([]float64, n*n)}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
+			//proxlint:allow oracleescape -- AESA baseline: the full O(n²) preprocessing matrix is the point of the algorithm; a.calls keeps its own accounting for the experiments
 			v := space.Distance(i, j)
 			a.calls++
 			a.d[i*n+j] = v

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"metricprox/internal/fcmp"
 	"metricprox/internal/metric"
 )
 
@@ -53,6 +54,7 @@ func (t *Tree) ConstructionCalls() int64 { return t.calls }
 
 func (t *Tree) dist(i, j int) float64 {
 	t.calls++
+	//proxlint:allow oracleescape -- related-work baseline: the VP-tree pays its Θ(n log n) construction distance calls up front by design; t.calls keeps its own accounting for the experiments
 	return t.space.Distance(i, j)
 }
 
@@ -110,10 +112,7 @@ func (t *Tree) NN(query int, k int, dist func(x int) float64) ([]Result, int64) 
 	s := &search{query: query, k: k, dist: dist}
 	s.walk(t.root)
 	sort.Slice(s.best, func(a, b int) bool {
-		if s.best[a].Dist != s.best[b].Dist {
-			return s.best[a].Dist < s.best[b].Dist
-		}
-		return s.best[a].ID < s.best[b].ID
+		return fcmp.TieLess(s.best[a].Dist, s.best[a].ID, s.best[b].Dist, s.best[b].ID)
 	})
 	return s.best, s.calls
 }
@@ -247,10 +246,7 @@ func (t *Tree) Range(query int, r float64, dist func(x int) float64) ([]Result, 
 	}
 	walk(t.root)
 	sort.Slice(out, func(a, b int) bool {
-		if out[a].Dist != out[b].Dist {
-			return out[a].Dist < out[b].Dist
-		}
-		return out[a].ID < out[b].ID
+		return fcmp.TieLess(out[a].Dist, out[a].ID, out[b].Dist, out[b].ID)
 	})
 	return out, calls
 }
