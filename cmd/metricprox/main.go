@@ -9,10 +9,20 @@
 //	metricprox -in points.csv -algo pam -l 8 -scheme noop   # unmodified
 //	metricprox -in points.csv -algo kcenter -l 5 -cache d.cache
 //	metricprox -demo 500 -algo tsp                          # synthetic demo
+//	metricprox -demo 500 -algo mst -faults seed=3,rate=0.2  # flaky oracle
 //
 // The input is one point per line, comma-separated coordinates, optional
 // header; distances are Minkowski-p (default Euclidean) normalised into
 // [0,1]. A -cache file persists resolved distances across invocations.
+//
+// -faults routes every distance call through a deterministic fault
+// injector and the resilient retry policy; the run then reports retries,
+// timeouts, and breaker opens alongside the usual call counts, and warns
+// when answers degraded to bounds-only estimates.
+//
+// Every flag is validated before the dataset is loaded: an unknown
+// algorithm or scheme name, a malformed -faults spec, or a contradictory
+// combination exits immediately instead of after minutes of bootstrap.
 package main
 
 import (
@@ -24,9 +34,15 @@ import (
 	"metricprox/internal/cachestore"
 	"metricprox/internal/core"
 	"metricprox/internal/datasets"
+	"metricprox/internal/faultmetric"
 	"metricprox/internal/metric"
 	"metricprox/internal/prox"
+	"metricprox/internal/resilient"
 )
+
+// algoNames lists the -algo values runAlgo accepts, for up-front
+// validation.
+var algoNames = []string{"mst", "kruskal", "boruvka", "knn", "pam", "clarans", "kcenter", "tsp", "linkage"}
 
 func main() {
 	var (
@@ -40,8 +56,44 @@ func main() {
 		landmarks  = flag.Int("landmarks", 0, "bootstrap landmarks (0 = log2 n)")
 		seedFlag   = flag.Int64("seed", 1, "seed for randomised algorithms")
 		cacheFlag  = flag.String("cache", "", "persistent distance-cache file")
+		faultsFlag = flag.String("faults", "", "inject oracle faults: seed=N,rate=P with P in (0,1]")
 	)
 	flag.Parse()
+
+	// Validate every flag before touching the dataset.
+	scheme, ok := map[string]core.Scheme{
+		"noop": core.SchemeNoop, "tri": core.SchemeTri, "splub": core.SchemeSPLUB,
+		"adm": core.SchemeADM, "laesa": core.SchemeLAESA, "tlaesa": core.SchemeTLAESA,
+		"hybrid": core.SchemeHybrid,
+	}[*schemeFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "metricprox: unknown scheme %q (see -h)\n", *schemeFlag)
+		os.Exit(2)
+	}
+	validAlgo := false
+	for _, a := range algoNames {
+		validAlgo = validAlgo || a == *algoFlag
+	}
+	if !validAlgo {
+		fmt.Fprintf(os.Stderr, "metricprox: unknown algorithm %q (see -h)\n", *algoFlag)
+		os.Exit(2)
+	}
+	if *inFlag != "" && *demoFlag > 0 {
+		fmt.Fprintln(os.Stderr, "metricprox: -in and -demo are mutually exclusive; pick one input")
+		os.Exit(2)
+	}
+	if *kFlag < 1 || *lFlag < 1 || *landmarks < 0 || *demoFlag < 0 {
+		fmt.Fprintln(os.Stderr, "metricprox: -k and -l must be >= 1; -landmarks and -demo must be >= 0")
+		os.Exit(2)
+	}
+	var faultCfg faultmetric.Config
+	if *faultsFlag != "" {
+		var err error
+		if faultCfg, err = faultmetric.ParseSpec(*faultsFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "metricprox: -faults: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	space, err := loadSpace(*inFlag, *demoFlag, *pFlag, *seedFlag)
 	if err != nil {
@@ -49,16 +101,6 @@ func main() {
 		os.Exit(1)
 	}
 	n := space.Len()
-
-	scheme, ok := map[string]core.Scheme{
-		"noop": core.SchemeNoop, "tri": core.SchemeTri, "splub": core.SchemeSPLUB,
-		"adm": core.SchemeADM, "laesa": core.SchemeLAESA, "tlaesa": core.SchemeTLAESA,
-		"hybrid": core.SchemeHybrid,
-	}[*schemeFlag]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "metricprox: unknown scheme %q\n", *schemeFlag)
-		os.Exit(2)
-	}
 
 	k := *landmarks
 	if k == 0 {
@@ -68,8 +110,11 @@ func main() {
 	}
 	lms := core.PickLandmarks(n, k, *seedFlag)
 
-	oracle := metric.NewOracle(space)
-	s := core.NewSessionWithLandmarks(oracle, scheme, lms)
+	var oracle metric.FallibleOracle = metric.NewOracle(space)
+	if *faultsFlag != "" {
+		oracle = resilient.New(faultmetric.New(space, faultCfg), resilient.RetryOnlyPolicy(faultCfg.Seed))
+	}
+	s := core.NewFallibleSessionWithLandmarks(oracle, scheme, lms)
 
 	if *cacheFlag != "" {
 		store, err := cachestore.OpenOrCreate(*cacheFlag, n)
@@ -84,7 +129,9 @@ func main() {
 		}
 	}
 	if scheme != core.SchemeNoop {
-		s.Bootstrap(lms)
+		if _, err := s.BootstrapErr(lms); err != nil {
+			fmt.Fprintln(os.Stderr, "metricprox: bootstrap aborted, continuing with partial bounds:", err)
+		}
 	}
 
 	start := time.Now()
@@ -103,7 +150,17 @@ func main() {
 		st.OracleCalls, 100*float64(st.OracleCalls)/float64(total), st.BootstrapCalls)
 	fmt.Printf("comparisons: %d saved by bounds, %d resolved, %d cache hits\n",
 		st.SavedComparisons, st.ResolvedComparisons, st.CacheHits)
+	if st.Retries > 0 || st.Timeouts > 0 || st.BreakerOpens > 0 {
+		fmt.Printf("resilience: %d retries, %d timeouts, %d breaker opens\n",
+			st.Retries, st.Timeouts, st.BreakerOpens)
+	}
 	fmt.Printf("wall time: %s\n", elapsed.Round(time.Millisecond))
+	if err := s.OracleErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "metricprox: oracle degraded — results are best-effort, not exact:", err)
+		fmt.Fprintf(os.Stderr, "metricprox: %d answers came from bounds or estimates instead of the oracle\n", st.DegradedAnswers)
+	} else if st.Retries > 0 {
+		fmt.Println("all answers exact: every injected fault was retried to success")
+	}
 	if err := s.StoreErr(); err != nil {
 		fmt.Fprintln(os.Stderr, "metricprox: cache warning:", err)
 	}

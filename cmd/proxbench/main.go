@@ -9,8 +9,16 @@
 //	proxbench -exp all -full        # paper-scale sizes (slow)
 //	proxbench -exp table2 -seed 7   # change the dataset seed
 //
+//	proxbench -exp table2 -faults seed=3,rate=0.2
+//	                                # same tables under injected oracle
+//	                                # faults (outputs preserved by retry)
+//
 // Output is aligned-markdown tables on stdout, one per artifact, with
 // footnotes recording scaling and substitution decisions.
+//
+// All flags are validated before any experiment runs: unknown experiment
+// ids, malformed -faults specs, and contradictory combinations exit with
+// a diagnostic instead of falling through to partial work.
 package main
 
 import (
@@ -21,17 +29,47 @@ import (
 	"time"
 
 	"metricprox/internal/experiments"
+	"metricprox/internal/faultmetric"
 )
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
-		listFlag = flag.Bool("list", false, "list available experiments and exit")
-		fullFlag = flag.Bool("full", false, "paper-scale sizes (minutes of runtime)")
-		seedFlag = flag.Int64("seed", 42, "dataset and algorithm seed")
-		csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		expFlag    = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
+		listFlag   = flag.Bool("list", false, "list available experiments and exit")
+		fullFlag   = flag.Bool("full", false, "paper-scale sizes (minutes of runtime)")
+		seedFlag   = flag.Int64("seed", 42, "dataset and algorithm seed")
+		csvFlag    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		faultsFlag = flag.String("faults", "", "inject oracle faults: seed=N,rate=P with P in (0,1]")
 	)
 	flag.Parse()
+
+	if args := flag.Args(); len(args) > 0 {
+		fmt.Fprintf(os.Stderr, "proxbench: unexpected arguments %q (flags only; see -h)\n", args)
+		os.Exit(2)
+	}
+	if *listFlag {
+		for _, bad := range []struct {
+			set  bool
+			name string
+		}{{*expFlag != "", "-exp"}, {*csvFlag, "-csv"}, {*fullFlag, "-full"}, {*faultsFlag != "", "-faults"}} {
+			if bad.set {
+				fmt.Fprintf(os.Stderr, "proxbench: -list runs nothing and ignores %s; drop one of the two\n", bad.name)
+				os.Exit(2)
+			}
+		}
+	}
+
+	if *expFlag == "" && !*listFlag {
+		for _, bad := range []struct {
+			set  bool
+			name string
+		}{{*csvFlag, "-csv"}, {*fullFlag, "-full"}, {*faultsFlag != "", "-faults"}} {
+			if bad.set {
+				fmt.Fprintf(os.Stderr, "proxbench: %s does nothing without -exp; add -exp <id> or -exp all\n", bad.name)
+				os.Exit(2)
+			}
+		}
+	}
 
 	if *listFlag || *expFlag == "" {
 		fmt.Println("Available experiments (run with -exp <id>[,<id>…] or -exp all):")
@@ -45,6 +83,15 @@ func main() {
 	}
 
 	cfg := experiments.Config{Full: *fullFlag, Seed: *seedFlag}
+	if *faultsFlag != "" {
+		fcfg, err := faultmetric.ParseSpec(*faultsFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proxbench: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.FaultRate = fcfg.TransientRate
+		cfg.FaultSeed = fcfg.Seed
+	}
 
 	var runners []experiments.Runner
 	if *expFlag == "all" {
@@ -74,6 +121,9 @@ func main() {
 			continue
 		}
 		table.Note("regenerated in %s (seed %d, full=%v)", time.Since(start).Round(time.Millisecond), *seedFlag, *fullFlag)
+		if cfg.FaultRate > 0 {
+			table.Note("oracle faults injected: transient rate %g, fault seed %d — outputs preserved by retry; call counts are successful resolutions", cfg.FaultRate, cfg.FaultSeed)
+		}
 		table.Render(os.Stdout)
 	}
 }

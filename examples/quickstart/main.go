@@ -1,6 +1,8 @@
 // Quickstart: wrap an expensive distance function in a Session, run a
 // classic proximity algorithm through it, and watch the oracle-call count
-// drop — with bit-identical output.
+// drop — with bit-identical output. The final stage re-runs the same
+// algorithm against a deliberately flaky oracle to show the failure
+// model: retries absorb the faults and the output is still identical.
 //
 //	go run ./examples/quickstart
 package main
@@ -10,9 +12,11 @@ import (
 
 	"metricprox/internal/core"
 	"metricprox/internal/datasets"
+	"metricprox/internal/faultmetric"
 	"metricprox/internal/fcmp"
 	"metricprox/internal/metric"
 	"metricprox/internal/prox"
+	"metricprox/internal/resilient"
 )
 
 func main() {
@@ -52,4 +56,26 @@ func main() {
 		st.SavedComparisons, st.ResolvedComparisons, st.BoundProbes)
 	lb, ub := tri.Bounds(0, 1)
 	fmt.Printf("current bounds for dist(0,1) without an oracle call: [%.4f, %.4f]\n", lb, ub)
+
+	// 5. Real oracles fail. Inject a deterministic fault schedule (30% of
+	// attempts error out) behind the retry policy: the session retries
+	// each failure with deterministic backoff, the output stays identical,
+	// and the stats show what the flakiness cost.
+	injector := faultmetric.New(space, faultmetric.Config{
+		Seed:               1,
+		TransientRate:      0.3,
+		MaxFailuresPerPair: 3, // below the policy's 5 attempts ⇒ always completes
+	})
+	flaky := core.NewFallibleSession(resilient.New(injector, resilient.RetryOnlyPolicy(1)), core.SchemeTri)
+	flaky.Bootstrap(core.PickLandmarks(n, 8, 1))
+	mstFlaky := prox.PrimMST(flaky)
+	if !fcmp.ExactEq(mstVanilla.Weight, mstFlaky.Weight) {
+		panic("flaky-oracle output must match too — retries hide the faults")
+	}
+	if flaky.OracleErr() != nil {
+		panic("no failure should have escaped the retry budget")
+	}
+	fst := flaky.Stats()
+	fmt.Printf("\nflaky oracle (30%% transient failures): same MST, %d calls + %d retries, %d injected faults absorbed\n",
+		fst.OracleCalls, fst.Retries, injector.Counters().Failures())
 }

@@ -32,11 +32,11 @@ func (s *Session) SumLessThan(pairs []Pair, c float64) bool {
 	}
 	for {
 		if ubSum < c {
-			s.stats.SavedComparisons++
+			s.noteSaved()
 			return true
 		}
 		if lbSum >= c {
-			s.stats.SavedComparisons++
+			s.noteSaved()
 			return false
 		}
 		if len(open) == 0 {
@@ -93,11 +93,11 @@ func (s *Session) SumLess(left, right []Pair) bool {
 	add(right, -1)
 	for {
 		if hi < 0 {
-			s.stats.SavedComparisons++
+			s.noteSaved()
 			return true
 		}
 		if lo >= 0 {
-			s.stats.SavedComparisons++
+			s.noteSaved()
 			return false
 		}
 		if len(open) == 0 {

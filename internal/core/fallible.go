@@ -1,0 +1,135 @@
+package core
+
+import "errors"
+
+// ErrOracleUnavailable wraps every resolution failure surfaced by the
+// error-propagating Session methods (DistErr, LessErr, …): the bound
+// scheme could not settle the comparison and the oracle could not be
+// reached (retry budget exhausted, circuit breaker open, or the session
+// context is dead). The underlying cause is wrapped and available via
+// errors.Is/As.
+var ErrOracleUnavailable = errors.New("core: oracle unavailable")
+
+// Outcome classifies how a comparison was answered. The three
+// user-visible outcomes let callers of a fallible session distinguish
+// "exact", "bounds-resolved" (also exact — bounds are sound — but paid no
+// oracle call), and "best-effort while unavailable".
+type Outcome int
+
+const (
+	// OutcomeUndecided is internal: the bookkeeping half of a comparison
+	// could not settle it and the oracle must be consulted. It never
+	// escapes the exported methods.
+	OutcomeUndecided Outcome = iota
+	// OutcomeExact means the answer came from exact distances (cache hit
+	// or a successful oracle resolution).
+	OutcomeExact
+	// OutcomeBounds means the answer was proven from triangle-inequality
+	// bounds (or the comparator) with no oracle call. Still exact.
+	OutcomeBounds
+	// OutcomeUnavailable means a needed resolution failed and the answer
+	// is a best-effort estimate from bounds midpoints. OracleErr is
+	// latched whenever this outcome is produced.
+	OutcomeUnavailable
+)
+
+// String returns the outcome name used in reports.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeUndecided:
+		return "undecided"
+	case OutcomeExact:
+		return "exact"
+	case OutcomeBounds:
+		return "bounds"
+	case OutcomeUnavailable:
+		return "unavailable"
+	default:
+		return "outcome(?)"
+	}
+}
+
+// OracleErr returns the first resolution failure the session has seen,
+// or nil. Once non-nil, answers produced since by the legacy infallible
+// methods may be best-effort estimates (counted in Stats.DegradedAnswers)
+// rather than exact; a run that finishes with OracleErr() == nil is
+// guaranteed identical to a fault-free run.
+func (s *Session) OracleErr() error { return s.oracleErr }
+
+// noteOracleErr latches the first resolution failure. Callers on the
+// SharedSession path must hold the session lock.
+func (s *Session) noteOracleErr(err error) {
+	if s.oracleErr == nil {
+		s.oracleErr = err
+	}
+}
+
+// estimate returns the midpoint of the current bounds for (i, j) — the
+// best-effort value the legacy methods fall back to when a resolution
+// fails. Estimates are never committed to the graph or the bound scheme,
+// so they cannot poison later exact answers.
+func (s *Session) estimate(i, j int) float64 {
+	lb, ub := s.Bounds(i, j)
+	return (lb + ub) / 2
+}
+
+// LessErr is Less with error propagation: it reports dist(i,j) <
+// dist(k,l), or a non-nil error wrapping ErrOracleUnavailable when the
+// bounds were inconclusive and a needed resolution failed.
+func (s *Session) LessErr(i, j, k, l int) (bool, error) {
+	if r, out := s.decideLess(i, j, k, l); out != OutcomeUndecided {
+		return r, nil
+	}
+	d1, err := s.DistErr(i, j)
+	if err != nil {
+		return false, err
+	}
+	d2, err := s.DistErr(k, l)
+	if err != nil {
+		return false, err
+	}
+	return d1 < d2, nil
+}
+
+// LessOutcome is Less plus a per-call outcome report. Unlike LessErr it
+// never fails: when a needed resolution errors it answers from bounds
+// midpoints and reports OutcomeUnavailable (counting a DegradedAnswer),
+// which is exactly the legacy Less behaviour made observable.
+func (s *Session) LessOutcome(i, j, k, l int) (result bool, out Outcome) {
+	if r, out := s.decideLess(i, j, k, l); out != OutcomeUndecided {
+		return r, out
+	}
+	d1, err := s.DistErr(i, j)
+	if err == nil {
+		var d2 float64
+		if d2, err = s.DistErr(k, l); err == nil {
+			return d1 < d2, OutcomeExact
+		}
+	}
+	s.stats.DegradedAnswers++
+	return s.estimate(i, j) < s.estimate(k, l), OutcomeUnavailable
+}
+
+// LessThanErr is LessThan with error propagation; see LessErr.
+func (s *Session) LessThanErr(i, j int, c float64) (bool, error) {
+	if r, out := s.decideLessThan(i, j, c); out != OutcomeUndecided {
+		return r, nil
+	}
+	d, err := s.DistErr(i, j)
+	if err != nil {
+		return false, err
+	}
+	return d < c, nil
+}
+
+// DistIfLessErr is DistIfLess with error propagation; see LessErr.
+func (s *Session) DistIfLessErr(i, j int, c float64) (float64, bool, error) {
+	if d, less, out := s.decideDistIfLess(i, j, c); out != OutcomeUndecided {
+		return d, less, nil
+	}
+	d, err := s.DistErr(i, j)
+	if err != nil {
+		return 0, false, err
+	}
+	return d, d < c, nil
+}

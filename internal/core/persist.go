@@ -36,14 +36,21 @@ func (s *Session) AttachStore(store *cachestore.Store) error {
 }
 
 // persistResolution appends a fresh oracle resolution to the attached
-// store, if any. Append errors are surfaced through the session's
-// StoreErr because the hot path cannot return them.
+// store, if any. Append errors are surfaced three ways, because the hot
+// path cannot return them: every failure bumps Stats.StoreErrors, the
+// first failure is latched in StoreErr, and that first failure is logged
+// once (WithLogf redirects the log) so a silently filling disk is noticed
+// without flooding the log at oracle-call rate.
 func (s *Session) persistResolution(i, j int, d float64) {
 	if s.store == nil {
 		return
 	}
-	if err := s.store.Append(i, j, d); err != nil && s.storeErr == nil {
-		s.storeErr = err
+	if err := s.store.Append(i, j, d); err != nil {
+		s.stats.StoreErrors++
+		if s.storeErr == nil {
+			s.storeErr = err
+			s.logf("core: cache store append failed; resolutions stay in memory but the on-disk cache is now incomplete: %v", err)
+		}
 	}
 }
 

@@ -19,7 +19,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"math/rand"
 
 	"metricprox/internal/bounds"
@@ -46,6 +48,26 @@ type Stats struct {
 	ResolvedComparisons int64
 	// CacheHits counts comparisons answered from already-resolved pairs.
 	CacheHits int64
+
+	// --- failure-model counters (see DESIGN.md §7) ---
+
+	// Retries counts failed oracle attempts that were retried by the
+	// resilient policy layer (0 for infallible in-process oracles).
+	Retries int64
+	// Timeouts counts oracle attempts that hit a context deadline.
+	Timeouts int64
+	// BreakerOpens counts circuit-breaker closed/half-open → open
+	// transitions in the policy layer.
+	BreakerOpens int64
+	// DegradedAnswers counts answers produced while the oracle was
+	// unavailable: comparisons settled from bounds alone with the breaker
+	// open (still exact — bounds are sound) plus best-effort estimates
+	// returned by the legacy infallible methods after a failed resolution
+	// (not exact; the session's OracleErr is set alongside).
+	DegradedAnswers int64
+	// StoreErrors counts failed appends to the attached persistent cache
+	// (the resolutions stay in memory; only the on-disk cache is short).
+	StoreErrors int64
 }
 
 // Session mediates every distance access of a proximity algorithm. It
@@ -56,13 +78,28 @@ type Stats struct {
 // A Session is not safe for concurrent use; run one per goroutine over the
 // same Oracle if parallel workloads are needed.
 type Session struct {
-	oracle  *metric.Oracle
+	fo      metric.FallibleOracle
 	g       *pgraph.Graph
 	b       bounds.Bounder
 	cmp     bounds.Comparator
 	maxDist float64
 	rho     float64 // relaxation factor; 0 or 1 = true metric
 	stats   Stats
+
+	// baseCtx bounds every oracle round-trip this session makes
+	// (per-attempt deadlines are the resilient layer's job).
+	baseCtx context.Context
+
+	// ready, when non-nil, reports whether the fallible oracle is
+	// currently willing to attempt backend calls (circuit breaker not
+	// open); bounds-only answers given while !ready() are counted as
+	// DegradedAnswers.
+	ready func() bool
+
+	// oracleErr latches the first failed resolution (see OracleErr): once
+	// set, answers produced by the legacy infallible methods may be
+	// best-effort estimates rather than exact.
+	oracleErr error
 
 	// sharesGraph records whether b reads s.g directly (SPLUB/Tri), in
 	// which case AddEdge already updated it and Update must not be
@@ -72,6 +109,7 @@ type Session struct {
 	// store, when attached, persists resolutions across runs.
 	store    *cachestore.Store
 	storeErr error
+	logf     func(format string, args ...any)
 }
 
 // Option configures a Session.
@@ -87,6 +125,24 @@ func WithMaxDistance(d float64) Option {
 // interval bounds are inconclusive.
 func WithComparator(c bounds.Comparator) Option {
 	return func(s *Session) { s.cmp = c }
+}
+
+// WithContext bounds every oracle round-trip of the session with ctx: a
+// cancelled or expired ctx makes further resolutions fail with the
+// context's error (wrapped in ErrOracleUnavailable). The default is
+// context.Background(). Per-attempt deadlines belong to the resilient
+// policy layer; this is the whole-session kill switch.
+func WithContext(ctx context.Context) Option {
+	if ctx == nil {
+		panic("core: WithContext requires a non-nil context")
+	}
+	return func(s *Session) { s.baseCtx = ctx }
+}
+
+// WithLogf redirects the session's rare warning logs (currently only the
+// first failed cache-store append). The default is log.Printf.
+func WithLogf(logf func(format string, args ...any)) Option {
+	return func(s *Session) { s.logf = logf }
 }
 
 // WithRelaxation declares the oracle a ρ-relaxed metric (d(x,z) ≤
@@ -153,11 +209,33 @@ func NewSession(oracle *metric.Oracle, scheme Scheme, opts ...Option) *Session {
 // the given landmark set. For non-landmark schemes the set is ignored by
 // the bounder but still usable via Bootstrap.
 func NewSessionWithLandmarks(oracle *metric.Oracle, scheme Scheme, landmarks []int, opts ...Option) *Session {
-	n := oracle.Len()
+	return NewFallibleSessionWithLandmarks(oracle, scheme, landmarks, opts...)
+}
+
+// NewFallibleSession builds a Session over a fallible, context-aware
+// oracle — typically a resilient.Oracle wrapping a remote backend. The
+// error-propagating methods (DistErr, LessErr, …) surface resolution
+// failures; the legacy infallible methods degrade to best-effort
+// estimates and latch OracleErr instead. An in-process *metric.Oracle is
+// a valid argument (it never fails), which is exactly how the legacy
+// constructors are implemented.
+func NewFallibleSession(fo metric.FallibleOracle, scheme Scheme, opts ...Option) *Session {
+	return NewFallibleSessionWithLandmarks(fo, scheme, nil, opts...)
+}
+
+// NewFallibleSessionWithLandmarks is NewFallibleSession with an explicit
+// landmark set for the landmark-based schemes.
+func NewFallibleSessionWithLandmarks(fo metric.FallibleOracle, scheme Scheme, landmarks []int, opts ...Option) *Session {
+	n := fo.Len()
 	s := &Session{
-		oracle:  oracle,
+		fo:      fo,
 		g:       pgraph.New(n),
 		maxDist: 1,
+		baseCtx: context.Background(),
+		logf:    log.Printf,
+	}
+	if r, ok := fo.(interface{ Ready() bool }); ok {
+		s.ready = r.Ready
 	}
 	for _, o := range opts {
 		o(s)
@@ -208,8 +286,19 @@ func NewSessionWithLandmarks(oracle *metric.Oracle, scheme Scheme, landmarks []i
 // N returns the number of objects.
 func (s *Session) N() int { return s.g.N() }
 
-// Stats returns a copy of the session statistics.
-func (s *Session) Stats() Stats { return s.stats }
+// Stats returns a copy of the session statistics. When the oracle is a
+// resilient policy wrapper (anything exposing PolicyCounters), the
+// policy-layer counters (Retries, Timeouts, BreakerOpens) are mirrored
+// into the returned snapshot.
+func (s *Session) Stats() Stats {
+	st := s.stats
+	if pc, ok := s.fo.(interface {
+		PolicyCounters() (retries, timeouts, breakerOpens int64)
+	}); ok {
+		st.Retries, st.Timeouts, st.BreakerOpens = pc.PolicyCounters()
+	}
+	return st
+}
 
 // Graph exposes the partial graph of resolved distances (read-only use).
 func (s *Session) Graph() *pgraph.Graph { return s.g }
@@ -227,23 +316,53 @@ func (s *Session) Known(i, j int) (float64, bool) { return s.g.Weight(i, j) }
 // Dist returns the exact distance between i and j, calling the oracle only
 // if the pair has not been resolved before. The resolution is fed to the
 // bound scheme (the UPDATE PROBLEM).
+//
+// If the resolution fails (fallible oracle exhausted, breaker open, or
+// session context dead), Dist degrades: it latches OracleErr, counts a
+// DegradedAnswer, and returns the midpoint of the current bounds as a
+// best-effort estimate. The estimate is never committed to the graph or
+// the bound scheme, so the session's soundness invariants survive; use
+// DistErr when the caller needs to distinguish exact from estimated.
 func (s *Session) Dist(i, j int) float64 {
-	if i == j {
-		return 0
+	d, err := s.DistErr(i, j)
+	if err != nil {
+		s.stats.DegradedAnswers++
+		return s.estimate(i, j)
 	}
-	if w, ok := s.g.Weight(i, j); ok {
-		return w
-	}
-	d := s.oracleDistance(i, j)
-	s.commitResolution(i, j, d)
 	return d
 }
 
-// oracleDistance performs the raw oracle round-trip with no bookkeeping.
-// It is the only Session path that touches the oracle, split from
-// commitResolution so SharedSession can release its lock around the call.
-func (s *Session) oracleDistance(i, j int) float64 {
-	return s.oracle.Distance(i, j)
+// DistErr is Dist with error propagation: it returns the exact distance,
+// or a non-nil error wrapping ErrOracleUnavailable when the resolution
+// failed. Nothing is committed on failure, so a later retry of the same
+// pair is safe.
+func (s *Session) DistErr(i, j int) (float64, error) {
+	if i == j {
+		return 0, nil
+	}
+	if w, ok := s.g.Weight(i, j); ok {
+		return w, nil
+	}
+	d, err := s.oracleDistanceErr(i, j)
+	if err != nil {
+		s.noteOracleErr(err)
+		return 0, err
+	}
+	s.commitResolution(i, j, d)
+	return d, nil
+}
+
+// oracleDistanceErr performs the raw oracle round-trip with no session
+// bookkeeping or mutation. It is the only Session path that touches the
+// oracle, split from commitResolution so SharedSession can release its
+// lock around the call (which is also why it must not write any session
+// state — the caller owns error latching).
+func (s *Session) oracleDistanceErr(i, j int) (float64, error) {
+	d, err := s.fo.DistanceCtx(s.baseCtx, i, j)
+	if err != nil {
+		return 0, fmt.Errorf("%w: dist(%d,%d): %w", ErrOracleUnavailable, i, j, err)
+	}
+	return d, nil
 }
 
 // commitResolution records a freshly resolved distance: statistics, the
@@ -282,137 +401,194 @@ func (s *Session) Bounds(i, j int) (lb, ub float64) {
 // Less reports whether dist(i,j) < dist(k,l) — the paper's canonical IF
 // statement — resolving distances only when the bound scheme (and
 // comparator, if any) cannot decide.
+//
+// When a needed resolution fails, Less degrades like Dist: OracleErr is
+// latched, a DegradedAnswer is counted, and the comparison is answered
+// from bounds-midpoint estimates. Use LessErr or LessOutcome to observe
+// failures per call.
 func (s *Session) Less(i, j, k, l int) bool {
-	if r, decided := s.decideLess(i, j, k, l); decided {
-		return r
+	r, _ := s.LessOutcome(i, j, k, l)
+	return r
+}
+
+// noteSaved counts a comparison settled from bounds (or the comparator)
+// with no oracle call. While the fallible oracle reports itself
+// unavailable (circuit breaker open), such answers also count as
+// DegradedAnswers: they are still exact — bounds are sound — but they are
+// the only answers the session can currently produce exactly.
+func (s *Session) noteSaved() {
+	s.stats.SavedComparisons++
+	if s.ready != nil && !s.ready() {
+		s.stats.DegradedAnswers++
 	}
-	return s.Dist(i, j) < s.Dist(k, l)
 }
 
 // decideLess attempts to settle dist(i,j) < dist(k,l) from cached
 // distances, interval bounds, and the comparator alone, updating
-// statistics. decided=false means the caller must resolve both distances
-// and compare; ResolvedComparisons has already been counted in that case.
-// This is the bookkeeping half of Less, callable under SharedSession's
-// lock because it never touches the oracle.
-func (s *Session) decideLess(i, j, k, l int) (result, decided bool) {
+// statistics. OutcomeUndecided means the caller must resolve both
+// distances and compare; ResolvedComparisons has already been counted in
+// that case. This is the bookkeeping half of Less, callable under
+// SharedSession's lock because it never touches the oracle.
+func (s *Session) decideLess(i, j, k, l int) (result bool, out Outcome) {
 	kn1, ok1 := s.Known(i, j)
 	kn2, ok2 := s.Known(k, l)
 	if ok1 && ok2 {
 		s.stats.CacheHits++
-		return kn1 < kn2, true
+		return kn1 < kn2, OutcomeExact
 	}
 	lb1, ub1 := s.Bounds(i, j)
 	lb2, ub2 := s.Bounds(k, l)
 	if ub1 < lb2 {
-		s.stats.SavedComparisons++
-		return true, true
+		s.noteSaved()
+		return true, OutcomeBounds
 	}
 	if lb1 >= ub2 {
-		s.stats.SavedComparisons++
-		return false, true
+		s.noteSaved()
+		return false, OutcomeBounds
 	}
 	if s.cmp != nil {
 		if s.cmp.ProveLess(i, j, k, l) {
-			s.stats.SavedComparisons++
-			return true, true
+			s.noteSaved()
+			return true, OutcomeBounds
 		}
 		if s.cmp.ProveLess(k, l, i, j) {
 			// dist(k,l) < dist(i,j) implies not less.
-			s.stats.SavedComparisons++
-			return false, true
+			s.noteSaved()
+			return false, OutcomeBounds
 		}
 	}
 	s.stats.ResolvedComparisons++
-	return false, false
+	return false, OutcomeUndecided
 }
 
 // LessThan reports whether dist(i,j) < c, resolving the distance only when
-// the bounds are inconclusive.
+// the bounds are inconclusive. On a failed resolution it degrades exactly
+// like Less; use LessThanErr to observe failures.
 func (s *Session) LessThan(i, j int, c float64) bool {
-	if r, decided := s.decideLessThan(i, j, c); decided {
-		return r
+	r, err := s.LessThanErr(i, j, c)
+	if err != nil {
+		s.stats.DegradedAnswers++
+		return s.estimate(i, j) < c
 	}
-	return s.Dist(i, j) < c
+	return r
 }
 
 // decideLessThan is the bookkeeping half of LessThan; see decideLess.
-func (s *Session) decideLessThan(i, j int, c float64) (result, decided bool) {
+func (s *Session) decideLessThan(i, j int, c float64) (result bool, out Outcome) {
 	if w, ok := s.Known(i, j); ok {
 		s.stats.CacheHits++
-		return w < c, true
+		return w < c, OutcomeExact
 	}
 	lb, ub := s.Bounds(i, j)
 	if ub < c {
-		s.stats.SavedComparisons++
-		return true, true
+		s.noteSaved()
+		return true, OutcomeBounds
 	}
 	if lb >= c {
-		s.stats.SavedComparisons++
-		return false, true
+		s.noteSaved()
+		return false, OutcomeBounds
 	}
 	if s.cmp != nil {
 		if s.cmp.ProveLessC(i, j, c) {
-			s.stats.SavedComparisons++
-			return true, true
+			s.noteSaved()
+			return true, OutcomeBounds
 		}
 		if s.cmp.ProveGEC(i, j, c) {
-			s.stats.SavedComparisons++
-			return false, true
+			s.noteSaved()
+			return false, OutcomeBounds
 		}
 	}
 	s.stats.ResolvedComparisons++
-	return false, false
+	return false, OutcomeUndecided
 }
 
 // DistIfLess is the value-needed variant of LessThan used by algorithms
 // that must store the distance when the comparison succeeds (Prim's key
 // update, PAM's nearest-medoid assignment). If dist(i,j) ≥ c can be proven
 // from bounds, it returns (0, false) with no oracle call; otherwise it
-// resolves the distance and reports whether it is below c.
+// resolves the distance and reports whether it is below c. On a failed
+// resolution it degrades like Dist (the returned value is an uncommitted
+// estimate); use DistIfLessErr to observe failures.
 func (s *Session) DistIfLess(i, j int, c float64) (float64, bool) {
-	if d, less, decided := s.decideDistIfLess(i, j, c); decided {
-		return d, less
+	d, less, err := s.DistIfLessErr(i, j, c)
+	if err != nil {
+		s.stats.DegradedAnswers++
+		e := s.estimate(i, j)
+		return e, e < c
 	}
-	d := s.Dist(i, j)
-	return d, d < c
+	return d, less
 }
 
 // decideDistIfLess is the bookkeeping half of DistIfLess; see decideLess.
-func (s *Session) decideDistIfLess(i, j int, c float64) (d float64, less, decided bool) {
+func (s *Session) decideDistIfLess(i, j int, c float64) (d float64, less bool, out Outcome) {
 	if w, ok := s.Known(i, j); ok {
 		s.stats.CacheHits++
-		return w, w < c, true
+		return w, w < c, OutcomeExact
 	}
 	lb, _ := s.Bounds(i, j)
 	if lb >= c {
-		s.stats.SavedComparisons++
-		return 0, false, true
+		s.noteSaved()
+		return 0, false, OutcomeBounds
 	}
 	if s.cmp != nil && s.cmp.ProveGEC(i, j, c) {
-		s.stats.SavedComparisons++
-		return 0, false, true
+		s.noteSaved()
+		return 0, false, OutcomeBounds
 	}
 	s.stats.ResolvedComparisons++
-	return 0, false, false
+	return 0, false, OutcomeUndecided
 }
 
 // Bootstrap resolves all landmark-to-object distances through the oracle
 // (feeding the bound scheme) and returns the number of calls spent — the
 // Bootstrap column of the paper's tables. The same routine initialises the
 // baselines (LAESA/TLAESA) and the bootstrapped Tri Scheme.
+//
+// On a fallible oracle, Bootstrap aborts at the first failed resolution
+// (latching OracleErr) rather than feeding estimates into the bound
+// tables: the landmark schemes treat bootstrap rows as exact, so a
+// best-effort value there would be unsound. The partially filled tables
+// remain valid — LAESA/TLAESA skip unresolved (NaN-sentinel) entries.
+// Use BootstrapErr to observe the abort.
 func (s *Session) Bootstrap(landmarks []int) int64 {
+	spent, _ := s.BootstrapErr(landmarks)
+	return spent
+}
+
+// bootstrapAbort carries a resolution failure out of a Bootstrapper's
+// callback, whose signature cannot return errors.
+type bootstrapAbort struct{ err error }
+
+// BootstrapErr is Bootstrap with error propagation: it returns the calls
+// spent before the first failed resolution, and that failure (nil when
+// the bootstrap completed).
+func (s *Session) BootstrapErr(landmarks []int) (spent int64, err error) {
 	before := s.stats.OracleCalls
+	defer func() {
+		if r := recover(); r != nil {
+			a, ok := r.(bootstrapAbort)
+			if !ok {
+				panic(r)
+			}
+			err = a.err
+		}
+		spent = s.stats.OracleCalls - before
+		s.stats.BootstrapCalls += spent
+	}()
+	resolve := func(i, j int) float64 {
+		d, derr := s.DistErr(i, j)
+		if derr != nil {
+			panic(bootstrapAbort{derr})
+		}
+		return d
+	}
 	if b, ok := s.b.(bounds.Bootstrapper); ok {
-		b.Bootstrap(s.Dist, landmarks)
+		b.Bootstrap(resolve, landmarks)
 	} else {
 		for _, e := range bounds.EdgesForBootstrap(s.N(), landmarks) {
-			s.Dist(e.U, e.V)
+			resolve(e.U, e.V)
 		}
 	}
-	spent := s.stats.OracleCalls - before
-	s.stats.BootstrapCalls += spent
-	return spent
+	return 0, nil // real values assigned in the deferred epilogue
 }
 
 // PickLandmarks selects k well-separated landmarks with the classic greedy

@@ -49,18 +49,35 @@ func (c *SharedSession) N() int { return c.s.N() } // immutable, no lock
 // MaxDistance returns the configured distance cap.
 func (c *SharedSession) MaxDistance() float64 { return c.s.MaxDistance() } // immutable, no lock
 
-// resolve returns the exact distance for (i, j), making at most one
-// oracle call per pair across all goroutines. The lock is released for
-// the duration of the oracle round-trip.
+// resolve returns the exact distance for (i, j) when the oracle
+// cooperates, or a best-effort bounds-midpoint estimate (counting a
+// DegradedAnswer, latching OracleErr) when it does not; see resolveErr
+// for the error-propagating primitive.
 func (c *SharedSession) resolve(i, j int) float64 {
+	d, err := c.resolveErr(i, j)
+	if err != nil {
+		c.mu.Lock()
+		c.s.stats.DegradedAnswers++
+		d = c.s.estimate(i, j)
+		c.mu.Unlock()
+	}
+	return d
+}
+
+// resolveErr resolves the exact distance for (i, j), making at most one
+// oracle call per pair across all goroutines. The lock is released for
+// the duration of the oracle round-trip. A failed attempt is shared with
+// every goroutine waiting on the same flight but commits nothing, so the
+// pair can be retried by a later call.
+func (c *SharedSession) resolveErr(i, j int) (float64, error) {
 	if i == j {
-		return 0
+		return 0, nil
 	}
 	key := pgraph.Key(i, j)
 	c.mu.Lock()
 	if w, ok := c.s.Known(i, j); ok {
 		c.mu.Unlock()
-		return w
+		return w, nil
 	}
 	if f, ok := c.inflight[key]; ok {
 		// Another goroutine owns the oracle call for this pair; wait for
@@ -72,18 +89,26 @@ func (c *SharedSession) resolve(i, j int) float64 {
 	c.inflight[key] = f
 	c.mu.Unlock()
 
-	d := c.s.oracleDistance(i, j) // the expensive part, unlocked
+	d, err := c.s.oracleDistanceErr(i, j) // the expensive part, unlocked
 
 	c.mu.Lock()
-	c.s.commitResolution(i, j, d)
+	if err != nil {
+		c.s.noteOracleErr(err)
+	} else {
+		c.s.commitResolution(i, j, d)
+	}
 	delete(c.inflight, key)
 	c.mu.Unlock()
-	f.finish(d)
-	return d
+	f.finish(d, err)
+	return d, err
 }
 
-// Dist resolves the exact distance (memoised, single-flight).
+// Dist resolves the exact distance (memoised, single-flight), degrading
+// like Session.Dist when the resolution fails.
 func (c *SharedSession) Dist(i, j int) float64 { return c.resolve(i, j) }
+
+// DistErr is Dist with error propagation; see Session.DistErr.
+func (c *SharedSession) DistErr(i, j int) (float64, error) { return c.resolveErr(i, j) }
 
 // Known reports an already-resolved pair.
 func (c *SharedSession) Known(i, j int) (float64, bool) {
@@ -101,38 +126,111 @@ func (c *SharedSession) Bounds(i, j int) (float64, float64) {
 
 // Less reports whether dist(i,j) < dist(k,l). The bound-only decision
 // runs under the lock; if it is inconclusive both distances are resolved
-// with the lock released.
+// with the lock released. On a failed resolution it degrades like
+// Session.Less; use LessErr or LessOutcome to observe failures.
 func (c *SharedSession) Less(i, j, k, l int) bool {
-	c.mu.Lock()
-	r, decided := c.s.decideLess(i, j, k, l)
-	c.mu.Unlock()
-	if decided {
-		return r
-	}
-	return c.resolve(i, j) < c.resolve(k, l)
+	r, _ := c.LessOutcome(i, j, k, l)
+	return r
 }
 
-// LessThan reports whether dist(i,j) < v.
+// LessErr is Less with error propagation; see Session.LessErr.
+func (c *SharedSession) LessErr(i, j, k, l int) (bool, error) {
+	c.mu.Lock()
+	r, out := c.s.decideLess(i, j, k, l)
+	c.mu.Unlock()
+	if out != OutcomeUndecided {
+		return r, nil
+	}
+	d1, err := c.resolveErr(i, j)
+	if err != nil {
+		return false, err
+	}
+	d2, err := c.resolveErr(k, l)
+	if err != nil {
+		return false, err
+	}
+	return d1 < d2, nil
+}
+
+// LessOutcome is Less plus a per-call outcome report; see
+// Session.LessOutcome.
+func (c *SharedSession) LessOutcome(i, j, k, l int) (result bool, out Outcome) {
+	c.mu.Lock()
+	r, out := c.s.decideLess(i, j, k, l)
+	c.mu.Unlock()
+	if out != OutcomeUndecided {
+		return r, out
+	}
+	d1, err := c.resolveErr(i, j)
+	if err == nil {
+		var d2 float64
+		if d2, err = c.resolveErr(k, l); err == nil {
+			return d1 < d2, OutcomeExact
+		}
+	}
+	c.mu.Lock()
+	c.s.stats.DegradedAnswers++
+	r = c.s.estimate(i, j) < c.s.estimate(k, l)
+	c.mu.Unlock()
+	return r, OutcomeUnavailable
+}
+
+// LessThan reports whether dist(i,j) < v, degrading like Session.LessThan
+// on a failed resolution.
 func (c *SharedSession) LessThan(i, j int, v float64) bool {
-	c.mu.Lock()
-	r, decided := c.s.decideLessThan(i, j, v)
-	c.mu.Unlock()
-	if decided {
-		return r
+	r, err := c.LessThanErr(i, j, v)
+	if err != nil {
+		c.mu.Lock()
+		c.s.stats.DegradedAnswers++
+		r = c.s.estimate(i, j) < v
+		c.mu.Unlock()
 	}
-	return c.resolve(i, j) < v
+	return r
 }
 
-// DistIfLess is the value-needed comparison; see Session.DistIfLess.
-func (c *SharedSession) DistIfLess(i, j int, v float64) (float64, bool) {
+// LessThanErr is LessThan with error propagation; see Session.LessThanErr.
+func (c *SharedSession) LessThanErr(i, j int, v float64) (bool, error) {
 	c.mu.Lock()
-	d, less, decided := c.s.decideDistIfLess(i, j, v)
+	r, out := c.s.decideLessThan(i, j, v)
 	c.mu.Unlock()
-	if decided {
-		return d, less
+	if out != OutcomeUndecided {
+		return r, nil
 	}
-	d = c.resolve(i, j)
-	return d, d < v
+	d, err := c.resolveErr(i, j)
+	if err != nil {
+		return false, err
+	}
+	return d < v, nil
+}
+
+// DistIfLess is the value-needed comparison; see Session.DistIfLess. On a
+// failed resolution the returned value is an uncommitted estimate.
+func (c *SharedSession) DistIfLess(i, j int, v float64) (float64, bool) {
+	d, less, err := c.DistIfLessErr(i, j, v)
+	if err != nil {
+		c.mu.Lock()
+		c.s.stats.DegradedAnswers++
+		d = c.s.estimate(i, j)
+		c.mu.Unlock()
+		return d, d < v
+	}
+	return d, less
+}
+
+// DistIfLessErr is DistIfLess with error propagation; see
+// Session.DistIfLessErr.
+func (c *SharedSession) DistIfLessErr(i, j int, v float64) (float64, bool, error) {
+	c.mu.Lock()
+	d, less, out := c.s.decideDistIfLess(i, j, v)
+	c.mu.Unlock()
+	if out != OutcomeUndecided {
+		return d, less, nil
+	}
+	d, err := c.resolveErr(i, j)
+	if err != nil {
+		return 0, false, err
+	}
+	return d, d < v, nil
 }
 
 // Bootstrap resolves landmark rows; see Session.Bootstrap. Bootstrap is a
@@ -142,6 +240,31 @@ func (c *SharedSession) Bootstrap(landmarks []int) int64 {
 	defer c.mu.Unlock()
 	//proxlint:allow lockheldoracle -- setup phase: Bootstrap runs before workers start, so holding the lock across its oracle calls serialises nothing; resolve() is the hot path and releases the lock around every round-trip
 	return c.s.Bootstrap(landmarks)
+}
+
+// BootstrapErr is Bootstrap with error propagation; see
+// Session.BootstrapErr.
+func (c *SharedSession) BootstrapErr(landmarks []int) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//proxlint:allow lockheldoracle -- setup phase; see Bootstrap
+	return c.s.BootstrapErr(landmarks)
+}
+
+// OracleErr returns the first resolution failure the session has seen;
+// see Session.OracleErr.
+func (c *SharedSession) OracleErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.OracleErr()
+}
+
+// StoreErr returns the first failed append to the attached cache store;
+// see Session.StoreErr.
+func (c *SharedSession) StoreErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.StoreErr()
 }
 
 // Stats snapshots the session statistics.

@@ -8,21 +8,26 @@ package core
 // duplicate oracle call — the single-flight guarantee.
 type flight struct {
 	done chan struct{}
-	// d is written exactly once, before done is closed; the channel close
-	// is the happens-before edge that makes the read in waiters safe.
-	d float64
+	// d and err are written exactly once, before done is closed; the
+	// channel close is the happens-before edge that makes the reads in
+	// waiters safe. A failed flight shares its error with every waiter —
+	// the attempt is shared, success or not — but commits nothing, so a
+	// later call for the same pair starts a fresh flight.
+	d   float64
+	err error
 }
 
 func newFlight() *flight { return &flight{done: make(chan struct{})} }
 
-// finish publishes the resolved distance and releases all waiters.
-func (f *flight) finish(d float64) {
-	f.d = d
+// finish publishes the resolution (or its failure) and releases all
+// waiters.
+func (f *flight) finish(d float64, err error) {
+	f.d, f.err = d, err
 	close(f.done)
 }
 
 // wait blocks until the resolution lands and returns it.
-func (f *flight) wait() float64 {
+func (f *flight) wait() (float64, error) {
 	<-f.done
-	return f.d
+	return f.d, f.err
 }

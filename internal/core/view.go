@@ -28,7 +28,31 @@ type View interface {
 	Stats() Stats
 }
 
+// FallibleView extends View with the error-propagating comparison
+// surface for algorithms that run over remote or otherwise fallible
+// oracles and need to distinguish exact answers from degraded ones. The
+// View methods remain available and degrade to best-effort estimates
+// (latching OracleErr) instead of failing.
+type FallibleView interface {
+	View
+	// DistErr resolves the exact distance or reports why it could not.
+	DistErr(i, j int) (float64, error)
+	// LessErr is Less with error propagation.
+	LessErr(i, j, k, l int) (bool, error)
+	// LessOutcome is Less plus a per-call Outcome (never fails).
+	LessOutcome(i, j, k, l int) (bool, Outcome)
+	// LessThanErr is LessThan with error propagation.
+	LessThanErr(i, j int, c float64) (bool, error)
+	// DistIfLessErr is DistIfLess with error propagation.
+	DistIfLessErr(i, j int, c float64) (float64, bool, error)
+	// OracleErr returns the first resolution failure latched by the
+	// session, nil while every answer so far is exact.
+	OracleErr() error
+}
+
 var (
-	_ View = (*Session)(nil)
-	_ View = (*SharedSession)(nil)
+	_ View         = (*Session)(nil)
+	_ View         = (*SharedSession)(nil)
+	_ FallibleView = (*Session)(nil)
+	_ FallibleView = (*SharedSession)(nil)
 )

@@ -294,9 +294,9 @@ func fig5b(cfg Config) *stats.Table {
 		if k < 2 {
 			k = 2
 		}
-		laesa := runScheme(space, core.SchemeLAESA, k, true, cfg.Seed, primAlgo)
-		tlaesa := runScheme(space, core.SchemeTLAESA, k, true, cfg.Seed, primAlgo)
-		tri := runScheme(space, core.SchemeTri, k, true, cfg.Seed, primAlgo)
+		laesa := runScheme(space, core.SchemeLAESA, k, true, cfg, primAlgo)
+		tlaesa := runScheme(space, core.SchemeTLAESA, k, true, cfg, primAlgo)
+		tri := runScheme(space, core.SchemeTri, k, true, cfg, primAlgo)
 		t.AddRow(stats.Int(int64(k)), stats.Int(laesa.Calls), stats.Int(tlaesa.Calls), stats.Int(tri.Calls))
 	}
 	t.Note("LAESA/TLAESA have a dataset-dependent sweet spot (≈3·log n in the paper) with no principled way to find it; Tri dominates at every k and prefers the smallest bootstrap, because resolved edges keep improving its bounds regardless of the landmark count.")

@@ -109,11 +109,11 @@ func callSweep(cfg Config, id, title string, gen func(int, int64) metric.Space, 
 		algo := algoOf(n)
 		k := logLandmarks(n)
 
-		noop := runScheme(space, core.SchemeNoop, 0, false, cfg.Seed, algo)
-		tsnb := runScheme(space, core.SchemeTri, 0, false, cfg.Seed, algo)
-		tri := runScheme(space, core.SchemeTri, k, true, cfg.Seed, algo)
-		laesa := runScheme(space, core.SchemeLAESA, k, true, cfg.Seed, algo)
-		tlaesa := runScheme(space, core.SchemeTLAESA, k, true, cfg.Seed, algo)
+		noop := runScheme(space, core.SchemeNoop, 0, false, cfg, algo)
+		tsnb := runScheme(space, core.SchemeTri, 0, false, cfg, algo)
+		tri := runScheme(space, core.SchemeTri, k, true, cfg, algo)
+		laesa := runScheme(space, core.SchemeLAESA, k, true, cfg, algo)
+		tlaesa := runScheme(space, core.SchemeTLAESA, k, true, cfg, algo)
 
 		for _, r := range []runOutcome{tsnb, tri, laesa, tlaesa} {
 			if math.Abs(r.Checksum-noop.Checksum) > 1e-6 {

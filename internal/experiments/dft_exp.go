@@ -34,8 +34,8 @@ func fig4a(cfg Config) *stats.Table {
 	}
 	for _, n := range dftSizes(cfg) {
 		space := datasets.SFPOI(n, cfg.Seed)
-		adm := runScheme(space, core.SchemeADM, 0, false, cfg.Seed, primLazyAlgo)
-		dft := runScheme(space, core.SchemeDFT, 0, false, cfg.Seed, primLazyAlgo)
+		adm := runScheme(space, core.SchemeADM, 0, false, cfg, primLazyAlgo)
+		dft := runScheme(space, core.SchemeDFT, 0, false, cfg, primLazyAlgo)
 		if !fcmp.ExactEq(adm.Checksum, dft.Checksum) {
 			// MST weights are float-identical across schemes by design.
 			panic("fig4a: MST weight diverged between ADM and DFT")
@@ -60,8 +60,8 @@ func fig4b(cfg Config) *stats.Table {
 	}
 	for _, n := range dftSizes(cfg) {
 		space := datasets.SFPOI(n, cfg.Seed)
-		adm := runScheme(space, core.SchemeADM, 0, false, cfg.Seed, primLazyAlgo)
-		dft := runScheme(space, core.SchemeDFT, 0, false, cfg.Seed, primLazyAlgo)
+		adm := runScheme(space, core.SchemeADM, 0, false, cfg, primLazyAlgo)
+		dft := runScheme(space, core.SchemeDFT, 0, false, cfg, primLazyAlgo)
 		ratio := float64(dft.CPU) / float64(adm.CPU)
 		t.AddRow(stats.Int(edgesOf(n)), stats.Dur(adm.CPU), stats.Dur(dft.CPU),
 			stats.F(ratio))

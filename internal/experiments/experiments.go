@@ -16,8 +16,10 @@ import (
 	"time"
 
 	"metricprox/internal/core"
+	"metricprox/internal/faultmetric"
 	"metricprox/internal/metric"
 	"metricprox/internal/prox"
+	"metricprox/internal/resilient"
 	"metricprox/internal/stats"
 )
 
@@ -29,6 +31,16 @@ type Config struct {
 	Quick bool
 	// Seed makes every dataset and randomised algorithm deterministic.
 	Seed int64
+	// FaultRate > 0 wraps every oracle in a deterministic fault injector
+	// (transient errors at this per-attempt probability) behind the
+	// resilient retry policy, so the suite measures the call-count and
+	// wall-time overhead of surviving failures. The injector's per-pair
+	// failure cap stays below the retry budget, so outputs — and the
+	// cross-scheme checksums — are preserved exactly.
+	FaultRate float64
+	// FaultSeed seeds the fault schedule (independent of Seed so the same
+	// dataset can be benchmarked under different schedules).
+	FaultSeed int64
 }
 
 // Runner is one registered experiment.
@@ -97,11 +109,12 @@ func logLandmarks(n int) int {
 
 // runOutcome captures one algorithm execution over one scheme.
 type runOutcome struct {
-	Calls     int64         // total oracle calls, bootstrap included
+	Calls     int64         // successful oracle calls, bootstrap included
 	Bootstrap int64         // calls spent on landmark bootstrap
 	CPU       time.Duration // wall time of the run (oracle is in-memory)
 	Checksum  float64       // output fingerprint for cross-scheme validation
 	Landmarks int
+	Retries   int64 // extra attempts under fault injection (0 fault-free)
 }
 
 // algoFunc runs a proximity algorithm over a session and returns an output
@@ -110,25 +123,39 @@ type algoFunc func(*core.Session) float64
 
 // runScheme executes algo over space with the given scheme. nLandmarks > 0
 // selects that many landmarks; bootstrap resolves their rows up front.
-func runScheme(space metric.Space, scheme core.Scheme, nLandmarks int, bootstrap bool, seed int64, algo algoFunc) runOutcome {
-	o := metric.NewOracle(space)
+// cfg.FaultRate > 0 routes every oracle call through the fault-injection
+// and retry chain (see Config.FaultRate); Calls then counts successful
+// resolutions, identical to the fault-free count because outputs are
+// preserved, while Retries records the extra attempts the schedule cost.
+func runScheme(space metric.Space, scheme core.Scheme, nLandmarks int, bootstrap bool, cfg Config, algo algoFunc) runOutcome {
 	var lms []int
 	if nLandmarks > 0 {
-		lms = core.PickLandmarks(space.Len(), nLandmarks, seed)
+		lms = core.PickLandmarks(space.Len(), nLandmarks, cfg.Seed)
 	}
-	s := core.NewSessionWithLandmarks(o, scheme, lms)
+	var fo metric.FallibleOracle = metric.NewOracle(space)
+	if cfg.FaultRate > 0 {
+		inj := faultmetric.New(space, faultmetric.Config{
+			Seed:               cfg.FaultSeed,
+			TransientRate:      cfg.FaultRate,
+			MaxFailuresPerPair: faultmetric.SpecMaxFailuresPerPair,
+		})
+		fo = resilient.New(inj, resilient.RetryOnlyPolicy(cfg.FaultSeed))
+	}
+	s := core.NewFallibleSessionWithLandmarks(fo, scheme, lms)
 	start := time.Now()
 	var boot int64
 	if bootstrap && len(lms) > 0 {
 		boot = s.Bootstrap(lms)
 	}
 	sum := algo(s)
+	st := s.Stats()
 	return runOutcome{
-		Calls:     o.Calls(),
+		Calls:     st.OracleCalls,
 		Bootstrap: boot,
 		CPU:       time.Since(start),
 		Checksum:  sum,
 		Landmarks: len(lms),
+		Retries:   st.Retries,
 	}
 }
 

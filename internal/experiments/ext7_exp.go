@@ -32,9 +32,9 @@ func ext7(cfg Config) *stats.Table {
 	}
 	for _, n := range ns {
 		space := datasets.UrbanGB(n, cfg.Seed)
-		tri := runScheme(space, core.SchemeTri, 0, false, cfg.Seed, primAlgo)
-		hybrid := runScheme(space, core.SchemeHybrid, 0, false, cfg.Seed, primAlgo)
-		splub := runScheme(space, core.SchemeSPLUB, 0, false, cfg.Seed, primAlgo)
+		tri := runScheme(space, core.SchemeTri, 0, false, cfg, primAlgo)
+		hybrid := runScheme(space, core.SchemeHybrid, 0, false, cfg, primAlgo)
+		splub := runScheme(space, core.SchemeSPLUB, 0, false, cfg, primAlgo)
 		if !fcmp.ExactEq(tri.Checksum, hybrid.Checksum) || !fcmp.ExactEq(tri.Checksum, splub.Checksum) {
 			panic(fmt.Sprintf("ext7 n=%d: MST weight diverged", n))
 		}

@@ -35,9 +35,9 @@ func ext8(cfg Config) *stats.Table {
 	for _, n := range ns {
 		space := datasets.UrbanGB(n, cfg.Seed)
 		k := logLandmarks(n)
-		prim := runScheme(space, core.SchemeTri, k, true, cfg.Seed, primAlgo)
-		kruskal := runScheme(space, core.SchemeTri, k, true, cfg.Seed, kruskalAlgo)
-		boruvka := runScheme(space, core.SchemeTri, k, true, cfg.Seed, boruvkaAlgo)
+		prim := runScheme(space, core.SchemeTri, k, true, cfg, primAlgo)
+		kruskal := runScheme(space, core.SchemeTri, k, true, cfg, kruskalAlgo)
+		boruvka := runScheme(space, core.SchemeTri, k, true, cfg, boruvkaAlgo)
 		if math.Abs(prim.Checksum-kruskal.Checksum) > 1e-6 || math.Abs(prim.Checksum-boruvka.Checksum) > 1e-6 {
 			panic(fmt.Sprintf("ext8 n=%d: MST weight diverged across algorithms", n))
 		}

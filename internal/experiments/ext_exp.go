@@ -110,10 +110,10 @@ func ext2(cfg Config) *stats.Table {
 	}
 	for _, n := range ns {
 		space := datasets.UrbanGB(n, cfg.Seed)
-		noop := runScheme(space, core.SchemeNoop, 0, false, cfg.Seed, func(s *core.Session) float64 {
+		noop := runScheme(space, core.SchemeNoop, 0, false, cfg, func(s *core.Session) float64 {
 			return prox.KCenter(s, 8).Radius
 		})
-		tri := runScheme(space, core.SchemeTri, 0, false, cfg.Seed, func(s *core.Session) float64 {
+		tri := runScheme(space, core.SchemeTri, 0, false, cfg, func(s *core.Session) float64 {
 			return prox.KCenter(s, 8).Radius
 		})
 		if !fcmp.ExactEq(noop.Checksum, tri.Checksum) {
@@ -151,8 +151,8 @@ func ext3(cfg Config) *stats.Table {
 		}},
 	}
 	for _, st := range stages {
-		noop := runScheme(space, core.SchemeNoop, 0, false, cfg.Seed, st.run)
-		tri := runScheme(space, core.SchemeTri, 0, false, cfg.Seed, st.run)
+		noop := runScheme(space, core.SchemeNoop, 0, false, cfg, st.run)
+		tri := runScheme(space, core.SchemeTri, 0, false, cfg, st.run)
 		if !fcmp.ExactEq(noop.Checksum, tri.Checksum) {
 			panic("ext3: tour diverged across schemes")
 		}

@@ -64,10 +64,10 @@ func paramCallSweep(cfg Config, id, title string, gen func(int, int64) metric.Sp
 	}
 	for _, p := range params {
 		algo := algoOf(p)(n)
-		noop := runScheme(space, core.SchemeNoop, 0, false, cfg.Seed, algo)
-		tri := runScheme(space, core.SchemeTri, k, true, cfg.Seed, algo)
-		laesa := runScheme(space, core.SchemeLAESA, k, true, cfg.Seed, algo)
-		tlaesa := runScheme(space, core.SchemeTLAESA, k, true, cfg.Seed, algo)
+		noop := runScheme(space, core.SchemeNoop, 0, false, cfg, algo)
+		tri := runScheme(space, core.SchemeTri, k, true, cfg, algo)
+		laesa := runScheme(space, core.SchemeLAESA, k, true, cfg, algo)
+		tlaesa := runScheme(space, core.SchemeTLAESA, k, true, cfg, algo)
 		t.AddRow(
 			stats.Int(int64(p)),
 			stats.Int(noop.Calls),
@@ -102,10 +102,10 @@ func paramCPUSweep(cfg Config, id, title string, gen func(int, int64) metric.Spa
 	}
 	for _, p := range params {
 		algo := algoOf(p)(n)
-		noop := runScheme(space, core.SchemeNoop, 0, false, cfg.Seed, algo)
-		tri := runScheme(space, core.SchemeTri, k, true, cfg.Seed, algo)
-		laesa := runScheme(space, core.SchemeLAESA, k, true, cfg.Seed, algo)
-		tlaesa := runScheme(space, core.SchemeTLAESA, k, true, cfg.Seed, algo)
+		noop := runScheme(space, core.SchemeNoop, 0, false, cfg, algo)
+		tri := runScheme(space, core.SchemeTri, k, true, cfg, algo)
+		laesa := runScheme(space, core.SchemeLAESA, k, true, cfg, algo)
+		tlaesa := runScheme(space, core.SchemeTLAESA, k, true, cfg, algo)
 		t.AddRow(
 			stats.Int(int64(p)),
 			stats.Dur(noop.CPU),

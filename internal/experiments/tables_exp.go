@@ -40,10 +40,10 @@ func primTable(cfg Config, id, dataset string, gen func(int, int64) metric.Space
 		space := gen(n, cfg.Seed)
 		k := logLandmarks(n)
 
-		tsnb := runScheme(space, core.SchemeTri, 0, false, cfg.Seed, primAlgo)
-		tri := runScheme(space, core.SchemeTri, k, true, cfg.Seed, primAlgo)
-		laesa := runScheme(space, core.SchemeLAESA, k, true, cfg.Seed, primAlgo)
-		tlaesa := runScheme(space, core.SchemeTLAESA, k, true, cfg.Seed, primAlgo)
+		tsnb := runScheme(space, core.SchemeTri, 0, false, cfg, primAlgo)
+		tri := runScheme(space, core.SchemeTri, k, true, cfg, primAlgo)
+		laesa := runScheme(space, core.SchemeLAESA, k, true, cfg, primAlgo)
+		tlaesa := runScheme(space, core.SchemeTLAESA, k, true, cfg, primAlgo)
 
 		// Output identity is part of the experiment contract: all schemes
 		// must agree on the MST weight.

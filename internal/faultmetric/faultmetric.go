@@ -1,0 +1,250 @@
+// Package faultmetric is a deterministic, seed-driven chaos wrapper for
+// distance oracles. It turns the perfect in-process oracle the library is
+// tested against into the hostile backend the paper actually assumes — a
+// rate-limited maps API, an edit-distance service behind a flaky load
+// balancer — by injecting, per call:
+//
+//   - transient errors (ErrTransient): one-off failures a retry fixes;
+//   - rate-limit rejections (ErrRateLimited): quota-shaped push-back;
+//   - outage windows (ErrOutage): bursts of consecutive failures that
+//     model a backend going down, sized to trip a circuit breaker;
+//   - injected latency: slow responses that exercise per-call deadlines;
+//   - corrupt values: NaN / negative distances returned with a nil error,
+//     exercising the corrupt-value rejection of the layers above.
+//
+// Every decision is a pure function of (seed, pair, attempt): attempt k on
+// pair (i, j) fails or succeeds identically no matter how goroutines
+// interleave, so chaos runs are reproducible from their seed alone and a
+// bounded per-pair failure cap can guarantee that a retry policy with a
+// sufficient budget always completes. Outage windows are the one
+// exception — they are indexed by a global call counter, so their *onset*
+// depends on call order under concurrency — but soundness never does:
+// failures only ever suppress answers, never corrupt committed ones.
+//
+// The wrapper counts every injection (Counters) so tests can cross-check
+// the retry accounting of the resilient layer against ground truth.
+package faultmetric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"metricprox/internal/metric"
+)
+
+// Typed injection errors. ErrTransient and ErrRateLimited are retryable;
+// ErrOutage models a hard backend failure burst (also retryable, but
+// designed to outlast small retry budgets and trip breakers).
+var (
+	ErrTransient   = errors.New("faultmetric: injected transient error")
+	ErrRateLimited = errors.New("faultmetric: injected rate-limit rejection")
+	ErrOutage      = errors.New("faultmetric: injected outage window")
+)
+
+// Config tunes the fault schedule. All rates are probabilities in [0, 1]
+// evaluated independently per attempt from the deterministic hash stream.
+type Config struct {
+	// Seed drives every injection decision; two injectors with the same
+	// seed and config inject identically on identical (pair, attempt)
+	// streams.
+	Seed int64
+
+	// TransientRate is the per-attempt probability of ErrTransient.
+	TransientRate float64
+	// RateLimitRate is the per-attempt probability of ErrRateLimited.
+	RateLimitRate float64
+	// CorruptRate is the per-attempt probability of returning a corrupt
+	// value (NaN or a negative distance) with a nil error.
+	CorruptRate float64
+
+	// Latency, when nonzero, is slept (context-aware) on roughly
+	// LatencyRate of calls; LatencyRate 0 with Latency set means every
+	// call.
+	Latency     time.Duration
+	LatencyRate float64
+
+	// OutagePeriod > 0 opens an outage window every OutagePeriod calls
+	// (global call index), during which OutageLen consecutive calls fail
+	// with ErrOutage. OutageLen 0 with a period set means 1.
+	OutagePeriod int
+	OutageLen    int
+
+	// MaxFailuresPerPair caps the number of injected failures (transient,
+	// rate-limit, or corrupt) charged to any single pair; once reached,
+	// further attempts on that pair succeed (outage windows excepted).
+	// Setting it below the retry budget of the policy under test makes
+	// completion deterministic. 0 means no cap.
+	MaxFailuresPerPair int
+}
+
+// Counters is the injector's ground-truth account of what it did.
+type Counters struct {
+	Calls      int64 // attempts that reached the injector
+	Transients int64 // ErrTransient injections
+	RateLimits int64 // ErrRateLimited injections
+	Outages    int64 // ErrOutage injections
+	Corrupts   int64 // corrupt (NaN/negative) responses
+	Latencies  int64 // calls that slept the injected latency
+	CtxCancels int64 // calls aborted by their context (during latency)
+}
+
+// Failures returns the number of attempts that returned an error.
+func (c Counters) Failures() int64 { return c.Transients + c.RateLimits + c.Outages }
+
+// BadResponses returns every attempt a resilient caller must retry:
+// errored attempts plus corrupt values.
+func (c Counters) BadResponses() int64 { return c.Failures() + c.Corrupts }
+
+// Injector wraps a metric.Space as a metric.FallibleOracle with the
+// configured fault schedule. It is safe for concurrent use.
+type Injector struct {
+	base metric.Space
+	cfg  Config
+
+	mu       sync.Mutex
+	calls    int64
+	attempts map[int64]int64 // per-pair attempt index
+	failed   map[int64]int64 // per-pair injected failure count
+	counts   Counters
+}
+
+// New wraps base with the given fault schedule.
+func New(base metric.Space, cfg Config) *Injector {
+	if cfg.OutagePeriod > 0 && cfg.OutageLen <= 0 {
+		cfg.OutageLen = 1
+	}
+	return &Injector{
+		base:     base,
+		cfg:      cfg,
+		attempts: make(map[int64]int64),
+		failed:   make(map[int64]int64),
+	}
+}
+
+// Len returns the base universe size.
+func (f *Injector) Len() int { return f.base.Len() }
+
+// Counters snapshots the injection counts.
+func (f *Injector) Counters() Counters {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts
+}
+
+// DistanceCtx serves one attempt: it draws the fault decision for this
+// (pair, attempt) from the seeded hash stream, injects the scheduled
+// misbehaviour, and otherwise answers from the wrapped space.
+func (f *Injector) DistanceCtx(ctx context.Context, i, j int) (float64, error) {
+	key := pairKey(i, j)
+
+	f.mu.Lock()
+	f.calls++
+	call := f.calls
+	attempt := f.attempts[key]
+	f.attempts[key] = attempt + 1
+	f.counts.Calls++
+
+	// Outage windows: call-indexed bursts of consecutive failures.
+	if f.cfg.OutagePeriod > 0 {
+		phase := (call - 1) % int64(f.cfg.OutagePeriod)
+		if phase < int64(f.cfg.OutageLen) {
+			f.counts.Outages++
+			f.mu.Unlock()
+			return 0, fmt.Errorf("%w (call %d)", ErrOutage, call)
+		}
+	}
+
+	capped := f.cfg.MaxFailuresPerPair > 0 && f.failed[key] >= int64(f.cfg.MaxFailuresPerPair)
+	var inject error
+	corrupt := false
+	if !capped {
+		switch {
+		case f.roll(key, attempt, rollRateLimit) < f.cfg.RateLimitRate:
+			inject = fmt.Errorf("%w (pair %d,%d attempt %d)", ErrRateLimited, i, j, attempt)
+			f.counts.RateLimits++
+		case f.roll(key, attempt, rollTransient) < f.cfg.TransientRate:
+			inject = fmt.Errorf("%w (pair %d,%d attempt %d)", ErrTransient, i, j, attempt)
+			f.counts.Transients++
+		case f.roll(key, attempt, rollCorrupt) < f.cfg.CorruptRate:
+			corrupt = true
+			f.counts.Corrupts++
+		}
+		if inject != nil || corrupt {
+			f.failed[key]++
+		}
+	}
+	sleep := time.Duration(0)
+	if f.cfg.Latency > 0 && (f.cfg.LatencyRate <= 0 || f.roll(key, attempt, rollLatency) < f.cfg.LatencyRate) {
+		sleep = f.cfg.Latency
+		f.counts.Latencies++
+	}
+	f.mu.Unlock()
+
+	if sleep > 0 {
+		if err := metric.SleepCtx(ctx, sleep); err != nil {
+			f.mu.Lock()
+			f.counts.CtxCancels++
+			f.mu.Unlock()
+			return 0, err
+		}
+	}
+	if inject != nil {
+		return 0, inject
+	}
+	if corrupt {
+		// Alternate between the two corruption shapes deterministically.
+		if hash64(f.cfg.Seed, key, attempt, rollCorruptKind)&1 == 0 {
+			return math.NaN(), nil
+		}
+		return -1, nil
+	}
+	if err := ctx.Err(); err != nil {
+		f.mu.Lock()
+		f.counts.CtxCancels++
+		f.mu.Unlock()
+		return 0, err
+	}
+	return f.base.Distance(i, j), nil
+}
+
+// roll draws the uniform [0,1) variate for one decision stream.
+func (f *Injector) roll(key, attempt int64, stream int64) float64 {
+	return float64(hash64(f.cfg.Seed, key, attempt, stream)>>11) / float64(1<<53)
+}
+
+// Decision streams keep the per-attempt rolls independent of each other.
+const (
+	rollTransient int64 = iota + 1
+	rollRateLimit
+	rollCorrupt
+	rollCorruptKind
+	rollLatency
+)
+
+// pairKey normalises an unordered pair into one int64.
+func pairKey(i, j int) int64 {
+	if i > j {
+		i, j = j, i
+	}
+	return int64(i)<<32 | int64(uint32(j))
+}
+
+// hash64 is a splitmix64-style mix of the decision coordinates; it is the
+// entire source of randomness, making every schedule a pure function of
+// the seed.
+func hash64(seed, key, attempt, stream int64) uint64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(key)*0xbf58476d1ce4e5b9 ^
+		uint64(attempt)*0x94d049bb133111eb ^ uint64(stream)*0xd6e8feb86659fd93
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+var _ metric.FallibleOracle = (*Injector)(nil)

@@ -1,0 +1,64 @@
+package faultmetric
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the CLI fault specification shared by cmd/metricprox
+// and cmd/proxbench:
+//
+//	-faults seed=N,rate=P
+//
+// into a Config injecting ErrTransient at per-attempt probability P
+// (0 < P ≤ 1) from the deterministic stream seeded by N (optional,
+// default 1). The returned config caps injected failures at
+// SpecMaxFailuresPerPair per pair, so any retry policy with a larger
+// attempt budget — resilient.RetryOnlyPolicy in the CLIs — is guaranteed
+// to resolve every pair and preserve the fault-free output. Unknown
+// keys, duplicates, and out-of-range values are rejected rather than
+// ignored: a mistyped fault schedule should fail loudly before any work
+// is done.
+func ParseSpec(spec string) (Config, error) {
+	cfg := Config{Seed: 1, MaxFailuresPerPair: SpecMaxFailuresPerPair}
+	seen := map[string]bool{}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok || val == "" {
+			return Config{}, fmt.Errorf("faultmetric: bad field %q in spec %q (want key=value)", field, spec)
+		}
+		if seen[key] {
+			return Config{}, fmt.Errorf("faultmetric: duplicate key %q in spec %q", key, spec)
+		}
+		seen[key] = true
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("faultmetric: bad seed %q: %v", val, err)
+			}
+			cfg.Seed = n
+		case "rate":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("faultmetric: bad rate %q: %v", val, err)
+			}
+			if !(p > 0 && p <= 1) {
+				return Config{}, fmt.Errorf("faultmetric: rate must be in (0, 1], got %v", p)
+			}
+			cfg.TransientRate = p
+		default:
+			return Config{}, fmt.Errorf("faultmetric: unknown key %q in spec %q (known: seed, rate)", key, spec)
+		}
+	}
+	if !seen["rate"] {
+		return Config{}, fmt.Errorf("faultmetric: spec %q missing required key rate", spec)
+	}
+	return cfg, nil
+}
+
+// SpecMaxFailuresPerPair is the per-pair failure cap applied by
+// ParseSpec. Any retry policy granting more attempts than this per
+// resolution completes deterministically under the parsed schedule.
+const SpecMaxFailuresPerPair = 3

@@ -1,0 +1,48 @@
+package faultmetric
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Config
+		err  string // substring of the expected error, "" for success
+	}{
+		{spec: "rate=0.25", want: Config{Seed: 1, TransientRate: 0.25, MaxFailuresPerPair: SpecMaxFailuresPerPair}},
+		{spec: "seed=7,rate=0.5", want: Config{Seed: 7, TransientRate: 0.5, MaxFailuresPerPair: SpecMaxFailuresPerPair}},
+		{spec: "rate=1,seed=-3", want: Config{Seed: -3, TransientRate: 1, MaxFailuresPerPair: SpecMaxFailuresPerPair}},
+		{spec: " seed=2 ,rate=0.1", want: Config{Seed: 2, TransientRate: 0.1, MaxFailuresPerPair: SpecMaxFailuresPerPair}},
+
+		{spec: "", err: "bad field"},
+		{spec: "seed=7", err: "missing required key rate"},
+		{spec: "rate=0", err: "rate must be in (0, 1]"},
+		{spec: "rate=1.5", err: "rate must be in (0, 1]"},
+		{spec: "rate=-0.1", err: "rate must be in (0, 1]"},
+		{spec: "rate=abc", err: "bad rate"},
+		{spec: "seed=x,rate=0.1", err: "bad seed"},
+		{spec: "seed=1.5,rate=0.1", err: "bad seed"},
+		{spec: "rate=0.1,rate=0.2", err: "duplicate key"},
+		{spec: "rate=0.1,latency=5ms", err: "unknown key"},
+		{spec: "rate", err: "bad field"},
+		{spec: "rate=", err: "bad field"},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.spec)
+		if tc.err != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.err) {
+				t.Errorf("ParseSpec(%q) error = %v, want containing %q", tc.spec, err, tc.err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q) unexpected error: %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package metric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// FallibleOracle is the context-aware, error-propagating face of the
+// distance oracle. It models what the paper's "expensive oracle" really is
+// in production — a maps API, an edit-distance engine, an image comparator
+// reached over a network — which can time out, rate-limit, suffer outages,
+// or return garbage. The session layer (internal/core) consumes this
+// interface; internal/faultmetric injects faults behind it and
+// internal/resilient wraps any implementation with retry, backoff, and
+// circuit-breaking.
+//
+// DistanceCtx must honour ctx cancellation and return every failure as an
+// error; it must never return NaN or a negative distance with a nil error
+// (wrap untrusted backends in a validator, or let the resilient layer's
+// corrupt-value rejection catch them).
+type FallibleOracle interface {
+	Len() int
+	DistanceCtx(ctx context.Context, i, j int) (float64, error)
+}
+
+// ErrInvalidDistance marks a distance that violates the metric contract at
+// the oracle boundary: NaN or negative. A corrupt value from a backend
+// must never reach the bound structures — a single NaN silently poisons
+// every interval it touches — so both oracle paths reject it here: the
+// fallible path by returning an error wrapping ErrInvalidDistance, the
+// legacy infallible path by panicking (documented on Oracle.Distance).
+var ErrInvalidDistance = errors.New("metric: invalid distance")
+
+// ValidateDistance checks a raw backend response for NaN and negativity,
+// returning an error wrapping ErrInvalidDistance on violation.
+func ValidateDistance(d float64, i, j int) error {
+	if math.IsNaN(d) {
+		return fmt.Errorf("%w: Distance(%d,%d) returned NaN", ErrInvalidDistance, i, j)
+	}
+	if d < 0 {
+		return fmt.Errorf("%w: Distance(%d,%d) = %v is negative", ErrInvalidDistance, i, j, d)
+	}
+	return nil
+}
+
+// DistanceCtx implements FallibleOracle over the in-process Oracle: it
+// honours ctx cancellation (including during simulated latency), counts
+// the call, and rejects corrupt backend values with a typed error instead
+// of the legacy path's panic. An in-process oracle over a valid metric
+// space never fails, so sessions built on top of it are effectively
+// infallible — which is exactly why the legacy Session methods can stay
+// error-free adapters.
+func (o *Oracle) DistanceCtx(ctx context.Context, i, j int) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	o.calls.Add(1)
+	if o.latency > 0 {
+		if err := SleepCtx(ctx, o.latency); err != nil {
+			return 0, err
+		}
+	}
+	d := o.space.Distance(i, j)
+	if err := ValidateDistance(d, i, j); err != nil {
+		return 0, err
+	}
+	return d, nil
+}
+
+// SleepCtx sleeps for d or until ctx is done, returning ctx.Err() if the
+// context fired first. It is the shared primitive for every simulated
+// latency and backoff wait in the failure-model stack.
+func SleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+var _ FallibleOracle = (*Oracle)(nil)

@@ -1,0 +1,110 @@
+package metric
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// corruptSpace returns a fixed (possibly non-metric) value for every pair.
+type corruptSpace struct {
+	n int
+	d float64
+}
+
+func (c corruptSpace) Len() int                  { return c.n }
+func (c corruptSpace) Distance(i, j int) float64 { return c.d }
+
+func TestValidateDistance(t *testing.T) {
+	if err := ValidateDistance(0.5, 0, 1); err != nil {
+		t.Fatalf("valid distance rejected: %v", err)
+	}
+	if err := ValidateDistance(0, 0, 1); err != nil {
+		t.Fatalf("zero distance rejected: %v", err)
+	}
+	for _, bad := range []float64{math.NaN(), -0.25, math.Inf(-1)} {
+		err := ValidateDistance(bad, 2, 3)
+		if err == nil {
+			t.Fatalf("ValidateDistance(%v) = nil, want error", bad)
+		}
+		if !errors.Is(err, ErrInvalidDistance) {
+			t.Fatalf("ValidateDistance(%v) = %v, want ErrInvalidDistance", bad, err)
+		}
+	}
+}
+
+func TestOracleDistancePanicsOnCorruptBackend(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), -1} {
+		o := NewOracle(corruptSpace{n: 4, d: bad})
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("Distance with backend value %v did not panic", bad)
+				}
+				err, ok := r.(error)
+				if !ok || !errors.Is(err, ErrInvalidDistance) {
+					t.Fatalf("panic value %v, want error wrapping ErrInvalidDistance", r)
+				}
+			}()
+			o.Distance(0, 1)
+		}()
+	}
+}
+
+func TestOracleDistanceCtxRejectsCorruptBackend(t *testing.T) {
+	o := NewOracle(corruptSpace{n: 4, d: math.NaN()})
+	if _, err := o.DistanceCtx(context.Background(), 0, 1); !errors.Is(err, ErrInvalidDistance) {
+		t.Fatalf("DistanceCtx over NaN backend: err = %v, want ErrInvalidDistance", err)
+	}
+}
+
+func TestOracleDistanceCtx(t *testing.T) {
+	o := NewOracle(corruptSpace{n: 4, d: 0.75})
+	d, err := o.DistanceCtx(context.Background(), 0, 1)
+	if err != nil || d != 0.75 {
+		t.Fatalf("DistanceCtx = (%v, %v), want (0.75, nil)", d, err)
+	}
+	if o.Calls() != 1 {
+		t.Fatalf("Calls = %d, want 1", o.Calls())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := o.DistanceCtx(ctx, 0, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DistanceCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if o.Calls() != 1 {
+		t.Fatalf("cancelled call still counted: Calls = %d, want 1", o.Calls())
+	}
+}
+
+func TestOracleDistanceCtxLatencyHonoursDeadline(t *testing.T) {
+	o := NewLatencyOracle(corruptSpace{n: 4, d: 0.5}, time.Hour)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := o.DistanceCtx(ctx, 0, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("latency sleep ignored the deadline (%v)", elapsed)
+	}
+}
+
+func TestSleepCtx(t *testing.T) {
+	if err := SleepCtx(context.Background(), 0); err != nil {
+		t.Fatalf("zero sleep: %v", err)
+	}
+	if err := SleepCtx(context.Background(), time.Microsecond); err != nil {
+		t.Fatalf("short sleep: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := SleepCtx(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sleep: err = %v, want context.Canceled", err)
+	}
+}

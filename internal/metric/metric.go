@@ -58,12 +58,23 @@ func (o *Oracle) Len() int { return o.space.Len() }
 
 // Distance resolves the exact distance between objects i and j,
 // incrementing the call counter.
+//
+// Distance panics if the underlying space returns NaN or a negative value:
+// the legacy infallible path has no error channel, and letting a corrupt
+// backend response through would silently poison every triangle-inequality
+// bound derived from it. Backends that can misbehave should be reached
+// through DistanceCtx (which returns a typed error wrapping
+// ErrInvalidDistance instead) or wrapped in the resilient policy layer.
 func (o *Oracle) Distance(i, j int) float64 {
 	o.calls.Add(1)
 	if o.latency > 0 {
 		time.Sleep(o.latency)
 	}
-	return o.space.Distance(i, j)
+	d := o.space.Distance(i, j)
+	if err := ValidateDistance(d, i, j); err != nil {
+		panic(err)
+	}
+	return d
 }
 
 // Calls returns the number of oracle calls made so far.

@@ -19,6 +19,10 @@ import (
 type stdImporter struct {
 	mu      sync.Mutex
 	exports map[string]string // import path -> export file
+	// imp is the single underlying gc importer: it caches every package
+	// it materialises, so two testdata packages importing "context" see
+	// the same *types.Package (type identity across the loaded tree).
+	imp types.Importer
 }
 
 func newStdImporter() *stdImporter {
@@ -29,15 +33,20 @@ func (s *stdImporter) Import(fset *token.FileSet, path string) (*types.Package, 
 	if err := s.ensure(path); err != nil {
 		return nil, err
 	}
-	imp := analysis.ExportDataImporter(fset, func(p string) (string, error) {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		file, ok := s.exports[p]
-		if !ok {
-			return "", fmt.Errorf("no export data for %q", p)
-		}
-		return file, nil
-	})
+	s.mu.Lock()
+	if s.imp == nil {
+		s.imp = analysis.ExportDataImporter(fset, func(p string) (string, error) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			file, ok := s.exports[p]
+			if !ok {
+				return "", fmt.Errorf("no export data for %q", p)
+			}
+			return file, nil
+		})
+	}
+	imp := s.imp
+	s.mu.Unlock()
 	return imp.Import(path)
 }
 

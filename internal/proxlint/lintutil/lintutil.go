@@ -62,8 +62,42 @@ func IsSpaceDistance(f *types.Func) bool {
 		!isBasic(sig.Results().At(0).Type(), types.Float64) {
 		return false
 	}
-	recv := sig.Recv().Type()
-	obj, _, _ := types.LookupFieldOrMethod(recv, true, f.Pkg(), "Len")
+	return hasIntLen(sig.Recv().Type(), f.Pkg())
+}
+
+// IsSpaceDistanceCtx reports whether f is a distance resolution in the
+// shape of metric.FallibleOracle: a method named DistanceCtx with
+// signature func(context.Context, int, int) (float64, error) whose
+// receiver type also has Len() int. A raw DistanceCtx call bypasses the
+// session layer exactly like a raw Distance call — the fallible transport
+// chain (metric → faultmetric → resilient) is the only place it belongs.
+func IsSpaceDistanceCtx(f *types.Func) bool {
+	if f == nil || f.Name() != "DistanceCtx" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	if sig.Params().Len() != 3 || sig.Results().Len() != 2 {
+		return false
+	}
+	if !isContext(sig.Params().At(0).Type()) ||
+		!isBasic(sig.Params().At(1).Type(), types.Int) ||
+		!isBasic(sig.Params().At(2).Type(), types.Int) {
+		return false
+	}
+	if !isBasic(sig.Results().At(0).Type(), types.Float64) ||
+		!types.Identical(sig.Results().At(1).Type(), types.Universe.Lookup("error").Type()) {
+		return false
+	}
+	return hasIntLen(sig.Recv().Type(), f.Pkg())
+}
+
+// hasIntLen reports whether recv has a method Len() int — the other half
+// of the metric-space shape.
+func hasIntLen(recv types.Type, pkg *types.Package) bool {
+	obj, _, _ := types.LookupFieldOrMethod(recv, true, pkg, "Len")
 	lf, ok := obj.(*types.Func)
 	if !ok {
 		return false
@@ -71,6 +105,12 @@ func IsSpaceDistance(f *types.Func) bool {
 	lsig, ok := lf.Type().(*types.Signature)
 	return ok && lsig.Params().Len() == 0 && lsig.Results().Len() == 1 &&
 		isBasic(lsig.Results().At(0).Type(), types.Int)
+}
+
+func isContext(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
 }
 
 func isBasic(t types.Type, kind types.BasicKind) bool {
@@ -89,6 +129,28 @@ func InMetricPackage(path string) bool {
 	return path == "metricprox/internal/metric" || strings.HasSuffix(path, "internal/metric")
 }
 
+// oracleLayerSuffixes are the packages that make up the oracle transport
+// chain: metric (the oracle itself), faultmetric (deterministic fault
+// injection), and resilient (retry/backoff/circuit-breaking). Moving raw
+// distance calls is these packages' entire job, so the escape discipline
+// does not apply inside them — by construction, not by ad-hoc allowlist.
+var oracleLayerSuffixes = []string{
+	"internal/metric",
+	"internal/faultmetric",
+	"internal/resilient",
+}
+
+// InOracleLayer reports whether the path names a package of the oracle
+// transport chain (see oracleLayerSuffixes).
+func InOracleLayer(path string) bool {
+	for _, suffix := range oracleLayerSuffixes {
+		if path == "metricprox/"+suffix || strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
 // coreOracleEntrypoints are the core-session methods that may reach the
 // oracle. Any call to one of these from another package is treated as
 // oracle-reaching by lockheldoracle.
@@ -98,10 +160,21 @@ var coreOracleEntrypoints = map[string]bool{
 	"LessThan":        true,
 	"DistIfLess":      true,
 	"SumLessThan":     true,
+	"SumLess":         true,
 	"Bootstrap":       true,
 	"GreedyLandmarks": true,
 	"resolve":         true,
-	"oracleDistance":  true,
+
+	// Error-propagating variants of the comparison API (fallible-oracle
+	// subsystem) — same oracle reach as their legacy counterparts.
+	"DistErr":           true,
+	"LessErr":           true,
+	"LessOutcome":       true,
+	"LessThanErr":       true,
+	"DistIfLessErr":     true,
+	"BootstrapErr":      true,
+	"resolveErr":        true,
+	"oracleDistanceErr": true,
 }
 
 // IsCoreOracleEntry reports whether f is a core-session method that can

@@ -119,10 +119,11 @@ func reachability(pass *analysis.Pass) map[*types.Func]bool {
 }
 
 // oracleSeed reports whether calling f is, by itself, an oracle
-// round-trip risk: a raw space/oracle Distance call or a core session
-// entrypoint that may resolve distances.
+// round-trip risk: a raw space/oracle Distance or DistanceCtx call, or a
+// core session entrypoint that may resolve distances.
 func oracleSeed(f *types.Func) bool {
-	return lintutil.IsSpaceDistance(f) || lintutil.IsCoreOracleEntry(f)
+	return lintutil.IsSpaceDistance(f) || lintutil.IsSpaceDistanceCtx(f) ||
+		lintutil.IsCoreOracleEntry(f)
 }
 
 // walker performs an abstract interpretation of one function body,

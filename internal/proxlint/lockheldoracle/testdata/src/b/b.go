@@ -4,6 +4,7 @@
 package b
 
 import (
+	"context"
 	"sync"
 
 	"metricprox/internal/core"
@@ -104,4 +105,32 @@ func differentLockReleased(g *guarded) float64 {
 	d := g.s.Dist(5, 6) // want `call to Dist may reach the distance oracle while "g\.rw" is held`
 	g.rw.Unlock()
 	return d
+}
+
+// fallibleSpace is the context-aware oracle shape: raw DistanceCtx calls
+// are oracle round-trips just like Distance.
+type fallibleSpace struct{ n int }
+
+func (f *fallibleSpace) Len() int { return f.n }
+func (f *fallibleSpace) DistanceCtx(ctx context.Context, i, j int) (float64, error) {
+	return 0, nil
+}
+
+func rawFallibleUnderLock(g *guarded, fo *fallibleSpace) (float64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return fo.DistanceCtx(context.Background(), 1, 2) // want `call to DistanceCtx may reach the distance oracle while "g\.mu" is held`
+}
+
+func errVariantUnderLock(g *guarded) (float64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.s.DistErr(1, 2) // want `call to DistErr may reach the distance oracle while "g\.mu" is held`
+}
+
+func errVariantAfterUnlock(g *guarded) (bool, error) {
+	g.mu.Lock()
+	_ = g.s.OracleErr() // error inspection is bookkeeping, never an oracle call
+	g.mu.Unlock()
+	return g.s.LessErr(1, 2, 3, 4) // resolved with the lock released: fine
 }

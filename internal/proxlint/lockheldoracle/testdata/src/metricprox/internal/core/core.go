@@ -11,3 +11,9 @@ func (s *Session) LessThan(i, j int, c float64) bool  { return false }
 func (s *Session) Known(i, j int) (float64, bool)     { return 0, false }
 func (s *Session) Bounds(i, j int) (float64, float64) { return 0, 1 }
 func (s *Session) Bootstrap(landmarks []int) int64    { return 0 }
+
+// Error-propagating variants (fallible-oracle subsystem).
+func (s *Session) DistErr(i, j int) (float64, error)           { return 0, nil }
+func (s *Session) LessErr(i, j, k, l int) (bool, error)        { return false, nil }
+func (s *Session) OracleErr() error                            { return nil }
+func (s *Session) BootstrapErr(landmarks []int) (int64, error) { return 0, nil }

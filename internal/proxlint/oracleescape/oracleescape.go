@@ -7,10 +7,14 @@
 // A single stray metric.Oracle.Distance or metric.Space.Distance call in
 // an algorithm silently breaks the paper's call-count guarantees while
 // producing correct answers, which is exactly the kind of bug code review
-// misses. This analyzer makes the channel discipline mechanical: any
-// metric-space-shaped Distance call (or method-value reference) outside
-// internal/metric, internal/core, a _test.go file, or an explicit
-// //proxlint:allow oracleescape directive is a lint error.
+// misses. The same goes for the fallible variant: a raw DistanceCtx call
+// skips the session's memoisation, bound learning, and retry accounting
+// alike. This analyzer makes the channel discipline mechanical: any
+// metric-space-shaped Distance or DistanceCtx call (or method-value
+// reference) outside the oracle transport chain (internal/metric,
+// internal/faultmetric, internal/resilient), internal/core, a _test.go
+// file, or an explicit //proxlint:allow oracleescape directive is a lint
+// error.
 package oracleescape
 
 import (
@@ -24,14 +28,14 @@ import (
 // Analyzer flags distance resolutions that bypass the session layer.
 var Analyzer = &analysis.Analyzer{
 	Name: "oracleescape",
-	Doc: "forbid metric.Oracle.Distance / metric.Space.Distance calls outside " +
-		"internal/metric, internal/core, tests, and the explicit allowlist",
+	Doc: "forbid metric-space-shaped Distance / DistanceCtx calls outside the " +
+		"oracle transport chain, internal/core, tests, and the explicit allowlist",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
 	path := pass.Pkg.Path()
-	if lintutil.InMetricPackage(path) || lintutil.InCorePackage(path) {
+	if lintutil.InOracleLayer(path) || lintutil.InCorePackage(path) {
 		return nil
 	}
 	for _, file := range pass.Files {
@@ -56,16 +60,16 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			f := lintutil.SelectedFunc(pass.TypesInfo, sel)
-			if !lintutil.IsSpaceDistance(f) {
+			if !lintutil.IsSpaceDistance(f) && !lintutil.IsSpaceDistanceCtx(f) {
 				return true
 			}
 			recv := receiverTypeString(pass.TypesInfo, sel)
 			if callFuns[sel] {
 				pass.Reportf(sel.Sel.Pos(),
-					"call to (%s).Distance bypasses the session layer: resolve distances through core.Session/core.View so OracleCalls accounting and bound learning stay sound, or annotate with //proxlint:allow oracleescape -- <why>", recv)
+					"call to (%s).%s bypasses the session layer: resolve distances through core.Session/core.View so OracleCalls accounting and bound learning stay sound, or annotate with //proxlint:allow oracleescape -- <why>", recv, f.Name())
 			} else {
 				pass.Reportf(sel.Sel.Pos(),
-					"method value (%s).Distance escapes the session layer: pass a session-backed resolver instead, or annotate with //proxlint:allow oracleescape -- <why>", recv)
+					"method value (%s).%s escapes the session layer: pass a session-backed resolver instead, or annotate with //proxlint:allow oracleescape -- <why>", recv, f.Name())
 			}
 			return true
 		})

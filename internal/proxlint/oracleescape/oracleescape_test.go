@@ -10,6 +10,10 @@ import (
 func TestOracleEscape(t *testing.T) {
 	analyzertest.Run(t, "testdata", oracleescape.Analyzer,
 		"a",
-		"metricprox/internal/core", // exempt package: no findings expected
+		// Exempt packages: no findings expected in the session layer or
+		// anywhere along the oracle transport chain.
+		"metricprox/internal/core",
+		"metricprox/internal/faultmetric",
+		"metricprox/internal/resilient",
 	)
 }

@@ -1,9 +1,13 @@
 // Package a exercises the oracleescape analyzer: metric-space-shaped
-// Distance calls outside the session layer must be flagged unless
-// explicitly allowlisted.
+// Distance and DistanceCtx calls outside the session layer must be
+// flagged unless explicitly allowlisted.
 package a
 
-import "metricprox/internal/metric"
+import (
+	"context"
+
+	"metricprox/internal/metric"
+)
 
 func rawOracleCall(o *metric.Oracle) float64 {
 	return o.Distance(1, 2) // want `call to \(\*metric\.Oracle\)\.Distance bypasses the session layer`
@@ -36,6 +40,22 @@ func allowlistedTrailing(o *metric.Oracle) float64 {
 	return o.Distance(1, 2) //proxlint:allow oracleescape -- baseline measurement
 }
 
+func rawFallibleCall(o *metric.Oracle) (float64, error) {
+	return o.DistanceCtx(context.Background(), 1, 2) // want `call to \(\*metric\.Oracle\)\.DistanceCtx bypasses the session layer`
+}
+
+func rawFallibleInterfaceCall(fo metric.FallibleOracle) (float64, error) {
+	return fo.DistanceCtx(context.Background(), 1, 2) // want `call to \(metric\.FallibleOracle\)\.DistanceCtx bypasses the session layer`
+}
+
+func fallibleMethodValue(o *metric.Oracle) func(context.Context, int, int) (float64, error) {
+	return o.DistanceCtx // want `method value \(\*metric\.Oracle\)\.DistanceCtx escapes the session layer`
+}
+
+func allowlistedFallible(o *metric.Oracle) (float64, error) {
+	return o.DistanceCtx(context.Background(), 1, 2) //proxlint:allow oracleescape -- health probe outside accounting
+}
+
 // notASpace has a Distance method but no Len: not metric-space-shaped, so
 // calls to it are fine.
 type notASpace struct{}
@@ -50,3 +70,11 @@ type intDistance struct{}
 func (intDistance) Len() int              { return 0 }
 func (intDistance) Distance(i, j int) int { return 0 }
 func useIntDistance(d intDistance) int    { return d.Distance(1, 2) }
+
+// lenlessCtx has a DistanceCtx method but no Len: not oracle-shaped.
+type lenlessCtx struct{}
+
+func (lenlessCtx) DistanceCtx(ctx context.Context, i, j int) (float64, error) { return 0, nil }
+func useLenlessCtx(l lenlessCtx) (float64, error) {
+	return l.DistanceCtx(context.Background(), 1, 2)
+}

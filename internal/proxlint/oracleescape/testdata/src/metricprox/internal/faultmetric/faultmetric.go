@@ -1,0 +1,22 @@
+// Package faultmetric is a stub of the real fault-injection layer: part
+// of the oracle transport chain, so its raw distance calls are exempt by
+// construction and nothing here is flagged.
+package faultmetric
+
+import (
+	"context"
+
+	"metricprox/internal/metric"
+)
+
+// Injector mirrors the real chaos wrapper.
+type Injector struct{ base metric.Space }
+
+func New(base metric.Space) *Injector { return &Injector{base: base} }
+
+func (f *Injector) Len() int { return f.base.Len() }
+
+func (f *Injector) DistanceCtx(ctx context.Context, i, j int) (float64, error) {
+	// The wrapper's whole job is forwarding the raw call.
+	return f.base.Distance(i, j), nil
+}

@@ -1,10 +1,18 @@
 // Package metric is a stub of the real oracle layer for analyzer tests.
 package metric
 
+import "context"
+
 // Space mirrors the real metric.Space interface.
 type Space interface {
 	Len() int
 	Distance(i, j int) float64
+}
+
+// FallibleOracle mirrors the real context-aware oracle interface.
+type FallibleOracle interface {
+	Len() int
+	DistanceCtx(ctx context.Context, i, j int) (float64, error)
 }
 
 // Oracle mirrors the real call-counting oracle.
@@ -15,6 +23,10 @@ func NewOracle(n int) *Oracle { return &Oracle{n: n} }
 func (o *Oracle) Len() int { return o.n }
 
 func (o *Oracle) Distance(i, j int) float64 { return float64(i + j) }
+
+func (o *Oracle) DistanceCtx(ctx context.Context, i, j int) (float64, error) {
+	return o.Distance(i, j), nil
+}
 
 // Vectors is a concrete space.
 type Vectors struct{ Points [][]float64 }

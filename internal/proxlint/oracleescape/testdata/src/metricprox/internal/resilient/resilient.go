@@ -1,0 +1,22 @@
+// Package resilient is a stub of the real retry/breaker policy layer:
+// part of the oracle transport chain, so its raw distance calls are
+// exempt by construction and nothing here is flagged.
+package resilient
+
+import (
+	"context"
+
+	"metricprox/internal/metric"
+)
+
+// Oracle mirrors the real policy wrapper.
+type Oracle struct{ base metric.FallibleOracle }
+
+func New(base metric.FallibleOracle) *Oracle { return &Oracle{base: base} }
+
+func (o *Oracle) Len() int { return o.base.Len() }
+
+func (o *Oracle) DistanceCtx(ctx context.Context, i, j int) (float64, error) {
+	// Retry loops re-issue the raw fallible call.
+	return o.base.DistanceCtx(ctx, i, j)
+}

@@ -1,0 +1,55 @@
+package resilient
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzBackoffDeterminism checks, for arbitrary policy coordinates, that
+// the backoff schedule is (a) a pure function of its inputs — equal seeds
+// give equal delays, (b) capped by MaxDelay, (c) zero before the first
+// retry, and (d) never negative.
+func FuzzBackoffDeterminism(f *testing.F) {
+	f.Add(int64(1), int64(10), int64(80), 0.5, 3, 7, 4)
+	f.Add(int64(-9), int64(1), int64(1), 1.0, 0, 0, 1)
+	f.Add(int64(42), int64(1000), int64(100), 0.25, 1000000, 2, 12)
+	f.Fuzz(func(t *testing.T, seed, baseMs, maxMs int64, jitter float64, i, j, attempt int) {
+		if baseMs <= 0 || baseMs > 1<<20 {
+			t.Skip()
+		}
+		if maxMs <= 0 || maxMs > 1<<20 {
+			t.Skip()
+		}
+		if jitter < 0 || jitter > 1 || jitter != jitter {
+			t.Skip()
+		}
+		if attempt < 0 || attempt > 64 {
+			t.Skip()
+		}
+		mk := func(s int64) Policy {
+			return Policy{
+				BaseDelay:  time.Duration(baseMs) * time.Millisecond,
+				MaxDelay:   time.Duration(maxMs) * time.Millisecond,
+				JitterFrac: jitter,
+				Seed:       s,
+			}.Normalize()
+		}
+		p, q := mk(seed), mk(seed)
+		a := p.Backoff(i, j, attempt)
+		if b := q.Backoff(i, j, attempt); a != b {
+			t.Fatalf("same inputs, different delays: %v vs %v", a, b)
+		}
+		if a != p.Backoff(i, j, attempt) {
+			t.Fatal("Backoff is not stable across repeated calls")
+		}
+		if a < 0 {
+			t.Fatalf("negative delay %v", a)
+		}
+		if a > p.MaxDelay {
+			t.Fatalf("delay %v exceeds cap %v", a, p.MaxDelay)
+		}
+		if attempt <= 1 && a != 0 {
+			t.Fatalf("attempt %d must not back off, got %v", attempt, a)
+		}
+	})
+}
