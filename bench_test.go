@@ -1,7 +1,7 @@
 // Package metricprox's root benchmarks: one testing.B benchmark per table
 // and figure of the paper's evaluation (run the cmd/proxbench CLI for the
 // full formatted reproduction), plus ablation benchmarks for the design
-// choices called out in DESIGN.md §6.
+// choices called out in DESIGN.md §9.
 package metricprox_test
 
 import (
@@ -89,7 +89,7 @@ func benchSessionLess(b *testing.B, scheme core.Scheme) {
 	}
 }
 
-// --- ablation benchmarks (DESIGN.md §6) ---
+// --- ablation benchmarks (DESIGN.md §9) ---
 
 // BenchmarkTriAdjacencyRBTree measures the Tri Scheme query as shipped
 // (red–black tree merge intersection).

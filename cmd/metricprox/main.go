@@ -20,6 +20,11 @@
 // timeouts, and breaker opens alongside the usual call counts, and warns
 // when answers degraded to bounds-only estimates.
 //
+// -listen (e.g. -listen :6060) serves live observability for the
+// duration of the run: the obs metrics registry as JSON at /metrics and
+// the net/http/pprof suite at /debug/pprof/. See docs/METRICS.md for the
+// exposed series and the README "Watching a run" walkthrough.
+//
 // Every flag is validated before the dataset is loaded: an unknown
 // algorithm or scheme name, a malformed -faults spec, or a contradictory
 // combination exits immediately instead of after minutes of bootstrap.
@@ -36,6 +41,8 @@ import (
 	"metricprox/internal/datasets"
 	"metricprox/internal/faultmetric"
 	"metricprox/internal/metric"
+	"metricprox/internal/obs"
+	"metricprox/internal/obs/obshttp"
 	"metricprox/internal/prox"
 	"metricprox/internal/resilient"
 )
@@ -57,6 +64,7 @@ func main() {
 		seedFlag   = flag.Int64("seed", 1, "seed for randomised algorithms")
 		cacheFlag  = flag.String("cache", "", "persistent distance-cache file")
 		faultsFlag = flag.String("faults", "", "inject oracle faults: seed=N,rate=P with P in (0,1]")
+		listenFlag = flag.String("listen", "", "serve /metrics JSON and /debug/pprof on this address (e.g. :6060) for the duration of the run")
 	)
 	flag.Parse()
 
@@ -110,11 +118,32 @@ func main() {
 	}
 	lms := core.PickLandmarks(n, k, *seedFlag)
 
+	var observer *obs.Observer
+	if *listenFlag != "" {
+		observer = obs.NewObserver(false, 0, nil)
+		addr, err := obshttp.Serve(*listenFlag, observer.Registry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metricprox: -listen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metricprox: serving metrics on http://%s/metrics (pprof under /debug/pprof/)\n", addr)
+	}
+
 	var oracle metric.FallibleOracle = metric.NewOracle(space)
 	if *faultsFlag != "" {
-		oracle = resilient.New(faultmetric.New(space, faultCfg), resilient.RetryOnlyPolicy(faultCfg.Seed))
+		inj := faultmetric.New(space, faultCfg)
+		ro := resilient.New(inj, resilient.RetryOnlyPolicy(faultCfg.Seed))
+		if observer != nil {
+			inj.Observe(observer.Registry)
+			ro.Observe(observer.Registry)
+		}
+		oracle = ro
 	}
-	s := core.NewFallibleSessionWithLandmarks(oracle, scheme, lms)
+	var opts []core.Option
+	if observer != nil {
+		opts = append(opts, core.WithObserver(observer))
+	}
+	s := core.NewFallibleSessionWithLandmarks(oracle, scheme, lms, opts...)
 
 	if *cacheFlag != "" {
 		store, err := cachestore.OpenOrCreate(*cacheFlag, n)

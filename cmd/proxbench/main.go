@@ -13,8 +13,17 @@
 //	                                # same tables under injected oracle
 //	                                # faults (outputs preserved by retry)
 //
+//	proxbench -exp table2 -obs      # append the observability summary
+//	proxbench -exp table2 -trace t.jsonl
+//	                                # trace every comparison: the per-IF
+//	                                # "why did we pay?" breakdown on
+//	                                # stdout, one JSON event per line in
+//	                                # t.jsonl ('-' streams to stderr)
+//
 // Output is aligned-markdown tables on stdout, one per artifact, with
-// footnotes recording scaling and substitution decisions.
+// footnotes recording scaling and substitution decisions. -obs and
+// -trace never change the numbers in the tables — observation is
+// write-only (DESIGN.md §8); field semantics are in docs/METRICS.md.
 //
 // All flags are validated before any experiment runs: unknown experiment
 // ids, malformed -faults specs, and contradictory combinations exit with
@@ -24,12 +33,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"metricprox/internal/experiments"
 	"metricprox/internal/faultmetric"
+	"metricprox/internal/obs"
 )
 
 func main() {
@@ -40,6 +51,8 @@ func main() {
 		seedFlag   = flag.Int64("seed", 42, "dataset and algorithm seed")
 		csvFlag    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		faultsFlag = flag.String("faults", "", "inject oracle faults: seed=N,rate=P with P in (0,1]")
+		obsFlag    = flag.Bool("obs", false, "collect observability metrics and print the summary after the run")
+		traceFlag  = flag.String("trace", "", "trace every comparison: JSONL events to this file ('-' for stderr); implies -obs")
 	)
 	flag.Parse()
 
@@ -51,7 +64,7 @@ func main() {
 		for _, bad := range []struct {
 			set  bool
 			name string
-		}{{*expFlag != "", "-exp"}, {*csvFlag, "-csv"}, {*fullFlag, "-full"}, {*faultsFlag != "", "-faults"}} {
+		}{{*expFlag != "", "-exp"}, {*csvFlag, "-csv"}, {*fullFlag, "-full"}, {*faultsFlag != "", "-faults"}, {*obsFlag, "-obs"}, {*traceFlag != "", "-trace"}} {
 			if bad.set {
 				fmt.Fprintf(os.Stderr, "proxbench: -list runs nothing and ignores %s; drop one of the two\n", bad.name)
 				os.Exit(2)
@@ -63,7 +76,7 @@ func main() {
 		for _, bad := range []struct {
 			set  bool
 			name string
-		}{{*csvFlag, "-csv"}, {*fullFlag, "-full"}, {*faultsFlag != "", "-faults"}} {
+		}{{*csvFlag, "-csv"}, {*fullFlag, "-full"}, {*faultsFlag != "", "-faults"}, {*obsFlag, "-obs"}, {*traceFlag != "", "-trace"}} {
 			if bad.set {
 				fmt.Fprintf(os.Stderr, "proxbench: %s does nothing without -exp; add -exp <id> or -exp all\n", bad.name)
 				os.Exit(2)
@@ -91,6 +104,23 @@ func main() {
 		}
 		cfg.FaultRate = fcfg.TransientRate
 		cfg.FaultSeed = fcfg.Seed
+	}
+	var sinkFile *os.File
+	if *obsFlag || *traceFlag != "" {
+		var sink io.Writer
+		switch *traceFlag {
+		case "":
+		case "-":
+			sink = os.Stderr
+		default:
+			f, err := os.Create(*traceFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "proxbench: -trace: %v\n", err)
+				os.Exit(2)
+			}
+			sinkFile, sink = f, f
+		}
+		cfg.Observer = obs.NewObserver(*traceFlag != "", 0, sink)
 	}
 
 	var runners []experiments.Runner
@@ -125,5 +155,21 @@ func main() {
 			table.Note("oracle faults injected: transient rate %g, fault seed %d — outputs preserved by retry; call counts are successful resolutions", cfg.FaultRate, cfg.FaultSeed)
 		}
 		table.Render(os.Stdout)
+	}
+
+	if cfg.Observer != nil {
+		fmt.Println()
+		obs.WriteSummary(os.Stdout, cfg.Observer.Registry, cfg.Observer.Tracer)
+		if t := cfg.Observer.Tracer; t != nil {
+			if err := t.SinkErr(); err != nil {
+				fmt.Fprintln(os.Stderr, "proxbench: trace sink failed part-way; the JSONL file is incomplete:", err)
+			}
+		}
+		if sinkFile != nil {
+			if err := sinkFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "proxbench: -trace:", err)
+				os.Exit(1)
+			}
+		}
 	}
 }

@@ -16,7 +16,8 @@
 //
 //     go run ./cmd/proxlint ./...
 //
-// Analyzers: oracleescape, lockheldoracle, commitonce, floatcmp.
+// Analyzers: oracleescape, lockheldoracle, commitonce, floatcmp,
+// obspurity, exporteddoc.
 // Suppress a finding with an explanation:
 //
 //	//proxlint:allow <analyzer> -- <rationale>

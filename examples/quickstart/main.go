@@ -5,21 +5,52 @@
 // model: retries absorb the faults and the output is still identical.
 //
 //	go run ./examples/quickstart
+//
+// With -listen the run also serves its live metrics (and pprof) over
+// HTTP and then waits for an interrupt, so you can inspect the counters
+// a finished run left behind — the CI exposition smoke test drives this:
+//
+//	go run ./examples/quickstart -listen :6060 &
+//	curl -s localhost:6060/metrics | jq .
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"metricprox/internal/core"
 	"metricprox/internal/datasets"
 	"metricprox/internal/faultmetric"
 	"metricprox/internal/fcmp"
 	"metricprox/internal/metric"
+	"metricprox/internal/obs"
+	"metricprox/internal/obs/obshttp"
 	"metricprox/internal/prox"
 	"metricprox/internal/resilient"
 )
 
 func main() {
+	listenFlag := flag.String("listen", "", "serve /metrics JSON and /debug/pprof on this address and wait for Ctrl-C after the run")
+	flag.Parse()
+
+	var observer *obs.Observer
+	if *listenFlag != "" {
+		observer = obs.NewObserver(false, 0, nil)
+		addr, err := obshttp.Serve(*listenFlag, observer.Registry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quickstart: -listen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "quickstart: serving metrics on http://%s/metrics (pprof under /debug/pprof/)\n", addr)
+	}
+	var opts []core.Option
+	if observer != nil {
+		opts = append(opts, core.WithObserver(observer))
+	}
+
 	// 1. A metric space whose distances are expensive to compute: here a
 	// synthetic road network standing in for a maps API.
 	const n = 200
@@ -28,13 +59,13 @@ func main() {
 	// 2. The unmodified algorithm: the Noop scheme resolves every distance
 	// it compares, exactly like the textbook code.
 	vanillaOracle := metric.NewOracle(space)
-	vanilla := core.NewSession(vanillaOracle, core.SchemeNoop)
+	vanilla := core.NewSession(vanillaOracle, core.SchemeNoop, opts...)
 	mstVanilla := prox.PrimMST(vanilla)
 
 	// 3. The same algorithm through the Tri Scheme: IF statements are
 	// answered from triangle-inequality bounds whenever possible.
 	triOracle := metric.NewOracle(space)
-	tri := core.NewSession(triOracle, core.SchemeTri)
+	tri := core.NewSession(triOracle, core.SchemeTri, opts...)
 	tri.Bootstrap(core.PickLandmarks(n, 8, 1)) // optional landmark warm-up
 	mstTri := prox.PrimMST(tri)
 
@@ -66,7 +97,12 @@ func main() {
 		TransientRate:      0.3,
 		MaxFailuresPerPair: 3, // below the policy's 5 attempts ⇒ always completes
 	})
-	flaky := core.NewFallibleSession(resilient.New(injector, resilient.RetryOnlyPolicy(1)), core.SchemeTri)
+	policy := resilient.New(injector, resilient.RetryOnlyPolicy(1))
+	if observer != nil {
+		injector.Observe(observer.Registry)
+		policy.Observe(observer.Registry)
+	}
+	flaky := core.NewFallibleSession(policy, core.SchemeTri, opts...)
 	flaky.Bootstrap(core.PickLandmarks(n, 8, 1))
 	mstFlaky := prox.PrimMST(flaky)
 	if !fcmp.ExactEq(mstVanilla.Weight, mstFlaky.Weight) {
@@ -78,4 +114,11 @@ func main() {
 	fst := flaky.Stats()
 	fmt.Printf("\nflaky oracle (30%% transient failures): same MST, %d calls + %d retries, %d injected faults absorbed\n",
 		fst.OracleCalls, fst.Retries, injector.Counters().Failures())
+
+	if *listenFlag != "" {
+		fmt.Fprintln(os.Stderr, "quickstart: run complete — metrics still being served; Ctrl-C to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
 }

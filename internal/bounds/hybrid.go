@@ -3,7 +3,7 @@ package bounds
 // Hybrid composes a cheap bounder with a tight one: every query asks the
 // cheap scheme first and escalates to the expensive scheme only when the
 // cheap interval is wider than Gap. This is the natural middle ground the
-// paper's Tri-vs-SPLUB trade-off suggests (DESIGN.md §6 lists it as an
+// paper's Tri-vs-SPLUB trade-off suggests (DESIGN.md §9 lists it as an
 // ablation): most comparisons are decided by triangles alone, and the
 // Dijkstra-grade machinery only runs on the hard residue.
 //

@@ -55,7 +55,7 @@ func (s *Session) SumLessThan(pairs []Pair, c float64) bool {
 		t := open[widest]
 		open[widest] = open[len(open)-1]
 		open = open[:len(open)-1]
-		s.stats.ResolvedComparisons++
+		s.ins.ResolvedComparisons.Inc()
 		d := s.Dist(t.p.A, t.p.B)
 		lbSum += d - t.lb
 		ubSum += d - t.ub
@@ -112,7 +112,7 @@ func (s *Session) SumLess(left, right []Pair) bool {
 		t := open[widest]
 		open[widest] = open[len(open)-1]
 		open = open[:len(open)-1]
-		s.stats.ResolvedComparisons++
+		s.ins.ResolvedComparisons.Inc()
 		d := s.Dist(t.p.A, t.p.B)
 		if t.sign > 0 {
 			lo += d - t.lb

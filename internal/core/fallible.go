@@ -1,6 +1,10 @@
 package core
 
-import "errors"
+import (
+	"errors"
+
+	"metricprox/internal/obs"
+)
 
 // ErrOracleUnavailable wraps every resolution failure surfaced by the
 // error-propagating Session methods (DistErr, LessErr, …): the bound
@@ -77,17 +81,22 @@ func (s *Session) estimate(i, j int) float64 {
 // dist(k,l), or a non-nil error wrapping ErrOracleUnavailable when the
 // bounds were inconclusive and a needed resolution failed.
 func (s *Session) LessErr(i, j, k, l int) (bool, error) {
-	if r, out := s.decideLess(i, j, k, l); out != OutcomeUndecided {
+	r, out, gap := s.decideLess(i, j, k, l)
+	if out != OutcomeUndecided {
 		return r, nil
 	}
+	t0 := s.traceStart()
 	d1, err := s.DistErr(i, j)
+	var d2 float64
+	if err == nil {
+		d2, err = s.DistErr(k, l)
+	}
+	lat := s.traceSince(t0)
 	if err != nil {
+		s.traceCmp(obs.OpLess, i, j, k, l, obs.OutcomeError, gap, lat)
 		return false, err
 	}
-	d2, err := s.DistErr(k, l)
-	if err != nil {
-		return false, err
-	}
+	s.traceCmp(obs.OpLess, i, j, k, l, obs.OutcomeOracle, gap, lat)
 	return d1 < d2, nil
 }
 
@@ -96,40 +105,56 @@ func (s *Session) LessErr(i, j, k, l int) (bool, error) {
 // midpoints and reports OutcomeUnavailable (counting a DegradedAnswer),
 // which is exactly the legacy Less behaviour made observable.
 func (s *Session) LessOutcome(i, j, k, l int) (result bool, out Outcome) {
-	if r, out := s.decideLess(i, j, k, l); out != OutcomeUndecided {
+	r, out, gap := s.decideLess(i, j, k, l)
+	if out != OutcomeUndecided {
 		return r, out
 	}
+	t0 := s.traceStart()
 	d1, err := s.DistErr(i, j)
+	var d2 float64
 	if err == nil {
-		var d2 float64
-		if d2, err = s.DistErr(k, l); err == nil {
-			return d1 < d2, OutcomeExact
-		}
+		d2, err = s.DistErr(k, l)
 	}
-	s.stats.DegradedAnswers++
+	lat := s.traceSince(t0)
+	if err == nil {
+		s.traceCmp(obs.OpLess, i, j, k, l, obs.OutcomeOracle, gap, lat)
+		return d1 < d2, OutcomeExact
+	}
+	s.ins.DegradedAnswers.Inc()
+	s.traceCmp(obs.OpLess, i, j, k, l, obs.OutcomeDegraded, gap, lat)
 	return s.estimate(i, j) < s.estimate(k, l), OutcomeUnavailable
 }
 
 // LessThanErr is LessThan with error propagation; see LessErr.
 func (s *Session) LessThanErr(i, j int, c float64) (bool, error) {
-	if r, out := s.decideLessThan(i, j, c); out != OutcomeUndecided {
+	r, out, gap := s.decideLessThan(i, j, c)
+	if out != OutcomeUndecided {
 		return r, nil
 	}
+	t0 := s.traceStart()
 	d, err := s.DistErr(i, j)
+	lat := s.traceSince(t0)
 	if err != nil {
+		s.traceCmp(obs.OpLessThan, i, j, -1, -1, obs.OutcomeError, gap, lat)
 		return false, err
 	}
+	s.traceCmp(obs.OpLessThan, i, j, -1, -1, obs.OutcomeOracle, gap, lat)
 	return d < c, nil
 }
 
 // DistIfLessErr is DistIfLess with error propagation; see LessErr.
 func (s *Session) DistIfLessErr(i, j int, c float64) (float64, bool, error) {
-	if d, less, out := s.decideDistIfLess(i, j, c); out != OutcomeUndecided {
+	d, less, out, gap := s.decideDistIfLess(i, j, c)
+	if out != OutcomeUndecided {
 		return d, less, nil
 	}
+	t0 := s.traceStart()
 	d, err := s.DistErr(i, j)
+	lat := s.traceSince(t0)
 	if err != nil {
+		s.traceCmp(obs.OpDistIfLess, i, j, -1, -1, obs.OutcomeError, gap, lat)
 		return 0, false, err
 	}
+	s.traceCmp(obs.OpDistIfLess, i, j, -1, -1, obs.OutcomeOracle, gap, lat)
 	return d, d < c, nil
 }

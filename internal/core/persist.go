@@ -46,7 +46,7 @@ func (s *Session) persistResolution(i, j int, d float64) {
 		return
 	}
 	if err := s.store.Append(i, j, d); err != nil {
-		s.stats.StoreErrors++
+		s.ins.StoreErrors.Inc()
 		if s.storeErr == nil {
 			s.storeErr = err
 			s.logf("core: cache store append failed; resolutions stay in memory but the on-disk cache is now incomplete: %v", err)

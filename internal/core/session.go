@@ -22,17 +22,23 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
+	"sync/atomic"
+	"time"
 
 	"metricprox/internal/bounds"
 	"metricprox/internal/cachestore"
 	"metricprox/internal/metric"
+	"metricprox/internal/obs"
 	"metricprox/internal/pgraph"
 )
 
-// Stats aggregates the instrumentation of a Session. OracleCalls is the
-// paper's primary cost metric; SavedComparisons counts IF statements
-// resolved from bounds alone.
+// Stats is a point-in-time snapshot of a Session's instrumentation.
+// OracleCalls is the paper's primary cost metric; SavedComparisons counts
+// IF statements resolved from bounds alone. The live counters behind a
+// snapshot are obs instruments (see internal/obs and WithObserver); Stats
+// remains the stable reporting surface experiments and CLIs consume.
 type Stats struct {
 	// OracleCalls is the number of distances resolved through the oracle
 	// by this session (bootstrap included).
@@ -84,7 +90,34 @@ type Session struct {
 	cmp     bounds.Comparator
 	maxDist float64
 	rho     float64 // relaxation factor; 0 or 1 = true metric
-	stats   Stats
+
+	// ins holds the metric instrument handles every counter of this
+	// session records into (the replacement for the ad-hoc Stats counter
+	// fields). Handles are resolved once here; each recording is a
+	// single atomic operation, so SharedSession's unlocked paths may
+	// bump them too.
+	ins *obs.SessionInstruments
+
+	// tr, when non-nil (observer attached), receives one obs.Event per
+	// comparison. The tracer is internally synchronised.
+	tr *obs.Tracer
+
+	// timed enables oracle-latency timing into ins.OracleLatency; set
+	// only when an observer is attached so unobserved sessions pay no
+	// clock reads on the hot path.
+	timed bool
+
+	// phase distinguishes bootstrap-phase oracle calls from run-phase
+	// ones for the phase-labelled call counters and trace events.
+	// Atomic because SharedSession wrappers read it without the lock.
+	phase atomic.Int32 // phaseRun | phaseBootstrap
+
+	// schemeName labels this session's instruments and trace events.
+	schemeName string
+
+	// observer, when set by WithObserver, supplies the shared registry
+	// and optional tracer this session reports into.
+	observer *obs.Observer
 
 	// baseCtx bounds every oracle round-trip this session makes
 	// (per-attempt deadlines are the resilient layer's job).
@@ -145,6 +178,76 @@ func WithLogf(logf func(format string, args ...any)) Option {
 	return func(s *Session) { s.logf = logf }
 }
 
+// WithObserver attaches an observability surface to the session: its
+// counters are registered in o.Registry (labelled with the scheme name,
+// aggregating with any other session using the same registry and
+// scheme), oracle round-trips are timed into the latency histogram, and
+// — if o.Tracer is non-nil — every comparison emits one obs.Event
+// recording how it was settled and the bound gap that forced any oracle
+// fallback. Without this option the session keeps private instruments:
+// the Stats surface is identical, only exposition and tracing are off.
+//
+// Observation is strictly write-only: no bound decision ever reads an
+// instrument, so an observed run computes exactly what an unobserved run
+// does (DESIGN.md §8).
+func WithObserver(o *obs.Observer) Option {
+	return func(s *Session) { s.observer = o }
+}
+
+// Session phases for the phase-labelled oracle-call counters.
+const (
+	phaseRun int32 = iota
+	phaseBootstrap
+)
+
+// phaseName returns the obs label value for the current phase.
+func (s *Session) phaseName() string {
+	if s.phase.Load() == phaseBootstrap {
+		return obs.PhaseBootstrap
+	}
+	return obs.PhaseRun
+}
+
+// callsCounter returns the oracle-call counter for the current phase.
+func (s *Session) callsCounter() *obs.Counter {
+	if s.phase.Load() == phaseBootstrap {
+		return s.ins.BootstrapCalls
+	}
+	return s.ins.OracleCalls
+}
+
+// traceCmp emits one comparison event when a tracer is attached. For
+// two-term comparisons (Less) k and l identify the second distance; the
+// single-term shapes pass k = l = -1.
+func (s *Session) traceCmp(op string, i, j, k, l int, outcome string, gap float64, latency time.Duration) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.Record(obs.Event{
+		Op: op, Scheme: s.schemeName, Phase: s.phaseName(),
+		I: i, J: j, K: k, L: l,
+		Outcome: outcome, Gap: gap, LatencyNs: int64(latency),
+	})
+}
+
+// traceStart returns the start time for a comparison's oracle work, or
+// the zero time when tracing is off (so untraced sessions never read the
+// clock here).
+func (s *Session) traceStart() time.Time {
+	if s.tr == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// traceSince converts a traceStart mark into the latency to record.
+func (s *Session) traceSince(t0 time.Time) time.Duration {
+	if s.tr == nil || t0.IsZero() {
+		return 0
+	}
+	return time.Since(t0)
+}
+
 // WithRelaxation declares the oracle a ρ-relaxed metric (d(x,z) ≤
 // ρ·(d(x,y)+d(y,z)), e.g. squared Euclidean with ρ = 2 — see
 // metric.Power). Only SchemeNoop and SchemeTri support ρ > 1; the other
@@ -170,7 +273,7 @@ const (
 	SchemeTLAESA
 	SchemeDFT
 	// SchemeHybrid asks Tri first and escalates to SPLUB only when the
-	// triangle interval is loose (DESIGN.md §6 ablation).
+	// triangle interval is loose (DESIGN.md §9 ablation).
 	SchemeHybrid
 )
 
@@ -280,18 +383,40 @@ func NewFallibleSessionWithLandmarks(fo metric.FallibleOracle, scheme Scheme, la
 	default:
 		panic(fmt.Sprintf("core: unknown scheme %v", scheme))
 	}
+	s.schemeName = scheme.String()
+	var reg *obs.Registry
+	if s.observer != nil {
+		reg = s.observer.Registry
+		s.tr = s.observer.Tracer
+		s.timed = true
+	}
+	if reg == nil {
+		// Unobserved sessions still count into private instruments so the
+		// Stats surface is identical; only exposition/tracing/timing differ.
+		reg = obs.NewRegistry()
+	}
+	s.ins = obs.NewSessionInstruments(reg, s.schemeName)
 	return s
 }
 
 // N returns the number of objects.
 func (s *Session) N() int { return s.g.N() }
 
-// Stats returns a copy of the session statistics. When the oracle is a
-// resilient policy wrapper (anything exposing PolicyCounters), the
+// Stats returns a snapshot of the session's instruments. When the oracle
+// is a resilient policy wrapper (anything exposing PolicyCounters), the
 // policy-layer counters (Retries, Timeouts, BreakerOpens) are mirrored
 // into the returned snapshot.
 func (s *Session) Stats() Stats {
-	st := s.stats
+	st := Stats{
+		OracleCalls:         s.ins.OracleCalls.Value() + s.ins.BootstrapCalls.Value(),
+		BootstrapCalls:      s.ins.BootstrapCalls.Value(),
+		BoundProbes:         s.ins.BoundProbes.Value(),
+		SavedComparisons:    s.ins.SavedComparisons.Value(),
+		ResolvedComparisons: s.ins.ResolvedComparisons.Value(),
+		CacheHits:           s.ins.CacheHits.Value(),
+		DegradedAnswers:     s.ins.DegradedAnswers.Value(),
+		StoreErrors:         s.ins.StoreErrors.Value(),
+	}
 	if pc, ok := s.fo.(interface {
 		PolicyCounters() (retries, timeouts, breakerOpens int64)
 	}); ok {
@@ -326,7 +451,7 @@ func (s *Session) Known(i, j int) (float64, bool) { return s.g.Weight(i, j) }
 func (s *Session) Dist(i, j int) float64 {
 	d, err := s.DistErr(i, j)
 	if err != nil {
-		s.stats.DegradedAnswers++
+		s.ins.DegradedAnswers.Inc()
 		return s.estimate(i, j)
 	}
 	return d
@@ -355,10 +480,22 @@ func (s *Session) DistErr(i, j int) (float64, error) {
 // oracleDistanceErr performs the raw oracle round-trip with no session
 // bookkeeping or mutation. It is the only Session path that touches the
 // oracle, split from commitResolution so SharedSession can release its
-// lock around the call (which is also why it must not write any session
-// state — the caller owns error latching).
+// lock around the call (which is also why it must not write any
+// lock-protected session state — the caller owns error latching; the
+// latency histogram is an atomic instrument, so observing into it here
+// is safe without the lock).
 func (s *Session) oracleDistanceErr(i, j int) (float64, error) {
+	var t0 time.Time
+	if s.timed {
+		t0 = time.Now()
+	}
 	d, err := s.fo.DistanceCtx(s.baseCtx, i, j)
+	if s.timed {
+		// Failed round-trips are recorded too: the histogram measures wall
+		// clock paid at the oracle, including retry/backoff in the
+		// resilient layer below.
+		s.ins.OracleLatency.Observe(int64(time.Since(t0)))
+	}
 	if err != nil {
 		return 0, fmt.Errorf("%w: dist(%d,%d): %w", ErrOracleUnavailable, i, j, err)
 	}
@@ -370,7 +507,7 @@ func (s *Session) oracleDistanceErr(i, j int) (float64, error) {
 // ensure the pair is not already recorded (pgraph panics on conflicting
 // weights, and a duplicate would double-count OracleCalls).
 func (s *Session) commitResolution(i, j int, d float64) {
-	s.stats.OracleCalls++
+	s.callsCounter().Inc()
 	s.record(i, j, d)
 	s.persistResolution(i, j, d)
 }
@@ -394,7 +531,7 @@ func (s *Session) Bounds(i, j int) (lb, ub float64) {
 	if w, ok := s.g.Weight(i, j); ok {
 		return w, w
 	}
-	s.stats.BoundProbes++
+	s.ins.BoundProbes.Inc()
 	return s.b.Bounds(i, j)
 }
 
@@ -417,89 +554,111 @@ func (s *Session) Less(i, j, k, l int) bool {
 // DegradedAnswers: they are still exact — bounds are sound — but they are
 // the only answers the session can currently produce exactly.
 func (s *Session) noteSaved() {
-	s.stats.SavedComparisons++
+	s.ins.SavedComparisons.Inc()
 	if s.ready != nil && !s.ready() {
-		s.stats.DegradedAnswers++
+		s.ins.DegradedAnswers.Inc()
 	}
 }
 
 // decideLess attempts to settle dist(i,j) < dist(k,l) from cached
 // distances, interval bounds, and the comparator alone, updating
-// statistics. OutcomeUndecided means the caller must resolve both
-// distances and compare; ResolvedComparisons has already been counted in
-// that case. This is the bookkeeping half of Less, callable under
-// SharedSession's lock because it never touches the oracle.
-func (s *Session) decideLess(i, j, k, l int) (result bool, out Outcome) {
+// statistics and tracing the settled outcomes. OutcomeUndecided means
+// the caller must resolve both distances and compare; ResolvedComparisons
+// has already been counted in that case, and gap reports the width of the
+// bound-interval overlap that kept the comparison undecided (the "why did
+// we pay?" figure; 0 when settled). This is the bookkeeping half of Less,
+// callable under SharedSession's lock because it never touches the
+// oracle.
+func (s *Session) decideLess(i, j, k, l int) (result bool, out Outcome, gap float64) {
 	kn1, ok1 := s.Known(i, j)
 	kn2, ok2 := s.Known(k, l)
 	if ok1 && ok2 {
-		s.stats.CacheHits++
-		return kn1 < kn2, OutcomeExact
+		s.ins.CacheHits.Inc()
+		s.traceCmp(obs.OpLess, i, j, k, l, obs.OutcomeCache, 0, 0)
+		return kn1 < kn2, OutcomeExact, 0
 	}
 	lb1, ub1 := s.Bounds(i, j)
 	lb2, ub2 := s.Bounds(k, l)
 	if ub1 < lb2 {
 		s.noteSaved()
-		return true, OutcomeBounds
+		s.traceCmp(obs.OpLess, i, j, k, l, obs.OutcomeBounds, 0, 0)
+		return true, OutcomeBounds, 0
 	}
 	if lb1 >= ub2 {
 		s.noteSaved()
-		return false, OutcomeBounds
+		s.traceCmp(obs.OpLess, i, j, k, l, obs.OutcomeBounds, 0, 0)
+		return false, OutcomeBounds, 0
 	}
 	if s.cmp != nil {
 		if s.cmp.ProveLess(i, j, k, l) {
 			s.noteSaved()
-			return true, OutcomeBounds
+			s.traceCmp(obs.OpLess, i, j, k, l, obs.OutcomeBounds, 0, 0)
+			return true, OutcomeBounds, 0
 		}
 		if s.cmp.ProveLess(k, l, i, j) {
 			// dist(k,l) < dist(i,j) implies not less.
 			s.noteSaved()
-			return false, OutcomeBounds
+			s.traceCmp(obs.OpLess, i, j, k, l, obs.OutcomeBounds, 0, 0)
+			return false, OutcomeBounds, 0
 		}
 	}
-	s.stats.ResolvedComparisons++
-	return false, OutcomeUndecided
+	s.ins.ResolvedComparisons.Inc()
+	return false, OutcomeUndecided, math.Min(ub1, ub2) - math.Max(lb1, lb2)
 }
 
 // LessThan reports whether dist(i,j) < c, resolving the distance only when
 // the bounds are inconclusive. On a failed resolution it degrades exactly
 // like Less; use LessThanErr to observe failures.
 func (s *Session) LessThan(i, j int, c float64) bool {
-	r, err := s.LessThanErr(i, j, c)
+	r, out, gap := s.decideLessThan(i, j, c)
+	if out != OutcomeUndecided {
+		return r
+	}
+	t0 := s.traceStart()
+	d, err := s.DistErr(i, j)
+	lat := s.traceSince(t0)
 	if err != nil {
-		s.stats.DegradedAnswers++
+		s.ins.DegradedAnswers.Inc()
+		s.traceCmp(obs.OpLessThan, i, j, -1, -1, obs.OutcomeDegraded, gap, lat)
 		return s.estimate(i, j) < c
 	}
-	return r
+	s.traceCmp(obs.OpLessThan, i, j, -1, -1, obs.OutcomeOracle, gap, lat)
+	return d < c
 }
 
-// decideLessThan is the bookkeeping half of LessThan; see decideLess.
-func (s *Session) decideLessThan(i, j int, c float64) (result bool, out Outcome) {
+// decideLessThan is the bookkeeping half of LessThan; see decideLess. An
+// undecided gap is the width of the bound interval straddling c.
+func (s *Session) decideLessThan(i, j int, c float64) (result bool, out Outcome, gap float64) {
 	if w, ok := s.Known(i, j); ok {
-		s.stats.CacheHits++
-		return w < c, OutcomeExact
+		s.ins.CacheHits.Inc()
+		s.traceCmp(obs.OpLessThan, i, j, -1, -1, obs.OutcomeCache, 0, 0)
+		return w < c, OutcomeExact, 0
 	}
 	lb, ub := s.Bounds(i, j)
 	if ub < c {
 		s.noteSaved()
-		return true, OutcomeBounds
+		s.traceCmp(obs.OpLessThan, i, j, -1, -1, obs.OutcomeBounds, 0, 0)
+		return true, OutcomeBounds, 0
 	}
 	if lb >= c {
 		s.noteSaved()
-		return false, OutcomeBounds
+		s.traceCmp(obs.OpLessThan, i, j, -1, -1, obs.OutcomeBounds, 0, 0)
+		return false, OutcomeBounds, 0
 	}
 	if s.cmp != nil {
 		if s.cmp.ProveLessC(i, j, c) {
 			s.noteSaved()
-			return true, OutcomeBounds
+			s.traceCmp(obs.OpLessThan, i, j, -1, -1, obs.OutcomeBounds, 0, 0)
+			return true, OutcomeBounds, 0
 		}
 		if s.cmp.ProveGEC(i, j, c) {
 			s.noteSaved()
-			return false, OutcomeBounds
+			s.traceCmp(obs.OpLessThan, i, j, -1, -1, obs.OutcomeBounds, 0, 0)
+			return false, OutcomeBounds, 0
 		}
 	}
-	s.stats.ResolvedComparisons++
-	return false, OutcomeUndecided
+	s.ins.ResolvedComparisons.Inc()
+	return false, OutcomeUndecided, ub - lb
 }
 
 // DistIfLess is the value-needed variant of LessThan used by algorithms
@@ -510,32 +669,51 @@ func (s *Session) decideLessThan(i, j int, c float64) (result bool, out Outcome)
 // resolution it degrades like Dist (the returned value is an uncommitted
 // estimate); use DistIfLessErr to observe failures.
 func (s *Session) DistIfLess(i, j int, c float64) (float64, bool) {
-	d, less, err := s.DistIfLessErr(i, j, c)
+	d, less, out, gap := s.decideDistIfLess(i, j, c)
+	if out != OutcomeUndecided {
+		return d, less
+	}
+	t0 := s.traceStart()
+	d, err := s.DistErr(i, j)
+	lat := s.traceSince(t0)
 	if err != nil {
-		s.stats.DegradedAnswers++
+		s.ins.DegradedAnswers.Inc()
+		s.traceCmp(obs.OpDistIfLess, i, j, -1, -1, obs.OutcomeDegraded, gap, lat)
 		e := s.estimate(i, j)
 		return e, e < c
 	}
-	return d, less
+	s.traceCmp(obs.OpDistIfLess, i, j, -1, -1, obs.OutcomeOracle, gap, lat)
+	return d, d < c
 }
 
 // decideDistIfLess is the bookkeeping half of DistIfLess; see decideLess.
-func (s *Session) decideDistIfLess(i, j int, c float64) (d float64, less bool, out Outcome) {
+// An undecided gap is min(c, ub) − lb: how far below the cutoff the lower
+// bound sat, capped at the interval width so callers passing c = +Inf
+// (Prim's initial keys) report a finite, comparable figure (the value is
+// needed, so the upper bound alone can never save the call).
+func (s *Session) decideDistIfLess(i, j int, c float64) (d float64, less bool, out Outcome, gap float64) {
 	if w, ok := s.Known(i, j); ok {
-		s.stats.CacheHits++
-		return w, w < c, OutcomeExact
+		s.ins.CacheHits.Inc()
+		s.traceCmp(obs.OpDistIfLess, i, j, -1, -1, obs.OutcomeCache, 0, 0)
+		return w, w < c, OutcomeExact, 0
 	}
-	lb, _ := s.Bounds(i, j)
+	lb, ub := s.Bounds(i, j)
 	if lb >= c {
 		s.noteSaved()
-		return 0, false, OutcomeBounds
+		s.traceCmp(obs.OpDistIfLess, i, j, -1, -1, obs.OutcomeBounds, 0, 0)
+		return 0, false, OutcomeBounds, 0
 	}
 	if s.cmp != nil && s.cmp.ProveGEC(i, j, c) {
 		s.noteSaved()
-		return 0, false, OutcomeBounds
+		s.traceCmp(obs.OpDistIfLess, i, j, -1, -1, obs.OutcomeBounds, 0, 0)
+		return 0, false, OutcomeBounds, 0
 	}
-	s.stats.ResolvedComparisons++
-	return 0, false, OutcomeUndecided
+	s.ins.ResolvedComparisons.Inc()
+	gap = c - lb
+	if ub < c {
+		gap = ub - lb
+	}
+	return 0, false, OutcomeUndecided, gap
 }
 
 // Bootstrap resolves all landmark-to-object distances through the oracle
@@ -562,7 +740,10 @@ type bootstrapAbort struct{ err error }
 // spent before the first failed resolution, and that failure (nil when
 // the bootstrap completed).
 func (s *Session) BootstrapErr(landmarks []int) (spent int64, err error) {
-	before := s.stats.OracleCalls
+	// Flip the phase so commitResolution counts into the
+	// phase=bootstrap series; the spent figure is the counter's delta.
+	s.phase.Store(phaseBootstrap)
+	before := s.ins.BootstrapCalls.Value()
 	defer func() {
 		if r := recover(); r != nil {
 			a, ok := r.(bootstrapAbort)
@@ -571,8 +752,8 @@ func (s *Session) BootstrapErr(landmarks []int) (spent int64, err error) {
 			}
 			err = a.err
 		}
-		spent = s.stats.OracleCalls - before
-		s.stats.BootstrapCalls += spent
+		spent = s.ins.BootstrapCalls.Value() - before
+		s.phase.Store(phaseRun)
 	}()
 	resolve := func(i, j int) float64 {
 		d, derr := s.DistErr(i, j)
@@ -620,7 +801,8 @@ func (s *Session) GreedyLandmarks(k int) []int {
 	if k >= n {
 		k = n
 	}
-	before := s.stats.OracleCalls
+	s.phase.Store(phaseBootstrap)
+	defer s.phase.Store(phaseRun)
 	landmarks := make([]int, 0, k)
 	minDist := make([]float64, n)
 	for i := range minDist {
@@ -656,6 +838,5 @@ func (s *Session) GreedyLandmarks(k int) []int {
 			s.Dist(cur, x)
 		}
 	}
-	s.stats.BootstrapCalls += s.stats.OracleCalls - before
 	return landmarks
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"metricprox/internal/obs"
 	"metricprox/internal/pgraph"
 )
 
@@ -56,8 +57,8 @@ func (c *SharedSession) MaxDistance() float64 { return c.s.MaxDistance() } // im
 func (c *SharedSession) resolve(i, j int) float64 {
 	d, err := c.resolveErr(i, j)
 	if err != nil {
+		c.s.ins.DegradedAnswers.Inc() // atomic; no lock needed
 		c.mu.Lock()
-		c.s.stats.DegradedAnswers++
 		d = c.s.estimate(i, j)
 		c.mu.Unlock()
 	}
@@ -136,19 +137,23 @@ func (c *SharedSession) Less(i, j, k, l int) bool {
 // LessErr is Less with error propagation; see Session.LessErr.
 func (c *SharedSession) LessErr(i, j, k, l int) (bool, error) {
 	c.mu.Lock()
-	r, out := c.s.decideLess(i, j, k, l)
+	r, out, gap := c.s.decideLess(i, j, k, l)
 	c.mu.Unlock()
 	if out != OutcomeUndecided {
 		return r, nil
 	}
+	t0 := c.s.traceStart()
 	d1, err := c.resolveErr(i, j)
+	var d2 float64
+	if err == nil {
+		d2, err = c.resolveErr(k, l)
+	}
+	lat := c.s.traceSince(t0)
 	if err != nil {
+		c.s.traceCmp(obs.OpLess, i, j, k, l, obs.OutcomeError, gap, lat)
 		return false, err
 	}
-	d2, err := c.resolveErr(k, l)
-	if err != nil {
-		return false, err
-	}
+	c.s.traceCmp(obs.OpLess, i, j, k, l, obs.OutcomeOracle, gap, lat)
 	return d1 < d2, nil
 }
 
@@ -156,20 +161,25 @@ func (c *SharedSession) LessErr(i, j, k, l int) (bool, error) {
 // Session.LessOutcome.
 func (c *SharedSession) LessOutcome(i, j, k, l int) (result bool, out Outcome) {
 	c.mu.Lock()
-	r, out := c.s.decideLess(i, j, k, l)
+	r, out, gap := c.s.decideLess(i, j, k, l)
 	c.mu.Unlock()
 	if out != OutcomeUndecided {
 		return r, out
 	}
+	t0 := c.s.traceStart()
 	d1, err := c.resolveErr(i, j)
+	var d2 float64
 	if err == nil {
-		var d2 float64
-		if d2, err = c.resolveErr(k, l); err == nil {
-			return d1 < d2, OutcomeExact
-		}
+		d2, err = c.resolveErr(k, l)
 	}
+	lat := c.s.traceSince(t0)
+	if err == nil {
+		c.s.traceCmp(obs.OpLess, i, j, k, l, obs.OutcomeOracle, gap, lat)
+		return d1 < d2, OutcomeExact
+	}
+	c.s.ins.DegradedAnswers.Inc()
+	c.s.traceCmp(obs.OpLess, i, j, k, l, obs.OutcomeDegraded, gap, lat)
 	c.mu.Lock()
-	c.s.stats.DegradedAnswers++
 	r = c.s.estimate(i, j) < c.s.estimate(k, l)
 	c.mu.Unlock()
 	return r, OutcomeUnavailable
@@ -178,58 +188,87 @@ func (c *SharedSession) LessOutcome(i, j, k, l int) (result bool, out Outcome) {
 // LessThan reports whether dist(i,j) < v, degrading like Session.LessThan
 // on a failed resolution.
 func (c *SharedSession) LessThan(i, j int, v float64) bool {
-	r, err := c.LessThanErr(i, j, v)
+	c.mu.Lock()
+	r, out, gap := c.s.decideLessThan(i, j, v)
+	c.mu.Unlock()
+	if out != OutcomeUndecided {
+		return r
+	}
+	t0 := c.s.traceStart()
+	d, err := c.resolveErr(i, j)
+	lat := c.s.traceSince(t0)
 	if err != nil {
+		c.s.ins.DegradedAnswers.Inc()
+		c.s.traceCmp(obs.OpLessThan, i, j, -1, -1, obs.OutcomeDegraded, gap, lat)
 		c.mu.Lock()
-		c.s.stats.DegradedAnswers++
 		r = c.s.estimate(i, j) < v
 		c.mu.Unlock()
+		return r
 	}
-	return r
+	c.s.traceCmp(obs.OpLessThan, i, j, -1, -1, obs.OutcomeOracle, gap, lat)
+	return d < v
 }
 
 // LessThanErr is LessThan with error propagation; see Session.LessThanErr.
 func (c *SharedSession) LessThanErr(i, j int, v float64) (bool, error) {
 	c.mu.Lock()
-	r, out := c.s.decideLessThan(i, j, v)
+	r, out, gap := c.s.decideLessThan(i, j, v)
 	c.mu.Unlock()
 	if out != OutcomeUndecided {
 		return r, nil
 	}
+	t0 := c.s.traceStart()
 	d, err := c.resolveErr(i, j)
+	lat := c.s.traceSince(t0)
 	if err != nil {
+		c.s.traceCmp(obs.OpLessThan, i, j, -1, -1, obs.OutcomeError, gap, lat)
 		return false, err
 	}
+	c.s.traceCmp(obs.OpLessThan, i, j, -1, -1, obs.OutcomeOracle, gap, lat)
 	return d < v, nil
 }
 
 // DistIfLess is the value-needed comparison; see Session.DistIfLess. On a
 // failed resolution the returned value is an uncommitted estimate.
 func (c *SharedSession) DistIfLess(i, j int, v float64) (float64, bool) {
-	d, less, err := c.DistIfLessErr(i, j, v)
+	c.mu.Lock()
+	d, less, out, gap := c.s.decideDistIfLess(i, j, v)
+	c.mu.Unlock()
+	if out != OutcomeUndecided {
+		return d, less
+	}
+	t0 := c.s.traceStart()
+	d, err := c.resolveErr(i, j)
+	lat := c.s.traceSince(t0)
 	if err != nil {
+		c.s.ins.DegradedAnswers.Inc()
+		c.s.traceCmp(obs.OpDistIfLess, i, j, -1, -1, obs.OutcomeDegraded, gap, lat)
 		c.mu.Lock()
-		c.s.stats.DegradedAnswers++
 		d = c.s.estimate(i, j)
 		c.mu.Unlock()
 		return d, d < v
 	}
-	return d, less
+	c.s.traceCmp(obs.OpDistIfLess, i, j, -1, -1, obs.OutcomeOracle, gap, lat)
+	return d, d < v
 }
 
 // DistIfLessErr is DistIfLess with error propagation; see
 // Session.DistIfLessErr.
 func (c *SharedSession) DistIfLessErr(i, j int, v float64) (float64, bool, error) {
 	c.mu.Lock()
-	d, less, out := c.s.decideDistIfLess(i, j, v)
+	d, less, out, gap := c.s.decideDistIfLess(i, j, v)
 	c.mu.Unlock()
 	if out != OutcomeUndecided {
 		return d, less, nil
 	}
+	t0 := c.s.traceStart()
 	d, err := c.resolveErr(i, j)
+	lat := c.s.traceSince(t0)
 	if err != nil {
+		c.s.traceCmp(obs.OpDistIfLess, i, j, -1, -1, obs.OutcomeError, gap, lat)
 		return 0, false, err
 	}
+	c.s.traceCmp(obs.OpDistIfLess, i, j, -1, -1, obs.OutcomeOracle, gap, lat)
 	return d, d < v, nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"metricprox/internal/core"
 	"metricprox/internal/faultmetric"
 	"metricprox/internal/metric"
+	"metricprox/internal/obs"
 	"metricprox/internal/prox"
 	"metricprox/internal/resilient"
 	"metricprox/internal/stats"
@@ -41,6 +42,12 @@ type Config struct {
 	// FaultSeed seeds the fault schedule (independent of Seed so the same
 	// dataset can be benchmarked under different schedules).
 	FaultSeed int64
+	// Observer, when non-nil, is attached to every session the suite
+	// builds (core.WithObserver) and to the fault-injection and policy
+	// layers when FaultRate > 0: metrics aggregate into its registry and,
+	// if its Tracer is set, every comparison is traced. Observation never
+	// changes results — see DESIGN.md §8.
+	Observer *obs.Observer
 }
 
 // Runner is one registered experiment.
@@ -139,9 +146,18 @@ func runScheme(space metric.Space, scheme core.Scheme, nLandmarks int, bootstrap
 			TransientRate:      cfg.FaultRate,
 			MaxFailuresPerPair: faultmetric.SpecMaxFailuresPerPair,
 		})
-		fo = resilient.New(inj, resilient.RetryOnlyPolicy(cfg.FaultSeed))
+		ro := resilient.New(inj, resilient.RetryOnlyPolicy(cfg.FaultSeed))
+		if cfg.Observer != nil {
+			inj.Observe(cfg.Observer.Registry)
+			ro.Observe(cfg.Observer.Registry)
+		}
+		fo = ro
 	}
-	s := core.NewFallibleSessionWithLandmarks(fo, scheme, lms)
+	var opts []core.Option
+	if cfg.Observer != nil {
+		opts = append(opts, core.WithObserver(cfg.Observer))
+	}
+	s := core.NewFallibleSessionWithLandmarks(fo, scheme, lms, opts...)
 	start := time.Now()
 	var boot int64
 	if bootstrap && len(lms) > 0 {

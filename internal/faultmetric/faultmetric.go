@@ -1,28 +1,3 @@
-// Package faultmetric is a deterministic, seed-driven chaos wrapper for
-// distance oracles. It turns the perfect in-process oracle the library is
-// tested against into the hostile backend the paper actually assumes — a
-// rate-limited maps API, an edit-distance service behind a flaky load
-// balancer — by injecting, per call:
-//
-//   - transient errors (ErrTransient): one-off failures a retry fixes;
-//   - rate-limit rejections (ErrRateLimited): quota-shaped push-back;
-//   - outage windows (ErrOutage): bursts of consecutive failures that
-//     model a backend going down, sized to trip a circuit breaker;
-//   - injected latency: slow responses that exercise per-call deadlines;
-//   - corrupt values: NaN / negative distances returned with a nil error,
-//     exercising the corrupt-value rejection of the layers above.
-//
-// Every decision is a pure function of (seed, pair, attempt): attempt k on
-// pair (i, j) fails or succeeds identically no matter how goroutines
-// interleave, so chaos runs are reproducible from their seed alone and a
-// bounded per-pair failure cap can guarantee that a retry policy with a
-// sufficient budget always completes. Outage windows are the one
-// exception — they are indexed by a global call counter, so their *onset*
-// depends on call order under concurrency — but soundness never does:
-// failures only ever suppress answers, never corrupt committed ones.
-//
-// The wrapper counts every injection (Counters) so tests can cross-check
-// the retry accounting of the resilient layer against ground truth.
 package faultmetric
 
 import (
@@ -110,6 +85,7 @@ type Injector struct {
 	attempts map[int64]int64 // per-pair attempt index
 	failed   map[int64]int64 // per-pair injected failure count
 	counts   Counters
+	ins      *instruments // obs mirrors once Observe is called; guarded by mu
 }
 
 // New wraps base with the given fault schedule.
@@ -147,12 +123,19 @@ func (f *Injector) DistanceCtx(ctx context.Context, i, j int) (float64, error) {
 	attempt := f.attempts[key]
 	f.attempts[key] = attempt + 1
 	f.counts.Calls++
+	ins := f.ins
+	if ins != nil {
+		ins.calls.Inc()
+	}
 
 	// Outage windows: call-indexed bursts of consecutive failures.
 	if f.cfg.OutagePeriod > 0 {
 		phase := (call - 1) % int64(f.cfg.OutagePeriod)
 		if phase < int64(f.cfg.OutageLen) {
 			f.counts.Outages++
+			if ins != nil {
+				ins.outages.Inc()
+			}
 			f.mu.Unlock()
 			return 0, fmt.Errorf("%w (call %d)", ErrOutage, call)
 		}
@@ -166,12 +149,21 @@ func (f *Injector) DistanceCtx(ctx context.Context, i, j int) (float64, error) {
 		case f.roll(key, attempt, rollRateLimit) < f.cfg.RateLimitRate:
 			inject = fmt.Errorf("%w (pair %d,%d attempt %d)", ErrRateLimited, i, j, attempt)
 			f.counts.RateLimits++
+			if ins != nil {
+				ins.rateLimits.Inc()
+			}
 		case f.roll(key, attempt, rollTransient) < f.cfg.TransientRate:
 			inject = fmt.Errorf("%w (pair %d,%d attempt %d)", ErrTransient, i, j, attempt)
 			f.counts.Transients++
+			if ins != nil {
+				ins.transients.Inc()
+			}
 		case f.roll(key, attempt, rollCorrupt) < f.cfg.CorruptRate:
 			corrupt = true
 			f.counts.Corrupts++
+			if ins != nil {
+				ins.corrupts.Inc()
+			}
 		}
 		if inject != nil || corrupt {
 			f.failed[key]++
@@ -181,6 +173,9 @@ func (f *Injector) DistanceCtx(ctx context.Context, i, j int) (float64, error) {
 	if f.cfg.Latency > 0 && (f.cfg.LatencyRate <= 0 || f.roll(key, attempt, rollLatency) < f.cfg.LatencyRate) {
 		sleep = f.cfg.Latency
 		f.counts.Latencies++
+		if ins != nil {
+			ins.latencies.Inc()
+		}
 	}
 	f.mu.Unlock()
 
@@ -188,6 +183,9 @@ func (f *Injector) DistanceCtx(ctx context.Context, i, j int) (float64, error) {
 		if err := metric.SleepCtx(ctx, sleep); err != nil {
 			f.mu.Lock()
 			f.counts.CtxCancels++
+			if f.ins != nil {
+				f.ins.ctxCancels.Inc()
+			}
 			f.mu.Unlock()
 			return 0, err
 		}
@@ -205,6 +203,9 @@ func (f *Injector) DistanceCtx(ctx context.Context, i, j int) (float64, error) {
 	if err := ctx.Err(); err != nil {
 		f.mu.Lock()
 		f.counts.CtxCancels++
+		if f.ins != nil {
+			f.ins.ctxCancels.Inc()
+		}
 		f.mu.Unlock()
 		return 0, err
 	}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// WriteJSON renders the registry as one flat expvar-style JSON object:
+// each key is the instrument's canonical identity
+// (`name{label="v",…}`), each value a number (counter, gauge) or a
+// HistogramSnapshot object. Keys are sorted, so output is diffable.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]any)
+	r.each(func(id string, in any) {
+		switch v := in.(type) {
+		case *Counter:
+			out[id] = v.Value()
+		case *Gauge:
+			out[id] = v.Value()
+		case *Histogram:
+			out[id] = v.Snapshot()
+		}
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
+}
+
+// Handler serves the registry as JSON (Content-Type application/json) —
+// the /metrics endpoint mounted by cmd/metricprox -listen and the CI
+// exposition smoke test.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.WriteJSON(w); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			return
+		}
+	})
+}
+
+// WriteSummary renders a human-readable observability report: every
+// counter and gauge grouped by metric name, histogram quantiles, and —
+// when t is non-nil — the per-(op, outcome) "why did we pay?" breakdown
+// with mean bound gaps and oracle latency. This is the -obs report of
+// cmd/proxbench.
+func WriteSummary(w io.Writer, r *Registry, t *Tracer) {
+	fmt.Fprintln(w, "## Observability")
+	fmt.Fprintln(w)
+
+	type row struct {
+		id string
+		in any
+	}
+	var rows []row
+	r.each(func(id string, in any) { rows = append(rows, row{id, in}) })
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+
+	fmt.Fprintln(w, "### Metrics")
+	for _, rw := range rows {
+		switch v := rw.in.(type) {
+		case *Counter:
+			if v.Value() != 0 {
+				fmt.Fprintf(w, "  %-70s %d\n", rw.id, v.Value())
+			}
+		case *Gauge:
+			fmt.Fprintf(w, "  %-70s %g\n", rw.id, v.Value())
+		case *Histogram:
+			if v.Count() == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-70s count=%d mean=%s p50≤%s p99≤%s\n",
+				rw.id, v.Count(),
+				time.Duration(v.Sum()/v.Count()).Round(time.Microsecond),
+				time.Duration(v.Quantile(0.5)).Round(time.Microsecond),
+				time.Duration(v.Quantile(0.99)).Round(time.Microsecond))
+		}
+	}
+
+	if t == nil {
+		return
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "### Comparison trace — why did we pay? (%d events, %d retained, %d dropped from ring)\n",
+		t.Total(), int64(len(t.Events())), t.Dropped())
+	tallies := t.Tallies()
+	if len(tallies) == 0 {
+		fmt.Fprintln(w, "  (no comparisons traced)")
+		return
+	}
+	fmt.Fprintf(w, "  %-12s %-10s %10s %12s %14s\n", "op", "outcome", "count", "mean gap", "mean latency")
+	for _, tl := range tallies {
+		gap, lat := "-", "-"
+		if tl.Count > 0 {
+			if tl.Outcome == OutcomeOracle || tl.Outcome == OutcomeDegraded || tl.Outcome == OutcomeError {
+				gap = fmt.Sprintf("%.5f", tl.GapSum/float64(tl.Count))
+			}
+			if tl.LatencyNsSum > 0 {
+				lat = time.Duration(tl.LatencyNsSum / tl.Count).Round(time.Microsecond).String()
+			}
+		}
+		fmt.Fprintf(w, "  %-12s %-10s %10d %12s %14s\n", tl.Op, tl.Outcome, tl.Count, gap, lat)
+	}
+}

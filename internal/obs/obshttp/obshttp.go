@@ -1,0 +1,41 @@
+// Package obshttp mounts the observability exposition surface on an HTTP
+// listener: the obs registry as JSON at /metrics plus the stdlib
+// net/http/pprof suite at /debug/pprof/. It lives apart from package obs
+// so that linking the instrument layer into a binary does not also link
+// the pprof handlers; only binaries that opt into -listen pay for them.
+package obshttp
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"metricprox/internal/obs"
+)
+
+// Mux returns a ServeMux serving r as JSON at /metrics and the pprof
+// handlers under /debug/pprof/.
+func Mux(r *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (":0" picks a free port), serves Mux(r) in a
+// background goroutine for the remaining life of the process, and returns
+// the bound address. The bind itself is the only reported failure mode;
+// per-connection errors after it are the client's problem, not the run's.
+func Serve(addr string, r *obs.Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: Mux(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,85 @@
+package obs
+
+// Metric names recorded by the session layer (internal/core). Each is
+// labelled with scheme=<bound scheme>; the oracle-call counter is
+// additionally labelled with phase=bootstrap|run. Full semantics live in
+// docs/METRICS.md.
+const (
+	// MetricOracleCalls counts successful oracle resolutions (the
+	// paper's primary cost metric), split by phase label.
+	MetricOracleCalls = "session_oracle_calls_total"
+	// MetricBoundProbes counts Bounds() evaluations for comparisons.
+	MetricBoundProbes = "session_bound_probes_total"
+	// MetricSaved counts comparisons decided from bounds alone.
+	MetricSaved = "session_comparisons_saved_total"
+	// MetricResolved counts comparisons that needed the oracle.
+	MetricResolved = "session_comparisons_resolved_total"
+	// MetricCacheHits counts comparisons answered from resolved pairs.
+	MetricCacheHits = "session_cache_hits_total"
+	// MetricDegraded counts best-effort answers produced while the
+	// oracle was unavailable.
+	MetricDegraded = "session_degraded_answers_total"
+	// MetricStoreErrors counts failed appends to the attached
+	// persistent cache.
+	MetricStoreErrors = "session_store_errors_total"
+	// MetricOracleLatency is the latency histogram (nanoseconds) of
+	// oracle round-trips, recorded only when an Observer is attached.
+	MetricOracleLatency = "session_oracle_latency_ns"
+)
+
+// Phase label values used on MetricOracleCalls.
+const (
+	// PhaseRun labels oracle calls made by the algorithm proper.
+	PhaseRun = "run"
+	// PhaseBootstrap labels oracle calls spent on landmark bootstrap
+	// (the Bootstrap column of the paper's tables).
+	PhaseBootstrap = "bootstrap"
+)
+
+// SessionInstruments is the set of handles one core.Session records
+// into — the instrument-handle replacement for the ad-hoc counter
+// fields Stats grew before this layer existed. Handles are resolved
+// once at session construction; every recording is a single atomic op.
+type SessionInstruments struct {
+	// OracleCalls counts run-phase oracle resolutions
+	// (MetricOracleCalls, phase=run).
+	OracleCalls *Counter
+	// BootstrapCalls counts bootstrap-phase oracle resolutions
+	// (MetricOracleCalls, phase=bootstrap).
+	BootstrapCalls *Counter
+	// BoundProbes mirrors Stats.BoundProbes (MetricBoundProbes).
+	BoundProbes *Counter
+	// SavedComparisons mirrors Stats.SavedComparisons (MetricSaved).
+	SavedComparisons *Counter
+	// ResolvedComparisons mirrors Stats.ResolvedComparisons
+	// (MetricResolved).
+	ResolvedComparisons *Counter
+	// CacheHits mirrors Stats.CacheHits (MetricCacheHits).
+	CacheHits *Counter
+	// DegradedAnswers mirrors Stats.DegradedAnswers (MetricDegraded).
+	DegradedAnswers *Counter
+	// StoreErrors mirrors Stats.StoreErrors (MetricStoreErrors).
+	StoreErrors *Counter
+	// OracleLatency is the oracle round-trip latency histogram
+	// (MetricOracleLatency); populated only for observed sessions.
+	OracleLatency *Histogram
+}
+
+// NewSessionInstruments resolves the session instrument handles in r,
+// labelled with the given bound-scheme name. Two sessions with the same
+// scheme sharing one registry share (aggregate into) the same series,
+// the standard metrics-registry semantics.
+func NewSessionInstruments(r *Registry, scheme string) *SessionInstruments {
+	s := L("scheme", scheme)
+	return &SessionInstruments{
+		OracleCalls:         r.Counter(MetricOracleCalls, s, L("phase", PhaseRun)),
+		BootstrapCalls:      r.Counter(MetricOracleCalls, s, L("phase", PhaseBootstrap)),
+		BoundProbes:         r.Counter(MetricBoundProbes, s),
+		SavedComparisons:    r.Counter(MetricSaved, s),
+		ResolvedComparisons: r.Counter(MetricResolved, s),
+		CacheHits:           r.Counter(MetricCacheHits, s),
+		DegradedAnswers:     r.Counter(MetricDegraded, s),
+		StoreErrors:         r.Counter(MetricStoreErrors, s),
+		OracleLatency:       r.Histogram(MetricOracleLatency, s),
+	}
+}

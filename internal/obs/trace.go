@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Comparison operations recorded in Event.Op — one per re-authored IF
+// shape of the session API.
+const (
+	// OpLess is Session.Less / LessErr / LessOutcome:
+	// dist(i,j) < dist(k,l).
+	OpLess = "less"
+	// OpLessThan is Session.LessThan / LessThanErr: dist(i,j) < c.
+	OpLessThan = "lessthan"
+	// OpDistIfLess is Session.DistIfLess / DistIfLessErr: the
+	// value-needed variant of LessThan.
+	OpDistIfLess = "distifless"
+)
+
+// Comparison outcomes recorded in Event.Outcome — how the IF was settled
+// and, therefore, what it cost.
+const (
+	// OutcomeCache: both distances were already resolved; answered from
+	// the memo with no bound probe and no oracle call.
+	OutcomeCache = "cache"
+	// OutcomeBounds: triangle-inequality bounds (or the DFT comparator)
+	// proved the answer; exact, zero oracle calls.
+	OutcomeBounds = "bounds"
+	// OutcomeOracle: the bounds were inconclusive and the oracle was paid
+	// to resolve the comparison exactly. Event.Gap records how
+	// inconclusive, Event.LatencyNs what the resolution cost.
+	OutcomeOracle = "oracle"
+	// OutcomeDegraded: a needed resolution failed and the answer is a
+	// best-effort bounds-midpoint estimate (the legacy methods' graceful
+	// degradation; see DESIGN.md §7).
+	OutcomeDegraded = "degraded"
+	// OutcomeError: a needed resolution failed on an error-propagating
+	// method — no answer was produced, the caller got the error.
+	OutcomeError = "error"
+)
+
+// Event records how one comparison was settled. Events are emitted by
+// internal/core when a Tracer is attached (core.WithObserver); field
+// semantics are documented in docs/METRICS.md.
+type Event struct {
+	// Seq is the 1-based global sequence number assigned by the Tracer.
+	Seq int64 `json:"seq"`
+	// Op is the comparison shape (OpLess, OpLessThan, OpDistIfLess).
+	Op string `json:"op"`
+	// Scheme is the session's bound scheme name (core.Scheme.String).
+	Scheme string `json:"scheme"`
+	// Phase is "bootstrap" during landmark bootstrap, "run" otherwise.
+	Phase string `json:"phase"`
+	// I, J identify the first distance term dist(I, J).
+	I int `json:"i"`
+	J int `json:"j"`
+	// K, L identify the second term for OpLess; both are -1 otherwise.
+	K int `json:"k"`
+	L int `json:"l"`
+	// Outcome is how the comparison was settled (Outcome* constants).
+	Outcome string `json:"outcome"`
+	// Gap is the bound slack that forced the oracle fallback at decision
+	// time: the width of the interval overlap (OpLess), of the straddled
+	// interval (OpLessThan), or min(c, ub) − lb (OpDistIfLess, finite
+	// even for c = +Inf). 0 for comparisons the bounds settled.
+	Gap float64 `json:"gap"`
+	// LatencyNs is the wall-clock nanoseconds this comparison spent in
+	// oracle resolutions (0 when no oracle call was made).
+	LatencyNs int64 `json:"latency_ns"`
+}
+
+// Tally aggregates every traced event of one (Op, Outcome) pair. Unlike
+// the ring, tallies are exact over the whole run — they are not subject
+// to ring eviction.
+type Tally struct {
+	// Op and Outcome identify the aggregated event class.
+	Op      string
+	Outcome string
+	// Count is the number of events in the class.
+	Count int64
+	// GapSum is the sum of Event.Gap over the class.
+	GapSum float64
+	// LatencyNsSum is the sum of Event.LatencyNs over the class.
+	LatencyNsSum int64
+}
+
+// Tracer records comparison events into a fixed-capacity ring buffer
+// (most recent events win), keeps exact running tallies per
+// (op, outcome), and optionally streams every event to a JSONL sink.
+// It is safe for concurrent use; Record takes one short mutex hold.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []Event
+	cap     int
+	seq     int64 // events ever recorded; ring holds the last min(seq, cap)
+	tallies map[[2]string]*Tally
+	sink    io.Writer
+	enc     *json.Encoder
+	sinkErr error
+}
+
+// DefaultTraceCapacity is the ring size used when NewTracer is given a
+// non-positive capacity: enough to hold the tail of a large build without
+// measurable memory cost (~100 bytes/event).
+const DefaultTraceCapacity = 4096
+
+// NewTracer returns a tracer with the given ring capacity (≤ 0 selects
+// DefaultTraceCapacity). A non-nil sink receives every event as one JSON
+// line; the first sink write error latches (SinkErr) and disables the
+// sink, never the tracing.
+func NewTracer(capacity int, sink io.Writer) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	t := &Tracer{
+		ring:    make([]Event, 0, capacity),
+		cap:     capacity,
+		tallies: make(map[[2]string]*Tally),
+		sink:    sink,
+	}
+	if sink != nil {
+		t.enc = json.NewEncoder(sink)
+	}
+	return t
+}
+
+// Record assigns the event its sequence number and stores it. The ring
+// overwrites the oldest event once full; tallies and the sink always see
+// every event.
+func (t *Tracer) Record(e Event) {
+	t.mu.Lock()
+	t.seq++
+	e.Seq = t.seq
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, e)
+	} else {
+		t.ring[int((t.seq-1)%int64(t.cap))] = e
+	}
+	key := [2]string{e.Op, e.Outcome}
+	tl := t.tallies[key]
+	if tl == nil {
+		tl = &Tally{Op: e.Op, Outcome: e.Outcome}
+		t.tallies[key] = tl
+	}
+	tl.Count++
+	tl.GapSum += e.Gap
+	tl.LatencyNsSum += e.LatencyNs
+	if t.enc != nil && t.sinkErr == nil {
+		if err := t.enc.Encode(e); err != nil {
+			t.sinkErr = err
+			t.enc = nil
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Total returns the number of events ever recorded (≥ len(Events())).
+func (t *Tracer) Total() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Dropped returns how many events have been evicted from the ring (they
+// remain counted in the tallies and written to the sink).
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.seq <= int64(t.cap) {
+		return 0
+	}
+	return t.seq - int64(t.cap)
+}
+
+// Events returns the retained events oldest-first.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.seq <= int64(t.cap) {
+		return append([]Event(nil), t.ring...)
+	}
+	// Full ring: the oldest event sits just past the most recent write.
+	head := int(t.seq % int64(t.cap))
+	out := make([]Event, 0, t.cap)
+	out = append(out, t.ring[head:]...)
+	out = append(out, t.ring[:head]...)
+	return out
+}
+
+// Tallies returns the exact per-(op, outcome) aggregates, sorted by op
+// then outcome for stable reporting.
+func (t *Tracer) Tallies() []Tally {
+	t.mu.Lock()
+	out := make([]Tally, 0, len(t.tallies))
+	for _, tl := range t.tallies {
+		out = append(out, *tl)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		return out[i].Outcome < out[j].Outcome
+	})
+	return out
+}
+
+// SinkErr returns the first JSONL sink write error, or nil. After an
+// error the sink is disabled; ring and tallies keep recording.
+func (t *Tracer) SinkErr() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sinkErr
+}
+
+// Observer bundles the two observation surfaces for plumbing through
+// constructors: a Registry every layer records metrics into, and an
+// optional Tracer for per-comparison events. A nil *Observer disables
+// observation wherever it is accepted.
+type Observer struct {
+	// Registry receives every metric instrument; never nil in an
+	// Observer built by NewObserver.
+	Registry *Registry
+	// Tracer receives per-comparison events; nil disables tracing while
+	// keeping metrics.
+	Tracer *Tracer
+}
+
+// NewObserver returns an observer with a fresh registry and, when trace
+// is true, a tracer of the given capacity writing to sink (which may be
+// nil for ring-only tracing).
+func NewObserver(trace bool, traceCapacity int, sink io.Writer) *Observer {
+	o := &Observer{Registry: NewRegistry()}
+	if trace {
+		o.Tracer = NewTracer(traceCapacity, sink)
+	}
+	return o
+}

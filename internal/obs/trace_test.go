@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func mkEvent(op, outcome string, i int) Event {
+	return Event{Op: op, Scheme: "tri", Phase: "run", I: i, J: i + 1, K: -1, L: -1, Outcome: outcome, Gap: 0.5, LatencyNs: 10}
+}
+
+// TestTracerRingBelowCapacity checks ordering and sequence assignment
+// before any eviction happens.
+func TestTracerRingBelowCapacity(t *testing.T) {
+	tr := NewTracer(8, nil)
+	for i := 0; i < 5; i++ {
+		tr.Record(mkEvent(OpLess, OutcomeBounds, i))
+	}
+	if tr.Total() != 5 || tr.Dropped() != 0 {
+		t.Fatalf("Total/Dropped = %d/%d, want 5/0", tr.Total(), tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 5 {
+		t.Fatalf("len(Events) = %d, want 5", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != int64(i+1) || e.I != i {
+			t.Fatalf("Events[%d] = seq %d I %d, want seq %d I %d", i, e.Seq, e.I, i+1, i)
+		}
+	}
+}
+
+// TestTracerRingEviction checks that a full ring keeps exactly the most
+// recent cap events, oldest-first, while tallies stay exact.
+func TestTracerRingEviction(t *testing.T) {
+	const cap, total = 4, 11
+	tr := NewTracer(cap, nil)
+	for i := 0; i < total; i++ {
+		tr.Record(mkEvent(OpDistIfLess, OutcomeOracle, i))
+	}
+	if tr.Total() != total || tr.Dropped() != total-cap {
+		t.Fatalf("Total/Dropped = %d/%d, want %d/%d", tr.Total(), tr.Dropped(), total, total-cap)
+	}
+	evs := tr.Events()
+	if len(evs) != cap {
+		t.Fatalf("len(Events) = %d, want %d", len(evs), cap)
+	}
+	for i, e := range evs {
+		if want := int64(total - cap + i + 1); e.Seq != want {
+			t.Fatalf("Events[%d].Seq = %d, want %d (oldest-first tail)", i, e.Seq, want)
+		}
+	}
+	tallies := tr.Tallies()
+	if len(tallies) != 1 {
+		t.Fatalf("tallies = %+v, want one class", tallies)
+	}
+	tl := tallies[0]
+	if tl.Op != OpDistIfLess || tl.Outcome != OutcomeOracle || tl.Count != total {
+		t.Fatalf("tally = %+v, want {%s %s %d ...}", tl, OpDistIfLess, OutcomeOracle, total)
+	}
+	if tl.GapSum != 0.5*total || tl.LatencyNsSum != 10*total {
+		t.Fatalf("tally sums = %g/%d, want %g/%d (eviction must not touch tallies)",
+			tl.GapSum, tl.LatencyNsSum, 0.5*total, 10*total)
+	}
+}
+
+// TestTracerSinkJSONL checks that every event reaches the sink as one
+// parseable JSON line with the documented field names.
+func TestTracerSinkJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(2, &buf)
+	for i := 0; i < 6; i++ {
+		tr.Record(mkEvent(OpLessThan, OutcomeBounds, i))
+	}
+	if err := tr.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var n int
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", n+1, err)
+		}
+		if e.Seq != int64(n+1) || e.Op != OpLessThan || e.Outcome != OutcomeBounds || e.K != -1 {
+			t.Fatalf("line %d round-tripped to %+v", n+1, e)
+		}
+		n++
+	}
+	if n != 6 {
+		t.Fatalf("sink received %d lines, want 6 (eviction must not drop sink writes)", n)
+	}
+}
+
+// failAfter errors on the (n+1)-th write.
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+// TestTracerSinkErrorLatches checks the degradation contract: the first
+// sink failure latches into SinkErr and disables the sink, while the ring
+// and tallies keep recording every event.
+func TestTracerSinkErrorLatches(t *testing.T) {
+	tr := NewTracer(8, &failAfter{n: 2})
+	for i := 0; i < 5; i++ {
+		tr.Record(mkEvent(OpLess, OutcomeOracle, i))
+	}
+	if err := tr.SinkErr(); err == nil || err.Error() == "" {
+		t.Fatalf("SinkErr = %v, want the latched write error", err)
+	}
+	if tr.Total() != 5 || len(tr.Events()) != 5 {
+		t.Fatalf("Total/len(Events) = %d/%d after sink failure, want 5/5", tr.Total(), len(tr.Events()))
+	}
+	if tl := tr.Tallies(); len(tl) != 1 || tl[0].Count != 5 {
+		t.Fatalf("tallies after sink failure = %+v, want exact count 5", tl)
+	}
+}
+
+// TestTracerConcurrent hammers Record from many goroutines (run under
+// -race in CI): sequence numbers must stay unique, totals exact, and the
+// retained window must hold the cap most recent events.
+func TestTracerConcurrent(t *testing.T) {
+	const workers, per, cap = 8, 2000, 64
+	tr := NewTracer(cap, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			outcome := []string{OutcomeBounds, OutcomeOracle}[w%2]
+			for i := 0; i < per; i++ {
+				tr.Record(mkEvent(OpLess, outcome, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	const total = workers * per
+	if tr.Total() != total || tr.Dropped() != total-cap {
+		t.Fatalf("Total/Dropped = %d/%d, want %d/%d", tr.Total(), tr.Dropped(), total, total-cap)
+	}
+	evs := tr.Events()
+	if len(evs) != cap {
+		t.Fatalf("len(Events) = %d, want %d", len(evs), cap)
+	}
+	seen := make(map[int64]bool)
+	for _, e := range evs {
+		if e.Seq <= total-cap || e.Seq > total || seen[e.Seq] {
+			t.Fatalf("retained seq %d out of window (%d, %d] or duplicated", e.Seq, total-cap, total)
+		}
+		seen[e.Seq] = true
+	}
+	var n int64
+	for _, tl := range tr.Tallies() {
+		n += tl.Count
+	}
+	if n != total {
+		t.Fatalf("tally total = %d, want %d", n, total)
+	}
+}
+
+// TestNewObserver pins the constructor contract used by the CLIs.
+func TestNewObserver(t *testing.T) {
+	if o := NewObserver(false, 0, nil); o.Registry == nil || o.Tracer != nil {
+		t.Fatalf("NewObserver(false) = %+v, want registry only", o)
+	}
+	o := NewObserver(true, 0, nil)
+	if o.Tracer == nil {
+		t.Fatal("NewObserver(true) did not build a tracer")
+	}
+	for i := 0; i < DefaultTraceCapacity+1; i++ {
+		o.Tracer.Record(Event{Op: OpLess, Outcome: OutcomeBounds})
+	}
+	if got := o.Tracer.Dropped(); got != 1 {
+		t.Fatalf("default capacity: Dropped = %d after cap+1 events, want 1", got)
+	}
+}

@@ -1,0 +1,151 @@
+// Package exporteddoc defines an analyzer that requires a doc comment on
+// every exported identifier in the library's documented API packages.
+//
+// The packages a user of this library programs against — the session
+// layer, the oracle transport chain, and the observability subsystem —
+// promise that godoc alone is enough to use them; docs/METRICS.md and
+// DESIGN.md link into those doc comments rather than duplicating them.
+// That promise decays one undocumented export at a time, so this
+// analyzer makes it mechanical: an exported function, method, type,
+// const, or var in a documented package must carry a doc comment (its
+// own, or the enclosing const/var/type block's — the idiomatic form for
+// enum-style groups). Packages outside the documented set are untouched;
+// a deliberate gap can be annotated with
+// //proxlint:allow exporteddoc -- <why>.
+package exporteddoc
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"metricprox/internal/analysis"
+)
+
+// Analyzer flags undocumented exported identifiers in documented
+// packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "exporteddoc",
+	Doc: "require a doc comment on every exported identifier in the documented API " +
+		"packages (internal/core, internal/metric, internal/resilient, internal/faultmetric, internal/obs)",
+	Run: run,
+}
+
+// documentedSuffixes lists the packages whose exported surface must be
+// fully documented. Matching by suffix covers both the real module path
+// and testdata fakes, like the other analyzers.
+var documentedSuffixes = []string{
+	"internal/core",
+	"internal/metric",
+	"internal/resilient",
+	"internal/faultmetric",
+	"internal/obs",
+	"internal/obs/obshttp",
+}
+
+func run(pass *analysis.Pass) error {
+	if !inDocumentedPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFunc(pass, d)
+			case *ast.GenDecl:
+				checkGen(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc flags an undocumented exported function or method. Methods
+// on unexported receiver types are skipped: their documentation home is
+// the interface or constructor that exposes them.
+func checkFunc(pass *analysis.Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	kind := "function"
+	name := d.Name.Name
+	if d.Recv != nil {
+		recv := receiverIdent(d.Recv)
+		if recv == nil || !recv.IsExported() {
+			return
+		}
+		kind = "method"
+		name = recv.Name + "." + name
+	}
+	pass.Reportf(d.Name.Pos(),
+		"exported %s %s has no doc comment; this package promises a fully documented godoc surface", kind, name)
+}
+
+// checkGen flags undocumented exported names in const, var, and type
+// declarations. A doc comment on the enclosing block documents every
+// spec in it (the idiomatic form for enum-style const groups).
+func checkGen(pass *analysis.Pass, d *ast.GenDecl) {
+	if d.Doc != nil {
+		return
+	}
+	kind := map[token.Token]string{token.CONST: "const", token.VAR: "var", token.TYPE: "type"}[d.Tok]
+	if kind == "" {
+		return // import declarations
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil {
+				pass.Reportf(s.Name.Pos(),
+					"exported type %s has no doc comment; this package promises a fully documented godoc surface", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					pass.Reportf(name.Pos(),
+						"exported %s %s has no doc comment; this package promises a fully documented godoc surface", kind, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverIdent returns the identifier of the receiver's base type, or
+// nil when the receiver is not a named type.
+func receiverIdent(recv *ast.FieldList) *ast.Ident {
+	if recv == nil || len(recv.List) == 0 {
+		return nil
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr: // generic receiver T[P1, P2]
+			t = tt.X
+		case *ast.Ident:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// inDocumentedPackage reports whether path names a package of the
+// documented API surface (see documentedSuffixes).
+func inDocumentedPackage(path string) bool {
+	for _, suffix := range documentedSuffixes {
+		if path == "metricprox/"+suffix || strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package exporteddoc_test
+
+import (
+	"testing"
+
+	"metricprox/internal/proxlint/analyzertest"
+	"metricprox/internal/proxlint/exporteddoc"
+)
+
+func TestExportedDoc(t *testing.T) {
+	analyzertest.Run(t, "testdata", exporteddoc.Analyzer,
+		"metricprox/internal/core",
+		"x", // outside the documented set: no findings expected
+	)
+}

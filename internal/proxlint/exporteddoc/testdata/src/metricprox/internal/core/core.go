@@ -1,0 +1,50 @@
+// Package core exercises the exporteddoc analyzer inside a documented
+// package: every exported identifier must carry a doc comment.
+package core
+
+// Session is documented: fine.
+type Session struct{}
+
+type Undocumented struct{} // want `exported type Undocumented has no doc comment`
+
+// unexported types never need doc comments.
+type internalState struct{}
+
+// NewSession is documented: fine.
+func NewSession() *Session { return &Session{} }
+
+func MissingDoc() {} // want `exported function MissingDoc has no doc comment`
+
+func helper() {} // unexported: fine
+
+// Close is documented: fine.
+func (s *Session) Close() {}
+
+func (s *Session) Flush() {} // want `exported method Session.Flush has no doc comment`
+
+// Methods on unexported receiver types are skipped: their documentation
+// home is whatever exposes them.
+func (internalState) Reset() {}
+
+// SchemeNames is an enum-style block: the block comment documents every
+// constant in it.
+const (
+	SchemeNoop = "noop"
+	SchemeTri  = "tri"
+)
+
+const (
+	MaxRetries = 5 // want `exported const MaxRetries has no doc comment`
+
+	// BackoffBase is documented per-spec: fine.
+	BackoffBase = 2
+
+	minBudget = 1 // unexported: fine
+)
+
+var DefaultSession *Session // want `exported var DefaultSession has no doc comment`
+
+// ErrClosed is documented: fine.
+var ErrClosed error
+
+func Allowed() {} //proxlint:allow exporteddoc -- deliberate gap exercised by the directive test

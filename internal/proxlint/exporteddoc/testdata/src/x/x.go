@@ -1,0 +1,7 @@
+// Package x is outside the documented API surface: undocumented exports
+// here are not exporteddoc's business.
+package x
+
+type Whatever struct{}
+
+func AlsoWhatever() {}

@@ -1,0 +1,85 @@
+// Package obspurity defines an analyzer that keeps the bound decision
+// layer free of observability imports.
+//
+// The framework's correctness story (DESIGN.md §8) rests on observation
+// being write-only: metrics and traces may record what a bound decision
+// did, but must never be able to influence it. internal/bounds is the
+// pure decision layer — interval arithmetic over what the session has
+// learned — so the strongest mechanical form of that invariant is a
+// dependency rule: internal/bounds must not import internal/obs (or any
+// of its subpackages) at all. A bounds file that needs to report
+// something returns it to internal/core, which owns all instrument
+// recording. There is deliberately no //proxlint:allow escape valve in
+// practice: an allowed import would still be flagged at every future
+// review because the rationale must argue against the purity invariant
+// itself.
+package obspurity
+
+import (
+	"strconv"
+	"strings"
+
+	"metricprox/internal/analysis"
+)
+
+// Analyzer flags imports of internal/obs from the pure decision layer.
+var Analyzer = &analysis.Analyzer{
+	Name: "obspurity",
+	Doc: "forbid internal/bounds (the pure bound-decision layer) from importing " +
+		"internal/obs: observation is write-only and must not be able to influence decisions",
+	Run: run,
+}
+
+// pureSuffixes lists the decision packages that must stay
+// observation-free. Matching by suffix covers both the real module path
+// and testdata fakes, like the other analyzers.
+var pureSuffixes = []string{
+	"internal/bounds",
+}
+
+func run(pass *analysis.Pass) error {
+	if !inPureDecisionPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if !isObsPath(path) {
+				continue
+			}
+			pass.Reportf(imp.Path.Pos(),
+				"the pure bound-decision layer imports %s: observation must stay write-only, so record in internal/core instead and keep %s observation-free",
+				path, pass.Pkg.Path())
+		}
+	}
+	return nil
+}
+
+// inPureDecisionPackage reports whether path names a package of the pure
+// decision layer (see pureSuffixes).
+func inPureDecisionPackage(path string) bool {
+	for _, suffix := range pureSuffixes {
+		if path == "metricprox/"+suffix || strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// isObsPath reports whether path names internal/obs or one of its
+// subpackages (for example internal/obs/obshttp).
+func isObsPath(path string) bool {
+	if path == "metricprox/internal/obs" || strings.HasSuffix(path, "internal/obs") {
+		return true
+	}
+	if i := strings.Index(path, "internal/obs/"); i >= 0 {
+		return i == 0 || path[i-1] == '/'
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package obspurity_test
+
+import (
+	"testing"
+
+	"metricprox/internal/proxlint/analyzertest"
+	"metricprox/internal/proxlint/obspurity"
+)
+
+func TestObsPurity(t *testing.T) {
+	analyzertest.Run(t, "testdata", obspurity.Analyzer,
+		"metricprox/internal/bounds",
+		"metricprox/internal/core", // obs importer outside the pure layer: no findings expected
+		"metricprox/internal/obs",  // obs itself: no findings expected
+	)
+}

@@ -1,0 +1,23 @@
+// Package bounds exercises the obspurity analyzer: the pure
+// bound-decision layer must not import the observability subsystem.
+package bounds
+
+import (
+	"math"
+
+	"metricprox/internal/obs"         // want `the pure bound-decision layer imports metricprox/internal/obs`
+	"metricprox/internal/obs/obshttp" // want `the pure bound-decision layer imports metricprox/internal/obs/obshttp`
+)
+
+// Interval is a stand-in for the real bound interval.
+type Interval struct{ Lo, Hi float64 }
+
+// Width is pure interval arithmetic: fine.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+func tainted() *obs.Registry {
+	_, _ = obshttp.Serve(":0")
+	return obs.NewRegistry()
+}
+
+func pure(a, b Interval) float64 { return math.Min(a.Width(), b.Width()) }

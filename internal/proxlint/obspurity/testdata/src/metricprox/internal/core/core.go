@@ -1,0 +1,12 @@
+// Package core stands in for the session layer: it owns all instrument
+// recording, so importing obs here is exactly right and must not be
+// flagged.
+package core
+
+import "metricprox/internal/obs"
+
+// Session mirrors the real session's ownership of the registry.
+type Session struct{ reg *obs.Registry }
+
+// NewSession wires the observability registry into the session.
+func NewSession() *Session { return &Session{reg: obs.NewRegistry()} }

@@ -1,0 +1,9 @@
+// Package obs is a stub of the real observability registry for analyzer
+// tests.
+package obs
+
+// Registry mirrors the real metrics registry.
+type Registry struct{}
+
+// NewRegistry mirrors the real constructor.
+func NewRegistry() *Registry { return &Registry{} }

@@ -1,0 +1,6 @@
+// Package obshttp is a stub of the real exposition endpoint for analyzer
+// tests.
+package obshttp
+
+// Serve mirrors the real exposition entry point.
+func Serve(addr string) (string, error) { return addr, nil }

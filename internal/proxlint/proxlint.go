@@ -8,8 +8,10 @@ package proxlint
 import (
 	"metricprox/internal/analysis"
 	"metricprox/internal/proxlint/commitonce"
+	"metricprox/internal/proxlint/exporteddoc"
 	"metricprox/internal/proxlint/floatcmp"
 	"metricprox/internal/proxlint/lockheldoracle"
+	"metricprox/internal/proxlint/obspurity"
 	"metricprox/internal/proxlint/oracleescape"
 )
 
@@ -20,5 +22,7 @@ func Analyzers() []*analysis.Analyzer {
 		lockheldoracle.Analyzer,
 		commitonce.Analyzer,
 		floatcmp.Analyzer,
+		obspurity.Analyzer,
+		exporteddoc.Analyzer,
 	}
 }

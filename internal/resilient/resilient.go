@@ -1,19 +1,3 @@
-// Package resilient wraps any fallible distance oracle with the retry
-// discipline an expensive external backend demands: per-attempt
-// context deadlines, capped exponential backoff with deterministic jitter,
-// a three-state circuit breaker (closed / open / half-open), and a total
-// attempt budget per call.
-//
-// The layer is deliberately value-agnostic: it never inspects distances
-// beyond rejecting corrupt (NaN / negative) responses, so it composes with
-// any metric.FallibleOracle — the in-process metric.Oracle, the
-// faultmetric chaos injector, or a real network client. The session layer
-// above it (internal/core) degrades to bounds-only answers when the
-// breaker reports the backend unavailable.
-//
-// Determinism: backoff jitter is a pure function of (Seed, pair, attempt)
-// — see Backoff — so a retry schedule is reproducible from its seed, which
-// the chaos harness and the backoff fuzz target rely on.
 package resilient
 
 import (
@@ -21,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"metricprox/internal/metric"
@@ -190,6 +175,11 @@ type Oracle struct {
 	reopenAt    time.Time // when an open breaker admits a probe
 	probing     bool      // a half-open probe is in flight
 	counts      Counters
+
+	// ins, once Observe attaches a registry, mirrors every counting event
+	// into obs instruments. Atomic so the unlocked latency-timing path in
+	// DistanceCtx can read it without the mutex.
+	ins atomic.Pointer[instruments]
 }
 
 // New wraps base with the (normalised) policy.
@@ -248,32 +238,52 @@ func (o *Oracle) Ready() bool {
 func (o *Oracle) attemptBegin() bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	ins := o.ins.Load()
+	if ins != nil {
+		// Runs before the unlock (LIFO), capturing any state transition.
+		defer func() { ins.breakerState.Set(float64(o.state)) }()
+	}
 	if o.p.FailureThreshold < 0 {
-		o.counts.Attempts++
+		o.countAttempt(ins)
 		return true
 	}
 	switch o.state {
 	case BreakerOpen:
 		if o.now().Before(o.reopenAt) {
 			o.counts.FastFails++
+			if ins != nil {
+				ins.fastFails.Inc()
+			}
 			return false
 		}
 		// Cooldown over: admit exactly one half-open probe.
 		o.state = BreakerHalfOpen
 		o.probing = true
-		o.counts.Attempts++
+		o.countAttempt(ins)
 		return true
 	case BreakerHalfOpen:
 		if o.probing {
 			o.counts.FastFails++
+			if ins != nil {
+				ins.fastFails.Inc()
+			}
 			return false
 		}
 		o.probing = true
-		o.counts.Attempts++
+		o.countAttempt(ins)
 		return true
 	default:
-		o.counts.Attempts++
+		o.countAttempt(ins)
 		return true
+	}
+}
+
+// countAttempt records one admitted attempt; ins may be nil (unobserved).
+// Called with the mutex held.
+func (o *Oracle) countAttempt(ins *instruments) {
+	o.counts.Attempts++
+	if ins != nil {
+		ins.attempts.Inc()
 	}
 }
 
@@ -281,6 +291,10 @@ func (o *Oracle) attemptBegin() bool {
 func (o *Oracle) attemptEnd(ok bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	ins := o.ins.Load()
+	if ins != nil {
+		defer func() { ins.breakerState.Set(float64(o.state)) }()
+	}
 	if o.p.FailureThreshold < 0 {
 		return
 	}
@@ -295,6 +309,9 @@ func (o *Oracle) attemptEnd(ok bool) {
 		o.probing = false
 		o.reopenAt = o.now().Add(o.p.Cooldown)
 		o.counts.BreakerOpens++
+		if ins != nil {
+			ins.breakerOpens.Inc()
+		}
 	default:
 		o.consecutive++
 		if o.consecutive >= o.p.FailureThreshold {
@@ -302,6 +319,9 @@ func (o *Oracle) attemptEnd(ok bool) {
 			o.consecutive = 0
 			o.reopenAt = o.now().Add(o.p.Cooldown)
 			o.counts.BreakerOpens++
+			if ins != nil {
+				ins.breakerOpens.Inc()
+			}
 		}
 	}
 }
@@ -312,6 +332,7 @@ func (o *Oracle) attemptEnd(ok bool) {
 func (o *Oracle) DistanceCtx(ctx context.Context, i, j int) (float64, error) {
 	var lastErr error
 	for attempt := 1; attempt <= o.p.MaxAttempts; attempt++ {
+		ins := o.ins.Load()
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
@@ -322,6 +343,9 @@ func (o *Oracle) DistanceCtx(ctx context.Context, i, j int) (float64, error) {
 				o.mu.Lock()
 				o.counts.Timeouts++
 				o.mu.Unlock()
+				if ins != nil {
+					ins.timeouts.Inc()
+				}
 				return 0, fmt.Errorf("%w: backoff exceeds deadline: %w", ErrExhausted, context.DeadlineExceeded)
 			}
 			if err := o.sleep(ctx, delay); err != nil {
@@ -331,13 +355,23 @@ func (o *Oracle) DistanceCtx(ctx context.Context, i, j int) (float64, error) {
 		if !o.attemptBegin() {
 			return 0, fmt.Errorf("%w (cooling down)", ErrBreakerOpen)
 		}
+		var t0 time.Time
+		if ins != nil {
+			t0 = o.now()
+		}
 		d, err := o.callOnce(ctx, i, j)
+		if ins != nil {
+			ins.attemptLatency.Observe(int64(o.now().Sub(t0)))
+		}
 		if err == nil {
 			if verr := metric.ValidateDistance(d, i, j); verr != nil {
 				err = verr
 				o.mu.Lock()
 				o.counts.Corrupts++
 				o.mu.Unlock()
+				if ins != nil {
+					ins.corrupts.Inc()
+				}
 			}
 		}
 		if err == nil {
@@ -345,17 +379,29 @@ func (o *Oracle) DistanceCtx(ctx context.Context, i, j int) (float64, error) {
 			o.mu.Lock()
 			o.counts.Successes++
 			o.mu.Unlock()
+			if ins != nil {
+				ins.successes.Inc()
+			}
 			return d, nil
 		}
 		o.attemptEnd(false)
 		o.mu.Lock()
 		if errors.Is(err, context.DeadlineExceeded) {
 			o.counts.Timeouts++
+			if ins != nil {
+				ins.timeouts.Inc()
+			}
 		}
 		if attempt < o.p.MaxAttempts {
 			o.counts.Retries++
+			if ins != nil {
+				ins.retries.Inc()
+			}
 		} else {
 			o.counts.Exhausted++
+			if ins != nil {
+				ins.exhausted.Inc()
+			}
 		}
 		o.mu.Unlock()
 		lastErr = err
