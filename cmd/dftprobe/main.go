@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"metricprox/internal/bounds"
+	"metricprox/internal/buildinfo"
 	"metricprox/internal/datasets"
 	"metricprox/internal/pgraph"
 )
@@ -26,7 +27,12 @@ func main() {
 	trials := flag.Int("trials", 10, "number of random partial metrics")
 	n := flag.Int("n", 8, "objects per instance")
 	reveal := flag.Float64("reveal", 0.5, "fraction of edges revealed")
+	verFlag := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *verFlag {
+		fmt.Println(buildinfo.String("dftprobe"))
+		return
+	}
 
 	lpWins, intervalDecided, total, unsound := 0, 0, 0, 0
 	for trial := int64(0); trial < int64(*trials); trial++ {

@@ -31,11 +31,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"metricprox/internal/buildinfo"
 	"metricprox/internal/cachestore"
 	"metricprox/internal/core"
 	"metricprox/internal/datasets"
@@ -53,29 +55,30 @@ var algoNames = []string{"mst", "kruskal", "boruvka", "knn", "pam", "clarans", "
 
 func main() {
 	var (
-		inFlag     = flag.String("in", "", "CSV point file (one point per line)")
-		demoFlag   = flag.Int("demo", 0, "use a synthetic road-network dataset of this size instead of -in")
-		algoFlag   = flag.String("algo", "mst", "algorithm: mst | kruskal | boruvka | knn | pam | clarans | kcenter | tsp | linkage")
-		schemeFlag = flag.String("scheme", "tri", "bound scheme: noop | tri | splub | adm | laesa | tlaesa | hybrid")
-		kFlag      = flag.Int("k", 5, "neighbours for -algo knn")
-		lFlag      = flag.Int("l", 8, "clusters/centers for pam, clarans, kcenter")
-		pFlag      = flag.Float64("p", 2, "Minkowski norm for CSV input")
-		landmarks  = flag.Int("landmarks", 0, "bootstrap landmarks (0 = log2 n)")
-		seedFlag   = flag.Int64("seed", 1, "seed for randomised algorithms")
-		cacheFlag  = flag.String("cache", "", "persistent distance-cache file")
-		faultsFlag = flag.String("faults", "", "inject oracle faults: seed=N,rate=P with P in (0,1]")
-		listenFlag = flag.String("listen", "", "serve /metrics JSON and /debug/pprof on this address (e.g. :6060) for the duration of the run")
+		inFlag      = flag.String("in", "", "CSV point file (one point per line)")
+		demoFlag    = flag.Int("demo", 0, "use a synthetic road-network dataset of this size instead of -in")
+		algoFlag    = flag.String("algo", "mst", "algorithm: mst | kruskal | boruvka | knn | pam | clarans | kcenter | tsp | linkage")
+		schemeFlag  = flag.String("scheme", "tri", "bound scheme: noop | tri | splub | adm | laesa | tlaesa | hybrid")
+		kFlag       = flag.Int("k", 5, "neighbours for -algo knn")
+		lFlag       = flag.Int("l", 8, "clusters/centers for pam, clarans, kcenter")
+		pFlag       = flag.Float64("p", 2, "Minkowski norm for CSV input")
+		landmarks   = flag.Int("landmarks", 0, "bootstrap landmarks (0 = log2 n)")
+		seedFlag    = flag.Int64("seed", 1, "seed for randomised algorithms")
+		cacheFlag   = flag.String("cache", "", "persistent distance-cache file")
+		faultsFlag  = flag.String("faults", "", "inject oracle faults: seed=N,rate=P with P in (0,1]")
+		listenFlag  = flag.String("listen", "", "serve /metrics JSON and /debug/pprof on this address (e.g. :6060) for the duration of the run")
+		versionFlag = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *versionFlag {
+		fmt.Println(buildinfo.String("metricprox"))
+		return
+	}
 
 	// Validate every flag before touching the dataset.
-	scheme, ok := map[string]core.Scheme{
-		"noop": core.SchemeNoop, "tri": core.SchemeTri, "splub": core.SchemeSPLUB,
-		"adm": core.SchemeADM, "laesa": core.SchemeLAESA, "tlaesa": core.SchemeTLAESA,
-		"hybrid": core.SchemeHybrid,
-	}[*schemeFlag]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "metricprox: unknown scheme %q (see -h)\n", *schemeFlag)
+	scheme, err := core.ParseScheme(*schemeFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricprox: %v (see -h)\n", err)
 		os.Exit(2)
 	}
 	validAlgo := false
@@ -121,12 +124,17 @@ func main() {
 	var observer *obs.Observer
 	if *listenFlag != "" {
 		observer = obs.NewObserver(false, 0, nil)
-		addr, err := obshttp.Serve(*listenFlag, observer.Registry)
+		srv, err := obshttp.Serve(*listenFlag, observer.Registry)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "metricprox: -listen:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "metricprox: serving metrics on http://%s/metrics (pprof under /debug/pprof/)\n", addr)
+		fmt.Fprintf(os.Stderr, "metricprox: serving metrics on http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx) // drain in-flight scrapes before exit
+		}()
 	}
 
 	var oracle metric.FallibleOracle = metric.NewOracle(space)

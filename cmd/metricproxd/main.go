@@ -1,0 +1,166 @@
+// Command metricproxd is the networked session service: a long-running
+// daemon that owns one metric space and hosts named multi-tenant bound
+// sessions over it, so many clients share one pool of resolved distances
+// and tightened bounds. Clients speak the HTTP/JSON API documented in
+// docs/API.md — primitive comparisons, batches, and whole-problem runs —
+// typically through internal/proxclient, whose Session makes the prox
+// algorithms run against this daemon unmodified and output-identical.
+//
+// Usage:
+//
+//	metricproxd -demo 500 -listen :7600
+//	metricproxd -in points.csv -p 1 -listen 127.0.0.1:7600
+//	metricproxd -demo 500 -cache-dir /var/lib/metricproxd  # warm restarts
+//	metricproxd -demo 500 -faults seed=3,rate=0.2          # chaos drill
+//
+// The daemon exposes the service API and the observability surface on the
+// same listener: /metrics serves the obs registry (per-endpoint latency
+// histograms, queue depth, shed and eviction counters) and /debug/pprof/
+// the pprof suite. On SIGINT/SIGTERM it drains: new work is refused with
+// 503/draining, in-flight requests finish, sessions are evicted (syncing
+// their cache stores), and only then does the process exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"metricprox/internal/buildinfo"
+	"metricprox/internal/datasets"
+	"metricprox/internal/faultmetric"
+	"metricprox/internal/metric"
+	"metricprox/internal/obs"
+	"metricprox/internal/obs/obshttp"
+	"metricprox/internal/resilient"
+	"metricprox/internal/service"
+)
+
+func main() {
+	var (
+		inFlag      = flag.String("in", "", "CSV point file (one point per line)")
+		demoFlag    = flag.Int("demo", 0, "use a synthetic road-network dataset of this size instead of -in")
+		planarFlag  = flag.Bool("planar", false, "with -demo, use the planar (closed-form) SF surrogate instead of the road network")
+		pFlag       = flag.Float64("p", 2, "Minkowski norm for CSV input")
+		seedFlag    = flag.Int64("seed", 1, "seed for the synthetic dataset")
+		listenFlag  = flag.String("listen", ":7600", "address to serve the API, /metrics, and /debug/pprof on")
+		faultsFlag  = flag.String("faults", "", "inject oracle faults: seed=N,rate=P with P in (0,1]")
+		cacheDir    = flag.String("cache-dir", "", "directory for per-session distance caches (enables warm restarts)")
+		maxSessions = flag.Int("max-sessions", 16, "maximum live sessions (0 = unlimited)")
+		sessionTTL  = flag.Duration("session-ttl", 0, "evict sessions idle for this long (0 = never)")
+		queueFlag   = flag.Int("queue", service.DefaultQueue, "per-session admission queue depth")
+		drainFlag   = flag.Duration("drain", 10*time.Second, "shutdown drain budget for in-flight requests")
+		versionFlag = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *versionFlag {
+		fmt.Println(buildinfo.String("metricproxd"))
+		return
+	}
+	if *inFlag != "" && *demoFlag > 0 {
+		fmt.Fprintln(os.Stderr, "metricproxd: -in and -demo are mutually exclusive; pick one input")
+		os.Exit(2)
+	}
+	if *maxSessions < 0 || *queueFlag < 1 {
+		fmt.Fprintln(os.Stderr, "metricproxd: -max-sessions must be >= 0 and -queue >= 1")
+		os.Exit(2)
+	}
+	var faultCfg faultmetric.Config
+	if *faultsFlag != "" {
+		var err error
+		if faultCfg, err = faultmetric.ParseSpec(*faultsFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "metricproxd: -faults: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	space, err := loadSpace(*inFlag, *demoFlag, *planarFlag, *pFlag, *seedFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricproxd:", err)
+		os.Exit(1)
+	}
+
+	reg := obs.NewRegistry()
+	var oracle metric.FallibleOracle = metric.NewOracle(space)
+	if *faultsFlag != "" {
+		inj := faultmetric.New(space, faultCfg)
+		ro := resilient.New(inj, resilient.RetryOnlyPolicy(faultCfg.Seed))
+		inj.Observe(reg)
+		ro.Observe(reg)
+		oracle = ro
+	}
+
+	srv, err := service.New(service.Config{
+		Oracle:      oracle,
+		MaxSessions: *maxSessions,
+		SessionTTL:  *sessionTTL,
+		Queue:       *queueFlag,
+		CacheDir:    *cacheDir,
+		Registry:    reg,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "metricproxd: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricproxd:", err)
+		os.Exit(1)
+	}
+
+	// One listener for everything: the service API plus the obs
+	// exposition and pprof routes that obshttp.Mux mounts.
+	mux := obshttp.Mux(reg)
+	mux.Handle("/healthz", srv.Handler())
+	mux.Handle("/v1/", srv.Handler())
+	hs, err := obshttp.ServeHandler(*listenFlag, mux)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricproxd: -listen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "metricproxd: %d objects, serving on http://%s (API under /v1, metrics at /metrics)\n",
+		space.Len(), hs.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-stop
+	fmt.Fprintf(os.Stderr, "metricproxd: %s received, draining (budget %s)\n", sig, *drainFlag)
+
+	// Drain order matters: refuse new work first, then let the HTTP
+	// server finish in-flight requests, then evict sessions so their
+	// cache stores sync to disk.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFlag)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "metricproxd: forced shutdown with requests in flight:", err)
+	}
+	srv.Close()
+	fmt.Fprintln(os.Stderr, "metricproxd: drained, bye")
+}
+
+// loadSpace mirrors cmd/metricprox: a synthetic demo or a CSV point file
+// under the Minkowski-p metric. -planar picks the closed-form surrogate,
+// whose distances are a pure function of the pair — the road network
+// answers from cached Dijkstra rows, which can drift by an ulp with call
+// history, so bit-exact cross-process diffs (the CI server-smoke job)
+// want the planar variant.
+func loadSpace(in string, demo int, planar bool, p float64, seed int64) (metric.Space, error) {
+	switch {
+	case demo > 0 && planar:
+		return datasets.SFPOIPlanar(demo, seed), nil
+	case demo > 0:
+		return datasets.SFPOI(demo, seed), nil
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return datasets.LoadPointsCSV(f, p, 0)
+	default:
+		return nil, fmt.Errorf("provide -in <csv> or -demo <n> (see -h)")
+	}
+}

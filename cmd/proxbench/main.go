@@ -38,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"metricprox/internal/buildinfo"
 	"metricprox/internal/experiments"
 	"metricprox/internal/faultmetric"
 	"metricprox/internal/obs"
@@ -53,8 +54,13 @@ func main() {
 		faultsFlag = flag.String("faults", "", "inject oracle faults: seed=N,rate=P with P in (0,1]")
 		obsFlag    = flag.Bool("obs", false, "collect observability metrics and print the summary after the run")
 		traceFlag  = flag.String("trace", "", "trace every comparison: JSONL events to this file ('-' for stderr); implies -obs")
+		verFlag    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *verFlag {
+		fmt.Println(buildinfo.String("proxbench"))
+		return
+	}
 
 	if args := flag.Args(); len(args) > 0 {
 		fmt.Fprintf(os.Stderr, "proxbench: unexpected arguments %q (flags only; see -h)\n", args)

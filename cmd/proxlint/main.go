@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"metricprox/internal/analysis"
+	"metricprox/internal/buildinfo"
 	"metricprox/internal/proxlint"
 )
 
@@ -54,6 +55,7 @@ func run(args []string) int {
 	}
 
 	fs := flag.NewFlagSet("proxlint", flag.ExitOnError)
+	verFlag := fs.Bool("version", false, "print version and exit")
 	jsonOut := fs.Bool("json", false, "emit JSON diagnostics to stdout instead of text to stderr")
 	fs.Int("c", -1, "display offending line with this many lines of context (accepted for vet compatibility; ignored)")
 	fs.Bool("fix", false, "accepted for vet compatibility; proxlint never rewrites code")
@@ -63,6 +65,10 @@ func run(args []string) int {
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *verFlag {
+		fmt.Printf("%s (analyzer suite %s)\n", buildinfo.String("proxlint"), version)
+		return 0
 	}
 	analyzers := selectAnalyzers(enabled)
 
@@ -173,6 +179,7 @@ func printFlagsJSON() {
 		Usage string `json:"Usage"`
 	}
 	flags := []jsonFlag{
+		{Name: "version", Bool: true, Usage: "print version and exit"},
 		{Name: "json", Bool: true, Usage: "emit JSON diagnostics"},
 		{Name: "c", Bool: false, Usage: "display offending line plus this many lines of context"},
 		{Name: "fix", Bool: true, Usage: "no-op; proxlint never rewrites code"},

@@ -15,11 +15,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"metricprox/internal/core"
 	"metricprox/internal/datasets"
@@ -37,14 +39,16 @@ func main() {
 	flag.Parse()
 
 	var observer *obs.Observer
+	var srv *obshttp.Server
 	if *listenFlag != "" {
 		observer = obs.NewObserver(false, 0, nil)
-		addr, err := obshttp.Serve(*listenFlag, observer.Registry)
+		var err error
+		srv, err = obshttp.Serve(*listenFlag, observer.Registry)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "quickstart: -listen:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "quickstart: serving metrics on http://%s/metrics (pprof under /debug/pprof/)\n", addr)
+		fmt.Fprintf(os.Stderr, "quickstart: serving metrics on http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr())
 	}
 	var opts []core.Option
 	if observer != nil {
@@ -115,10 +119,14 @@ func main() {
 	fmt.Printf("\nflaky oracle (30%% transient failures): same MST, %d calls + %d retries, %d injected faults absorbed\n",
 		fst.OracleCalls, fst.Retries, injector.Counters().Failures())
 
-	if *listenFlag != "" {
+	if srv != nil {
 		fmt.Fprintln(os.Stderr, "quickstart: run complete — metrics still being served; Ctrl-C to exit")
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 		<-ch
+		// Drain in-flight scrapes instead of abandoning them mid-response.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
 	}
 }

@@ -1,0 +1,113 @@
+// Remoteknn prints a kNN graph at full float precision, either by driving
+// a running metricproxd daemon through the proxclient Session (-addr) or
+// by running the same build in-process (-local). The two modes print the
+// identical canonical format, so their outputs can be diffed byte for
+// byte — which is exactly what the CI server-smoke job does to prove the
+// remote path is output-identical to the in-process one.
+//
+//	metricproxd -demo 200 -planar -seed 1 -listen 127.0.0.1:7600 &
+//	go run ./examples/remoteknn -addr http://127.0.0.1:7600 -k 5 > remote.txt
+//	go run ./examples/remoteknn -local -n 200 -seed 1 -k 5      > local.txt
+//	diff remote.txt local.txt
+//
+// -local must be given the same -n/-seed the daemon was started with; the
+// in-process session is then built exactly like the daemon builds hosted
+// sessions (planar SF surrogate, Tri scheme, log2 n landmarks, same
+// landmark seed), so any byte of difference is a real equivalence bug.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"metricprox/internal/core"
+	"metricprox/internal/datasets"
+	"metricprox/internal/metric"
+	"metricprox/internal/prox"
+	"metricprox/internal/proxclient"
+)
+
+func main() {
+	var (
+		addrFlag  = flag.String("addr", "", "metricproxd base URL (e.g. http://127.0.0.1:7600)")
+		localFlag = flag.Bool("local", false, "run in-process instead of against a daemon")
+		nFlag     = flag.Int("n", 200, "dataset size for -local (match the daemon's -demo)")
+		seedFlag  = flag.Int64("seed", 1, "dataset and landmark seed (match the daemon's -seed)")
+		kFlag     = flag.Int("k", 5, "neighbours per object")
+		nameFlag  = flag.String("session", "remoteknn", "session name on the daemon")
+	)
+	flag.Parse()
+	if (*addrFlag == "") == !*localFlag {
+		fmt.Fprintln(os.Stderr, "remoteknn: pick exactly one of -addr or -local (see -h)")
+		os.Exit(2)
+	}
+
+	var graph [][]prox.Neighbor
+	if *localFlag {
+		graph = localGraph(*nFlag, *seedFlag, *kFlag)
+	} else {
+		g, err := remoteGraph(*addrFlag, *nameFlag, *seedFlag, *kFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "remoteknn:", err)
+			os.Exit(1)
+		}
+		graph = g
+	}
+	print(graph)
+}
+
+// localGraph builds the session the way metricproxd's buildSession does —
+// planar surrogate, Tri scheme, log2 n landmarks — and runs the builder
+// in-process.
+func localGraph(n int, seed int64, k int) [][]prox.Neighbor {
+	lmCount := 0
+	for v := n; v > 1; v /= 2 {
+		lmCount++
+	}
+	lms := core.PickLandmarks(n, lmCount, seed)
+	s := core.NewFallibleSessionWithLandmarks(
+		metric.NewOracle(datasets.SFPOIPlanar(n, seed)), core.SchemeTri, lms)
+	if _, err := s.BootstrapErr(lms); err != nil {
+		fmt.Fprintln(os.Stderr, "remoteknn: bootstrap degraded, continuing:", err)
+	}
+	return prox.KNNGraph(s, k)
+}
+
+// remoteGraph drives the daemon through the client Session, so the prox
+// builder itself runs here and every comparison crosses the wire (or is
+// settled by the client's sound local mirror).
+func remoteGraph(addr, name string, seed int64, k int) ([][]prox.Neighbor, error) {
+	c := proxclient.New(addr, proxclient.Options{})
+	sess, err := proxclient.CreateSession(context.Background(), c, name, "tri",
+		proxclient.SessionOptions{Seed: seed, Bootstrap: true})
+	if err != nil {
+		return nil, err
+	}
+	g := prox.KNNGraph(sess, k)
+	if err := sess.OracleErr(); err != nil {
+		return nil, fmt.Errorf("run degraded, refusing to print estimates: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "remoteknn: %d objects over %d HTTP round-trips\n", sess.N(), c.Requests())
+	return g, nil
+}
+
+// print emits the canonical diffable format: one line per object,
+// "u<tab>id:dist ..." with distances in strconv's shortest exact form.
+func print(graph [][]prox.Neighbor) {
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for u, row := range graph {
+		fmt.Fprintf(w, "%d\t", u)
+		for x, nb := range row {
+			if x > 0 {
+				fmt.Fprint(w, " ")
+			}
+			fmt.Fprintf(w, "%d:%s", nb.ID, strconv.FormatFloat(nb.Dist, 'g', -1, 64))
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,63 @@
+// Package buildinfo renders the shared -version line printed by every
+// binary under cmd/. The information comes from
+// runtime/debug.ReadBuildInfo, so it is correct for `go install`,
+// `go build`, and `go run` alike without any linker-flag plumbing.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String returns the one-line version report for the named tool:
+// the tool name, the module version (or "(devel)" for a working-tree
+// build), the VCS revision and dirty marker when the build recorded
+// them, and the Go toolchain that produced the binary.
+func String(tool string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", tool, moduleVersion())
+	if rev, dirty, ok := vcsRevision(); ok {
+		short := rev
+		if len(short) > 12 {
+			short = short[:12]
+		}
+		fmt.Fprintf(&b, " (%s%s)", short, dirty)
+	}
+	fmt.Fprintf(&b, " %s", runtime.Version())
+	return b.String()
+}
+
+// readBuildInfo is swapped by tests to exercise the no-build-info path.
+var readBuildInfo = debug.ReadBuildInfo
+
+// moduleVersion returns the main module's version, or "(devel)" when the
+// binary carries no build info (e.g. some test binaries).
+func moduleVersion() string {
+	bi, ok := readBuildInfo()
+	if !ok || bi.Main.Version == "" {
+		return "(devel)"
+	}
+	return bi.Main.Version
+}
+
+// vcsRevision extracts the vcs.revision and vcs.modified settings the Go
+// tool stamps into builds made inside a checkout.
+func vcsRevision() (rev, dirty string, ok bool) {
+	bi, bok := readBuildInfo()
+	if !bok {
+		return "", "", false
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	return rev, dirty, rev != ""
+}

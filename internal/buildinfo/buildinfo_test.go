@@ -1,0 +1,46 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestStringCarriesToolAndToolchain(t *testing.T) {
+	s := String("metricproxd")
+	if !strings.HasPrefix(s, "metricproxd ") {
+		t.Fatalf("version line %q does not start with the tool name", s)
+	}
+	if !strings.Contains(s, "go1") {
+		t.Fatalf("version line %q does not name the Go toolchain", s)
+	}
+}
+
+func TestStringWithoutBuildInfo(t *testing.T) {
+	old := readBuildInfo
+	readBuildInfo = func() (*debug.BuildInfo, bool) { return nil, false }
+	defer func() { readBuildInfo = old }()
+	if s := String("x"); !strings.Contains(s, "(devel)") {
+		t.Fatalf("no-build-info version line %q, want (devel) marker", s)
+	}
+}
+
+func TestStringReportsRevision(t *testing.T) {
+	old := readBuildInfo
+	readBuildInfo = func() (*debug.BuildInfo, bool) {
+		return &debug.BuildInfo{
+			Main: debug.Module{Version: "v1.2.3"},
+			Settings: []debug.BuildSetting{
+				{Key: "vcs.revision", Value: "abcdef0123456789"},
+				{Key: "vcs.modified", Value: "true"},
+			},
+		}, true
+	}
+	defer func() { readBuildInfo = old }()
+	s := String("proxbench")
+	for _, want := range []string{"v1.2.3", "abcdef012345", "+dirty"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("version line %q missing %q", s, want)
+		}
+	}
+}

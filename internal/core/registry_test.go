@@ -1,0 +1,201 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"metricprox/internal/metric"
+)
+
+func registrySpace() metric.Space {
+	return metric.NewVectors([][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0.5, 0.5}}, 2, 0.5)
+}
+
+func buildShared() (*SharedSession, any, error) {
+	s := NewSession(metric.NewOracle(registrySpace()), SchemeTri)
+	return Share(s), "payload", nil
+}
+
+func TestRegistryGetOrCreateSingleFlight(t *testing.T) {
+	r := NewSessionRegistry(0, 0, nil)
+	var builds atomic.Int64
+	const workers = 16
+	entries := make([]*SessionEntry, workers)
+	createdCount := atomic.Int64{}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e, created, err := r.GetOrCreate("shared", func() (*SharedSession, any, error) {
+				builds.Add(1)
+				time.Sleep(10 * time.Millisecond) // widen the race window
+				return buildShared()
+			})
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			if created {
+				createdCount.Add(1)
+			}
+			entries[w] = e
+		}(w)
+	}
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("build ran %d times, want 1 (single-flight)", got)
+	}
+	if got := createdCount.Load(); got != 1 {
+		t.Fatalf("%d workers reported created=true, want 1", got)
+	}
+	for w := 1; w < workers; w++ {
+		if entries[w] != entries[0] {
+			t.Fatalf("worker %d got a different entry than worker 0", w)
+		}
+	}
+	if entries[0].Data != "payload" {
+		t.Fatalf("Data = %v, want payload", entries[0].Data)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestRegistryFailedBuildNotCached(t *testing.T) {
+	r := NewSessionRegistry(0, 0, nil)
+	boom := errors.New("bootstrap exploded")
+	_, _, err := r.GetOrCreate("s", func() (*SharedSession, any, error) { return nil, nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("failed build left %d entries in the registry", r.Len())
+	}
+	// The next caller retries the build and can succeed.
+	e, created, err := r.GetOrCreate("s", buildShared)
+	if err != nil || !created || e == nil {
+		t.Fatalf("retry after failed build: entry=%v created=%v err=%v", e, created, err)
+	}
+}
+
+func TestRegistryMaxSessions(t *testing.T) {
+	r := NewSessionRegistry(2, 0, nil)
+	for _, name := range []string{"a", "b"} {
+		if _, _, err := r.GetOrCreate(name, buildShared); err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+	}
+	_, _, err := r.GetOrCreate("c", buildShared)
+	if !errors.Is(err, ErrTooManySessions) {
+		t.Fatalf("third session err = %v, want ErrTooManySessions", err)
+	}
+	// Attaching to an existing session is still fine at the cap.
+	if _, created, err := r.GetOrCreate("a", buildShared); err != nil || created {
+		t.Fatalf("attach at cap: created=%v err=%v", created, err)
+	}
+	// Evicting frees a slot.
+	if !r.Evict("b") {
+		t.Fatal("Evict(b) = false")
+	}
+	if _, _, err := r.GetOrCreate("c", buildShared); err != nil {
+		t.Fatalf("create after evict: %v", err)
+	}
+}
+
+func TestRegistryTTLSweep(t *testing.T) {
+	clock := time.Unix(5000, 0)
+	var evicted []string
+	r := NewSessionRegistry(0, time.Minute, func(e *SessionEntry) { evicted = append(evicted, e.Name) })
+	r.now = func() time.Time { return clock }
+
+	if _, _, err := r.GetOrCreate("old", buildShared); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(45 * time.Second)
+	if _, _, err := r.GetOrCreate("young", buildShared); err != nil {
+		t.Fatal(err)
+	}
+	// "old" is 45s idle, "young" fresh: nothing to sweep yet.
+	if names := r.Sweep(); len(names) != 0 {
+		t.Fatalf("premature sweep evicted %v", names)
+	}
+	// Touching "old" resets its idle clock.
+	if r.Get("old") == nil {
+		t.Fatal("Get(old) = nil")
+	}
+	clock = clock.Add(50 * time.Second)
+	// Now "young" is 50s idle, "old" 50s idle too (touched) — still under.
+	if names := r.Sweep(); len(names) != 0 {
+		t.Fatalf("sweep at 50s idle evicted %v", names)
+	}
+	clock = clock.Add(15 * time.Second)
+	names := r.Sweep()
+	if len(names) != 2 {
+		t.Fatalf("sweep evicted %v, want both sessions", names)
+	}
+	if len(evicted) != 2 {
+		t.Fatalf("onEvict ran for %v, want both", evicted)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len after sweep = %d", r.Len())
+	}
+}
+
+func TestRegistryClearRunsOnEvict(t *testing.T) {
+	var mu sync.Mutex
+	var evicted []string
+	r := NewSessionRegistry(0, 0, func(e *SessionEntry) {
+		mu.Lock()
+		evicted = append(evicted, e.Name)
+		mu.Unlock()
+	})
+	for _, name := range []string{"a", "b", "c"} {
+		if _, _, err := r.GetOrCreate(name, buildShared); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.Clear(); got != 3 {
+		t.Fatalf("Clear = %d, want 3", got)
+	}
+	if len(evicted) != 3 {
+		t.Fatalf("onEvict ran for %v, want 3 entries", evicted)
+	}
+	if got := r.Names(); len(got) != 0 {
+		t.Fatalf("Names after Clear = %v", got)
+	}
+}
+
+func TestRegistryGetDoesNotBlockOnPendingBuild(t *testing.T) {
+	r := NewSessionRegistry(0, 0, nil)
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.GetOrCreate("slow", func() (*SharedSession, any, error) {
+			<-release
+			return buildShared()
+		})
+	}()
+	// Wait until the pending entry is registered.
+	for r.Len() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if e := r.Get("slow"); e != nil {
+		t.Fatalf("Get returned a half-built entry: %v", e)
+	}
+	if names := r.Names(); len(names) != 0 {
+		t.Fatalf("Names lists a pending build: %v", names)
+	}
+	if r.Evict("slow") {
+		t.Fatal("Evict removed a pending build")
+	}
+	close(release)
+	<-done
+	if e := r.Get("slow"); e == nil {
+		t.Fatal("Get = nil after build completed")
+	}
+}

@@ -1,0 +1,20 @@
+package core
+
+import "fmt"
+
+// ParseScheme maps a scheme name — the same lowercase form Scheme.String
+// returns — back to its Scheme value. It is the single parser behind every
+// surface that accepts scheme names (metricprox and metricproxd flags, the
+// service create-session request), so a scheme added to the enum shows up
+// everywhere by updating the one table here.
+func ParseScheme(name string) (Scheme, error) {
+	sc, ok := map[string]Scheme{
+		"noop": SchemeNoop, "tri": SchemeTri, "splub": SchemeSPLUB,
+		"adm": SchemeADM, "laesa": SchemeLAESA, "tlaesa": SchemeTLAESA,
+		"dft": SchemeDFT, "hybrid": SchemeHybrid,
+	}[name]
+	if !ok {
+		return 0, fmt.Errorf("unknown scheme %q", name)
+	}
+	return sc, nil
+}

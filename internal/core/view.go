@@ -50,6 +50,20 @@ type FallibleView interface {
 	OracleErr() error
 }
 
+// BoundsPrefetcher is an optional View extension for implementations
+// where a bound lookup has real latency — the remote session in
+// internal/proxclient, where every primitive is an HTTP round-trip.
+// PrefetchBounds announces the pairs an algorithm is about to compare so
+// the implementation can fetch their bounds in one batch; it is purely a
+// performance hint and must not change any answer. In-process sessions
+// answer Bounds from memory and deliberately do not implement it; the
+// prox builders probe for it with a type assertion and skip the hint when
+// absent.
+type BoundsPrefetcher interface {
+	// PrefetchBounds warms the implementation's bound state for pairs.
+	PrefetchBounds(pairs []Pair)
+}
+
 var (
 	_ View         = (*Session)(nil)
 	_ View         = (*SharedSession)(nil)

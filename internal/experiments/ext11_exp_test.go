@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestExt11BatchReductionAtLeast5x is the service-layer acceptance gate:
+// the batched client (bounds prefetch + local mirror) must cut HTTP
+// round-trips by at least 5x against the naive per-primitive client on
+// the quickstart kNN workload, while both produce bit-identical graphs.
+func TestExt11BatchReductionAtLeast5x(t *testing.T) {
+	naive, batched, err := ext11Measure(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.requests == 0 || batched.requests == 0 {
+		t.Fatalf("round-trip counters empty: naive=%d batched=%d", naive.requests, batched.requests)
+	}
+	ratio := float64(naive.requests) / float64(batched.requests)
+	t.Logf("naive=%d batched=%d ratio=%.1fx (server oracle calls: naive=%d batched=%d)",
+		naive.requests, batched.requests, ratio, naive.oracleCalls, batched.oracleCalls)
+	if ratio < 5 {
+		t.Fatalf("batched client saved only %.1fx round-trips (naive=%d, batched=%d); acceptance floor is 5x",
+			ratio, naive.requests, batched.requests)
+	}
+	if !ext11SameGraph(naive.graph, batched.graph) {
+		t.Fatal("naive and batched clients disagree on the kNN graph")
+	}
+	n, k := ext11Sizes(quickCfg)
+	if !ext11SameGraph(batched.graph, ext11Local(n, k, quickCfg.Seed)) {
+		t.Fatal("remote batched graph differs from the in-process session's graph")
+	}
+}

@@ -6,6 +6,7 @@
 package obshttp
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -26,16 +27,62 @@ func Mux(r *obs.Registry) *http.ServeMux {
 	return mux
 }
 
-// Serve binds addr (":0" picks a free port), serves Mux(r) in a
-// background goroutine for the remaining life of the process, and returns
-// the bound address. The bind itself is the only reported failure mode;
-// per-connection errors after it are the client's problem, not the run's.
-func Serve(addr string, r *obs.Registry) (string, error) {
+// Server is a running exposition endpoint. It wraps http.Server so the
+// owning binary can drain in-flight scrapes on exit instead of abandoning
+// them: call Shutdown with a drain deadline on the way out, or Close to
+// drop connections immediately.
+type Server struct {
+	srv  *http.Server
+	addr string
+	done chan struct{}
+}
+
+// Serve binds addr (":0" picks a free port) and serves Mux(r) in a
+// background goroutine until Shutdown or Close. The bind itself is the
+// only reported failure mode; per-connection errors after it are the
+// client's problem, not the run's.
+func Serve(addr string, r *obs.Registry) (*Server, error) {
+	return ServeHandler(addr, Mux(r))
+}
+
+// ServeHandler is Serve for an arbitrary handler: it lets a binary mount
+// the exposition mux alongside its own routes on one listener (metricproxd
+// composes its service API with Mux this way) while reusing the same
+// graceful-shutdown path.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	srv := &http.Server{Handler: Mux(r)}
-	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), nil
+	s := &Server{
+		srv:  &http.Server{Handler: h},
+		addr: ln.Addr().String(),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:39041".
+func (s *Server) Addr() string { return s.addr }
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to finish or ctx to expire, whichever comes first. Requests
+// still running at the deadline are cut off (http.Server.Shutdown
+// semantics). Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}
+
+// Close drops the listener and all active connections immediately. Prefer
+// Shutdown when scrapes may be in flight.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
 }

@@ -1,0 +1,97 @@
+package obshttp
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"metricprox/internal/obs"
+)
+
+func TestServeExposesMetricsAndShutsDown(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("smoke_total").Add(3)
+
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics status %d, body %s", resp.StatusCode, body)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, body)
+	}
+	if got := string(doc["smoke_total"]); got != "3" {
+		t.Fatalf("smoke_total=%s in metrics payload, want 3: %s", got, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Fatal("server still accepting connections after Shutdown")
+	}
+}
+
+func TestShutdownDrainsInflightScrape(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		w.Write([]byte("drained"))
+	})
+
+	srv, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatalf("ServeHandler: %v", err)
+	}
+
+	got := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/slow")
+		if err != nil {
+			got <- "error: " + err.Error()
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		got <- string(body)
+	}()
+
+	<-entered
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// The in-flight request must still complete: release it and confirm the
+	// client saw the full response, then confirm Shutdown returned cleanly.
+	close(release)
+	if body := <-got; body != "drained" {
+		t.Fatalf("in-flight scrape got %q, want %q", body, "drained")
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown during in-flight scrape: %v", err)
+	}
+}

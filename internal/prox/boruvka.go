@@ -40,7 +40,7 @@ func boruvkaScanFrom(s core.View, roots []int, u int, cheapest map[int]candEdge)
 // With distinct edge weights (the library's continuous datasets) Borůvka,
 // Prim and Kruskal all return the identical unique MST; the package tests
 // assert it, as well as identity with BoruvkaMSTParallel.
-func BoruvkaMST(s *core.Session) MST {
+func BoruvkaMST(s core.View) MST {
 	n := s.N()
 	dsu := unionfind.New(n)
 	var out MST

@@ -36,7 +36,7 @@ func (c CLARANSConfig) withDefaults(n, l int) CLARANSConfig {
 // bound-pruned computation PAM uses, so the trajectory — including every
 // random draw — is identical across bound schemes and the result matches
 // the unmodified algorithm exactly.
-func CLARANS(s *core.Session, l int, cfg CLARANSConfig) Clustering {
+func CLARANS(s core.View, l int, cfg CLARANSConfig) Clustering {
 	n := s.N()
 	if l > n {
 		l = n

@@ -28,7 +28,7 @@ type Dendrogram struct {
 // paper cites — via the classic MST equivalence: sorting the minimum
 // spanning tree's edges by weight yields exactly the single-linkage merge
 // order. All distance savings therefore come from the session-driven MST.
-func SingleLinkage(s *core.Session) Dendrogram {
+func SingleLinkage(s core.View) Dendrogram {
 	n := s.N()
 	mst := KruskalMST(s)
 	es := append(mst.Edges[:0:0], mst.Edges...)

@@ -23,7 +23,7 @@ type KCenterResult struct {
 // oracle whenever the lower bound already exceeds the point's current
 // distance-to-centers. Output is exact Gonzalez (identical across bound
 // schemes).
-func KCenter(s *core.Session, k int) KCenterResult {
+func KCenter(s core.View, k int) KCenterResult {
 	n := s.N()
 	if k > n {
 		k = n

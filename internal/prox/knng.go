@@ -21,7 +21,7 @@ import (
 // in the canonical (distance, id) order; ties at exactly the k-th distance
 // resolve in favour of the smaller id, deterministically across schemes,
 // worker counts, and scan interleavings. k ≤ 0 yields empty lists.
-func KNNGraph(s *core.Session, k int) [][]Neighbor {
+func KNNGraph(s core.View, k int) [][]Neighbor {
 	n := s.N()
 	if k >= n {
 		k = n - 1
@@ -34,6 +34,38 @@ func KNNGraph(s *core.Session, k int) [][]Neighbor {
 		out[u] = knnForNode(s, u, k)
 	}
 	return out
+}
+
+// KNNRow returns the k nearest neighbours of the single object u, in the
+// same canonical (distance, id) order as the matching row of KNNGraph.
+// Exported so callers that need only part of the graph — the warm-restart
+// tests drive half a build this way — pay only for the rows they ask for.
+func KNNRow(s core.View, u, k int) []Neighbor {
+	n := s.N()
+	if k >= n {
+		k = n - 1
+	}
+	if k <= 0 {
+		return []Neighbor{}
+	}
+	return knnForNode(s, u, k)
+}
+
+// prefetchRow hints a remote view (core.BoundsPrefetcher) that the bounds
+// of (u, v) for every v ≠ u are about to be read, collapsing what would be
+// n−1 bound round-trips into one batch. A no-op for in-process sessions.
+func prefetchRow(s core.View, u, n int) {
+	p, ok := s.(core.BoundsPrefetcher)
+	if !ok {
+		return
+	}
+	pairs := make([]core.Pair, 0, n-1)
+	for v := 0; v < n; v++ {
+		if v != u {
+			pairs = append(pairs, core.Pair{A: u, B: v})
+		}
+	}
+	p.PrefetchBounds(pairs)
 }
 
 // emptyNeighborLists is the degenerate k ≤ 0 (or n ≤ 1) result: every
@@ -57,6 +89,7 @@ func emptyNeighborLists(n int) [][]Neighbor {
 // (distance, id) pairs regardless of the order candidates resolve in.
 func knnForNode(s core.View, u, k int) []Neighbor {
 	n := s.N()
+	prefetchRow(s, u, n)
 	type cand struct {
 		id int
 		lb float64

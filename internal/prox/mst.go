@@ -22,7 +22,7 @@ type MST struct {
 // the current key are skipped without an oracle call. With the Noop scheme
 // this resolves exactly C(n,2) distances — the paper's "Without Plug"
 // column.
-func PrimMST(s *core.Session) MST {
+func PrimMST(s core.View) MST {
 	n := s.N()
 	inTree := make([]bool, n)
 	key := make([]float64, n)
@@ -35,7 +35,20 @@ func PrimMST(s *core.Session) MST {
 	inTree[0] = true
 	u := 0
 	var out MST
+	prefetch, _ := s.(core.BoundsPrefetcher)
+	pairs := make([]core.Pair, 0, n-1)
 	for added := 1; added < n; added++ {
+		// Hint a remote view at the whole relaxation row so its bounds
+		// arrive in one batch instead of one round-trip per candidate.
+		if prefetch != nil {
+			pairs = pairs[:0]
+			for v := 0; v < n; v++ {
+				if !inTree[v] && v != u {
+					pairs = append(pairs, core.Pair{A: u, B: v})
+				}
+			}
+			prefetch.PrefetchBounds(pairs)
+		}
 		// Relax edges from the newly added vertex.
 		for v := 0; v < n; v++ {
 			if inTree[v] || v == u {
@@ -75,7 +88,7 @@ func PrimMST(s *core.Session) MST {
 // two edges' individual bound intervals overlap. Interval schemes (ADM,
 // SPLUB, Tri) also work here, but can only prune the disjoint-interval
 // cases. Output is the exact MST of PrimMST.
-func PrimMSTLazy(s *core.Session) MST {
+func PrimMSTLazy(s core.View) MST {
 	n := s.N()
 	inTree := make([]bool, n)
 	cand := make([]int, n) // best-known tree endpoint for each frontier vertex
@@ -116,7 +129,7 @@ func PrimMSTLazy(s *core.Session) MST {
 // weight is at most every other edge's lower bound, hence at most every
 // other true weight. With the Noop scheme every considered edge resolves
 // immediately, recovering the classic sort-everything behaviour.
-func KruskalMST(s *core.Session) MST {
+func KruskalMST(s core.View) MST {
 	n := s.N()
 	h := pqueue.NewEdgeHeap(n * (n - 1) / 2)
 	for i := 0; i < n; i++ {

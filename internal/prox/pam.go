@@ -30,6 +30,19 @@ type assignment struct {
 // whose lower bound already exceeds it are skipped without oracle calls.
 func assignAll(s core.View, medoids []int) assignment {
 	n := s.N()
+	if pf, ok := s.(core.BoundsPrefetcher); ok {
+		// One batch for the whole point×medoid grid a remote view is about
+		// to scan, instead of a round-trip per DistIfLess prune check.
+		pairs := make([]core.Pair, 0, n*len(medoids))
+		for p := 0; p < n; p++ {
+			for _, m := range medoids {
+				if p != m {
+					pairs = append(pairs, core.Pair{A: p, B: m})
+				}
+			}
+		}
+		pf.PrefetchBounds(pairs)
+	}
 	a := assignment{
 		near: make([]int, n),
 		d1:   make([]float64, n),
@@ -78,6 +91,15 @@ func assignPoint(s core.View, medoids []int, p int) (near int, d1, d2 float64) {
 func swapDelta(s core.View, medoids []int, mi, h int, a assignment) float64 {
 	delta := 0.0
 	n := s.N()
+	if pf, ok := s.(core.BoundsPrefetcher); ok {
+		pairs := make([]core.Pair, 0, n-1)
+		for p := 0; p < n; p++ {
+			if p != h {
+				pairs = append(pairs, core.Pair{A: p, B: h})
+			}
+		}
+		pf.PrefetchBounds(pairs)
+	}
 	for p := 0; p < n; p++ {
 		if p == h {
 			delta -= a.d1[p] // h becomes its own medoid
@@ -113,7 +135,7 @@ func (a assignment) totalCost() float64 {
 // of all l·(n−l) single swaps is applied until none improves the cost.
 // Every distance access is mediated by the Session, so the medoid set and
 // final assignment are identical for every bound scheme.
-func PAM(s *core.Session, l int, seed int64) Clustering {
+func PAM(s core.View, l int, seed int64) Clustering {
 	n := s.N()
 	if l > n {
 		l = n

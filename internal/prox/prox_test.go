@@ -407,7 +407,7 @@ func TestMSTWithMassiveTies(t *testing.T) {
 		}
 		wantWeight := refMST(m).Weight
 		for _, sc := range []core.Scheme{core.SchemeNoop, core.SchemeTri, core.SchemeSPLUB} {
-			for algoName, algo := range map[string]func(*core.Session) MST{
+			for algoName, algo := range map[string]func(core.View) MST{
 				"prim": PrimMST, "kruskal": KruskalMST, "boruvka": BoruvkaMST, "primlazy": PrimMSTLazy,
 			} {
 				s, _ := sessionFor(m, sc, nil)

@@ -1,0 +1,59 @@
+package proxclient
+
+import (
+	"context"
+	"net/http"
+
+	"metricprox/internal/pgraph"
+	"metricprox/internal/prox"
+	"metricprox/internal/service/api"
+)
+
+// RemoteKNN runs the kNN-graph builder server-side — one round-trip for
+// the whole problem — and returns the graph in prox's shape.
+func (s *Session) RemoteKNN(ctx context.Context, k int) ([][]prox.Neighbor, error) {
+	var resp api.KNNResponse
+	err := s.c.do(ctx, http.MethodPost, s.path("knn"), api.KNNRequest{K: k}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]prox.Neighbor, len(resp.Rows))
+	for u, row := range resp.Rows {
+		ns := make([]prox.Neighbor, len(row))
+		for x, wn := range row {
+			ns[x] = prox.Neighbor{ID: wn.ID, Dist: float64(wn.D)}
+		}
+		rows[u] = ns
+	}
+	return rows, nil
+}
+
+// RemoteMST runs Prim's MST server-side and returns it in prox's shape.
+func (s *Session) RemoteMST(ctx context.Context) (prox.MST, error) {
+	var resp api.MSTResponse
+	err := s.c.do(ctx, http.MethodPost, s.path("mst"), nil, &resp)
+	if err != nil {
+		return prox.MST{}, err
+	}
+	edges := make([]pgraph.Edge, len(resp.Edges))
+	for x, we := range resp.Edges {
+		edges[x] = pgraph.Edge{U: we.U, V: we.V, W: float64(we.W)}
+	}
+	return prox.MST{Edges: edges, Weight: float64(resp.Weight)}, nil
+}
+
+// RemoteMedoid runs PAM clustering server-side and returns it in prox's
+// shape.
+func (s *Session) RemoteMedoid(ctx context.Context, l int, seed int64) (prox.Clustering, error) {
+	var resp api.MedoidResponse
+	err := s.c.do(ctx, http.MethodPost, s.path("medoid"),
+		api.MedoidRequest{L: l, Seed: seed}, &resp)
+	if err != nil {
+		return prox.Clustering{}, err
+	}
+	return prox.Clustering{
+		Medoids: resp.Medoids,
+		Assign:  resp.Assign,
+		Cost:    float64(resp.Cost),
+	}, nil
+}

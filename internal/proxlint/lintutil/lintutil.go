@@ -124,6 +124,42 @@ func InCorePackage(path string) bool {
 	return path == "metricprox/internal/core" || strings.HasSuffix(path, "internal/core")
 }
 
+// InServicePackage reports whether the path names the network service
+// layer (internal/service), matching both the real module path and
+// testdata fakes. Subpackages (internal/service/api is wire types only)
+// deliberately do not match: they hold no sessions to leak from.
+func InServicePackage(path string) bool {
+	return path == "metricprox/internal/service" || strings.HasSuffix(path, "internal/service")
+}
+
+// sessionDistValued are the core-session methods whose results carry a
+// raw resolved distance (rather than a comparison bit or an interval).
+// Inside the service layer these are the only ways a handler can put an
+// oracle value into a response, so the oracleescape service rule confines
+// them to the audited handleDist* endpoints.
+var sessionDistValued = map[string]bool{
+	"Dist":          true,
+	"DistErr":       true,
+	"Known":         true,
+	"DistIfLess":    true,
+	"DistIfLessErr": true,
+}
+
+// IsSessionDistValued reports whether f is a core-session method that
+// returns a raw resolved distance (see sessionDistValued). Matching by
+// package path and method name covers core.Session, core.SharedSession,
+// core.FallibleSession and the core.View interface alike.
+func IsSessionDistValued(f *types.Func) bool {
+	if f == nil || f.Pkg() == nil || !InCorePackage(f.Pkg().Path()) {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return sessionDistValued[f.Name()]
+}
+
 // InMetricPackage reports whether the path names the oracle layer.
 func InMetricPackage(path string) bool {
 	return path == "metricprox/internal/metric" || strings.HasSuffix(path, "internal/metric")

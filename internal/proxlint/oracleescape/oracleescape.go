@@ -15,11 +15,23 @@
 // internal/faultmetric, internal/resilient), internal/core, a _test.go
 // file, or an explicit //proxlint:allow oracleescape directive is a lint
 // error.
+//
+// The service layer (internal/service) gets a second, stricter rule: the
+// daemon's weak-oracle contract is that raw resolved distances cross the
+// wire only through the audited Dist* endpoints (handleDist,
+// handleDistIfLess, handleDistBatch — every other endpoint answers with
+// comparison bits, bounds, or whole-problem results). So inside a
+// package whose import path ends in internal/service, any call to — or
+// method value of — a distance-valued core-session method (Dist,
+// DistErr, Known, DistIfLess, DistIfLessErr) outside a function whose
+// name starts with "handleDist" is flagged, keeping "which responses can
+// contain oracle values" a greppable, mechanically enforced property.
 package oracleescape
 
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"metricprox/internal/analysis"
 	"metricprox/internal/proxlint/lintutil"
@@ -29,7 +41,8 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "oracleescape",
 	Doc: "forbid metric-space-shaped Distance / DistanceCtx calls outside the " +
-		"oracle transport chain, internal/core, tests, and the explicit allowlist",
+		"oracle transport chain, internal/core, tests, and the explicit allowlist; " +
+		"in internal/service, confine distance-valued session reads to the audited handleDist* endpoints",
 	Run: run,
 }
 
@@ -38,6 +51,7 @@ func run(pass *analysis.Pass) error {
 	if lintutil.InOracleLayer(path) || lintutil.InCorePackage(path) {
 		return nil
 	}
+	inService := lintutil.InServicePackage(path)
 	for _, file := range pass.Files {
 		if pass.InTestFile(file.Pos()) {
 			continue
@@ -73,8 +87,44 @@ func run(pass *analysis.Pass) error {
 			}
 			return true
 		})
+		if inService {
+			checkServiceAudit(pass, file, callFuns)
+		}
 	}
 	return nil
+}
+
+// checkServiceAudit enforces the service-layer rule: distance-valued
+// session reads may appear only inside the audited handleDist* handlers.
+// Declarations are walked one by one so package-level initialisers are
+// covered too; a closure inherits its enclosing declaration's audit
+// status, which is exactly the handler-owns-its-helpers semantics the
+// audit wants.
+func checkServiceAudit(pass *analysis.Pass, file *ast.File, callFuns map[*ast.SelectorExpr]bool) {
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "handleDist") {
+			continue // audited Dist* endpoint: raw values are its contract
+		}
+		ast.Inspect(decl, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f := lintutil.SelectedFunc(pass.TypesInfo, sel)
+			if !lintutil.IsSessionDistValued(f) {
+				return true
+			}
+			recv := receiverTypeString(pass.TypesInfo, sel)
+			if callFuns[sel] {
+				pass.Reportf(sel.Sel.Pos(),
+					"call to (%s).%s reads a raw oracle value inside the service layer: only the audited handleDist* endpoints may put distances in responses — route through them, or annotate with //proxlint:allow oracleescape -- <why>", recv, f.Name())
+			} else {
+				pass.Reportf(sel.Sel.Pos(),
+					"method value (%s).%s leaks raw oracle values past the service audit: only the handleDist* endpoints may resolve distances — or annotate with //proxlint:allow oracleescape -- <why>", recv, f.Name())
+			}
+			return true
+		})
+	}
 }
 
 func receiverTypeString(info *types.Info, sel *ast.SelectorExpr) string {

@@ -10,6 +10,9 @@ import (
 func TestOracleEscape(t *testing.T) {
 	analyzertest.Run(t, "testdata", oracleescape.Analyzer,
 		"a",
+		// The service layer gets the stricter audit: distance-valued
+		// session reads only inside handleDist* endpoints.
+		"metricprox/internal/service",
 		// Exempt packages: no findings expected in the session layer or
 		// anywhere along the oracle transport chain.
 		"metricprox/internal/core",

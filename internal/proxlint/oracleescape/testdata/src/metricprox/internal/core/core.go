@@ -11,3 +11,23 @@ type Session struct{ oracle *metric.Oracle }
 func (s *Session) Dist(i, j int) float64 {
 	return s.oracle.Distance(i, j)
 }
+
+// DistErr mirrors the fallible exact-distance read.
+func (s *Session) DistErr(i, j int) (float64, error) {
+	return s.oracle.Distance(i, j), nil
+}
+
+// Known mirrors the already-resolved lookup: distance-valued.
+func (s *Session) Known(i, j int) (float64, bool) { return 0, false }
+
+// DistIfLessErr mirrors the conditional resolution: distance-valued.
+func (s *Session) DistIfLessErr(i, j int, c float64) (float64, bool, error) {
+	d := s.oracle.Distance(i, j)
+	return d, d < c, nil
+}
+
+// LessErr mirrors the pair comparison: one bit, never a distance.
+func (s *Session) LessErr(i, j, k, l int) (bool, error) { return false, nil }
+
+// Bounds mirrors the interval read: bounds, never a resolved distance.
+func (s *Session) Bounds(i, j int) (float64, float64) { return 0, 1 }

@@ -1,0 +1,88 @@
+// Package service is a stub of the daemon's handler layer, exercising the
+// oracleescape service rule: distance-valued session reads (Dist, DistErr,
+// Known, DistIfLess, DistIfLessErr) are confined to the audited handleDist*
+// endpoints; comparison bits and bounds flow freely.
+package service
+
+import "metricprox/internal/core"
+
+// Server mirrors the real daemon.
+type Server struct{}
+
+// handleDist is an audited Dist* endpoint: the raw value is its contract.
+func (s *Server) handleDist(sess *core.Session) float64 {
+	d, _ := sess.DistErr(1, 2)
+	return d
+}
+
+// handleDistIfLess is likewise audited.
+func (s *Server) handleDistIfLess(sess *core.Session) (float64, bool) {
+	d, less, _ := sess.DistIfLessErr(1, 2, 0.5)
+	return d, less
+}
+
+// handleDistBatch is audited too, including inside its closures.
+func (s *Server) handleDistBatch(sess *core.Session) []float64 {
+	read := func(i, j int) float64 {
+		d, _ := sess.DistErr(i, j)
+		return d
+	}
+	return []float64{read(0, 1), read(1, 2)}
+}
+
+// handleLess answers one bit: fine anywhere in the service.
+func (s *Server) handleLess(sess *core.Session) bool {
+	less, _ := sess.LessErr(1, 2, 3, 4)
+	return less
+}
+
+// handleBounds ships intervals, not resolved distances: fine.
+func (s *Server) handleBounds(sess *core.Session) (float64, float64) {
+	return sess.Bounds(1, 2)
+}
+
+// peekDistance is NOT an audited endpoint: raw value must be flagged.
+func (s *Server) peekDistance(sess *core.Session) float64 {
+	d, _ := sess.DistErr(1, 2) // want `call to \(\*core\.Session\)\.DistErr reads a raw oracle value inside the service layer`
+	return d
+}
+
+// statsDebug leaks through Known just the same.
+func statsDebug(sess *core.Session) float64 {
+	if d, ok := sess.Known(3, 4); ok { // want `call to \(\*core\.Session\)\.Known reads a raw oracle value inside the service layer`
+		return d
+	}
+	return 0
+}
+
+// legacyDist leaks through the legacy non-Err read.
+func legacyDist(sess *core.Session) float64 {
+	return sess.Dist(1, 2) // want `call to \(\*core\.Session\)\.Dist reads a raw oracle value inside the service layer`
+}
+
+// inHelperClosure: a closure outside any handleDist* declaration does not
+// inherit the audit.
+func inHelperClosure(sess *core.Session) func() float64 {
+	return func() float64 {
+		d, _, _ := sess.DistIfLessErr(1, 2, 0.5) // want `call to \(\*core\.Session\)\.DistIfLessErr reads a raw oracle value inside the service layer`
+		return d
+	}
+}
+
+// resolverEscape hands the method itself out of the audit.
+func resolverEscape(sess *core.Session) func(int, int) (float64, error) {
+	return sess.DistErr // want `method value \(\*core\.Session\)\.DistErr leaks raw oracle values past the service audit`
+}
+
+// allowlisted demonstrates the documented escape hatch.
+func allowlisted(sess *core.Session) float64 {
+	d, _ := sess.DistErr(1, 2) //proxlint:allow oracleescape -- startup self-check compares one distance against the cache
+	return d
+}
+
+// comparisonsAreFree: bit- and bounds-valued reads never trip the audit.
+func comparisonsAreFree(sess *core.Session) (bool, float64) {
+	less, _ := sess.LessErr(0, 1, 2, 3)
+	lb, _ := sess.Bounds(0, 1)
+	return less, lb
+}

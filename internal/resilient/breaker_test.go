@@ -1,0 +1,126 @@
+package resilient
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Breaker through time without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(threshold, cooldown)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("attempt %d blocked before threshold", i)
+		}
+		b.Record(false)
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted an attempt during cooldown")
+	}
+	if got := b.Opens(); got != 1 {
+		t.Fatalf("Opens() = %d, want 1", got)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := newTestBreaker(2, time.Second)
+	b.Record(false)
+	b.Record(false)
+	clk.advance(time.Second)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// Successful probe closes the breaker for everyone.
+	b.Record(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused an attempt")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Record(false) // open
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Record(false) // failed probe → reopen for another cooldown
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted an attempt before the new cooldown")
+	}
+	if got := b.Opens(); got != 2 {
+		t.Fatalf("Opens() = %d, want 2", got)
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused after second cooldown")
+	}
+	b.Record(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after recovery = %v, want closed", got)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Record(false)
+	b.Record(false)
+	b.Record(true) // streak reset
+	b.Record(false)
+	b.Record(false)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed: success must reset the failure streak", got)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b, _ := newTestBreaker(-1, time.Second)
+	for i := 0; i < 100; i++ {
+		if !b.Allow() {
+			t.Fatal("disabled breaker blocked an attempt")
+		}
+		b.Record(false)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("disabled breaker state = %v, want closed", got)
+	}
+	if got := b.Opens(); got != 0 {
+		t.Fatalf("disabled breaker Opens() = %d, want 0", got)
+	}
+}
+
+func TestBreakerDefaultsMatchPolicy(t *testing.T) {
+	b := NewBreaker(0, 0)
+	def := Policy{}.Normalize()
+	if b.threshold != def.FailureThreshold || b.cooldown != def.Cooldown {
+		t.Fatalf("NewBreaker(0,0) = threshold %d cooldown %v, want policy defaults %d/%v",
+			b.threshold, b.cooldown, def.FailureThreshold, def.Cooldown)
+	}
+}

@@ -1,0 +1,362 @@
+// Package api defines the wire types of the metricproxd HTTP/JSON
+// protocol, shared by the server (internal/service) and the client
+// (internal/proxclient) so the two cannot drift. Every request and
+// response is a small JSON document; distances travel as WireFloat so the
+// ±Inf thresholds the prox builders pass to DistIfLess survive encoding
+// (encoding/json rejects infinities). docs/API.md is the prose reference
+// for these schemas.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Error codes carried in ErrorBody.Code. The client maps them back to
+// typed errors; codes, not HTTP statuses, are the stable contract.
+const (
+	// CodeBadRequest marks malformed or out-of-range request fields.
+	CodeBadRequest = "bad_request"
+	// CodeNotFound marks an unknown session name.
+	CodeNotFound = "not_found"
+	// CodeConflict marks a create that contradicts an existing session
+	// (same name, different scheme or landmarks).
+	CodeConflict = "conflict"
+	// CodeOverloaded marks a request shed because the session's work
+	// queue was full; retry after the Retry-After delay.
+	CodeOverloaded = "overloaded"
+	// CodeDraining marks a request refused because the daemon is shutting
+	// down.
+	CodeDraining = "draining"
+	// CodeTooManySessions marks a create refused by the max-sessions cap.
+	CodeTooManySessions = "too_many_sessions"
+	// CodeOracleUnavailable marks a resolution that failed after the
+	// resilient policy exhausted its retries; the answer was NOT degraded
+	// to an estimate server-side.
+	CodeOracleUnavailable = "oracle_unavailable"
+	// CodeInternal marks any other server-side failure.
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the JSON error envelope every non-2xx response carries.
+type ErrorBody struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is a human-readable elaboration.
+	Message string `json:"message"`
+}
+
+// WireFloat is a float64 that survives JSON round-trips for every value
+// the session layer produces: finite floats use encoding/json's exact
+// round-trip, and ±Inf — which encoding/json refuses — travel as the
+// strings "+Inf"/"-Inf". (NaN never crosses the wire: metric.
+// ValidateDistance rejects it at the oracle boundary.)
+type WireFloat float64
+
+// MarshalJSON encodes ±Inf as quoted strings and finite values as plain
+// JSON numbers.
+func (w WireFloat) MarshalJSON() ([]byte, error) {
+	f := float64(w)
+	switch {
+	case math.IsInf(f, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(f, -1):
+		return []byte(`"-Inf"`), nil
+	default:
+		return json.Marshal(f)
+	}
+}
+
+// UnmarshalJSON accepts plain numbers plus the "+Inf"/"-Inf" strings.
+func (w *WireFloat) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "+Inf", "Inf":
+			*w = WireFloat(math.Inf(1))
+			return nil
+		case "-Inf":
+			*w = WireFloat(math.Inf(-1))
+			return nil
+		}
+		return fmt.Errorf("api: invalid float string %q", s)
+	}
+	var f float64
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	*w = WireFloat(f)
+	return nil
+}
+
+// CreateSessionRequest creates (or idempotently attaches to) a named
+// session. The daemon owns the metric space; a session is a (scheme,
+// landmark) view over it. Landmarks are picked server-side with
+// core.PickLandmarks(n, Landmarks, Seed) — deterministic, so a client can
+// predict them.
+type CreateSessionRequest struct {
+	// Name identifies the session; [a-zA-Z0-9._-]+.
+	Name string `json:"name"`
+	// Scheme is the bound scheme name as accepted by core.ParseScheme.
+	Scheme string `json:"scheme"`
+	// Landmarks is the number of bootstrap landmarks; 0 means log2 n.
+	Landmarks int `json:"landmarks,omitempty"`
+	// Seed drives the landmark choice.
+	Seed int64 `json:"seed,omitempty"`
+	// Bootstrap resolves all landmark rows up front when true.
+	Bootstrap bool `json:"bootstrap,omitempty"`
+}
+
+// SessionInfo describes one hosted session.
+type SessionInfo struct {
+	// Name is the session's registry key.
+	Name string `json:"name"`
+	// Scheme is the bound scheme name.
+	Scheme string `json:"scheme"`
+	// N is the universe size.
+	N int `json:"n"`
+	// MaxDistance is the a-priori distance cap.
+	MaxDistance WireFloat `json:"max_distance"`
+	// Created reports whether this request built the session (false for
+	// an attach to an existing one).
+	Created bool `json:"created"`
+}
+
+// PairRequest addresses one object pair (Dist, Bounds).
+type PairRequest struct {
+	// I and J are object indices in [0, n).
+	I int `json:"i"`
+	J int `json:"j"`
+}
+
+// DistResponse carries one resolved distance.
+type DistResponse struct {
+	// D is the exact distance.
+	D WireFloat `json:"d"`
+}
+
+// LessRequest asks whether dist(i,j) < dist(k,l).
+type LessRequest struct {
+	// I, J, K, L are object indices; the comparison is dist(I,J) < dist(K,L).
+	I int `json:"i"`
+	J int `json:"j"`
+	K int `json:"k"`
+	L int `json:"l"`
+}
+
+// LessResponse answers Less and LessThan. It deliberately carries no
+// distance value: comparison endpoints reveal one bit, keeping raw oracle
+// values confined to the audited Dist* endpoints (see the oracleescape
+// analyzer's service rule).
+type LessResponse struct {
+	// Less is the comparison outcome.
+	Less bool `json:"less"`
+}
+
+// LessThanRequest asks whether dist(i,j) < c.
+type LessThanRequest struct {
+	// I and J are object indices.
+	I int `json:"i"`
+	J int `json:"j"`
+	// C is the threshold (may be ±Inf).
+	C WireFloat `json:"c"`
+}
+
+// DistIfLessRequest resolves dist(i,j) only when the bounds cannot prove
+// dist(i,j) ≥ c.
+type DistIfLessRequest struct {
+	// I and J are object indices.
+	I int `json:"i"`
+	J int `json:"j"`
+	// C is the threshold (may be +Inf, the "always resolve" form).
+	C WireFloat `json:"c"`
+}
+
+// DistIfLessResponse carries the DistIfLess outcome. D is meaningful only
+// when Less is true, mirroring core.Session.DistIfLess.
+type DistIfLessResponse struct {
+	// Less reports dist(i,j) < c.
+	Less bool `json:"less"`
+	// D is the exact distance when Less, 0 otherwise.
+	D WireFloat `json:"d,omitempty"`
+}
+
+// BoundsResponse carries the current lower/upper bounds of a pair; no
+// oracle call is spent answering it. lb == ub exactly when the pair is
+// resolved.
+type BoundsResponse struct {
+	// LB is the lower bound.
+	LB WireFloat `json:"lb"`
+	// UB is the upper bound.
+	UB WireFloat `json:"ub"`
+}
+
+// BootstrapRequest resolves the given landmark rows up front.
+type BootstrapRequest struct {
+	// Landmarks are the landmark object indices.
+	Landmarks []int `json:"landmarks"`
+}
+
+// BootstrapResponse reports the oracle calls the bootstrap spent.
+type BootstrapResponse struct {
+	// Calls is the number of oracle calls made.
+	Calls int64 `json:"calls"`
+}
+
+// Batch op names accepted in BatchOp.Op.
+const (
+	// OpDist resolves a distance.
+	OpDist = "dist"
+	// OpLess compares two pairs.
+	OpLess = "less"
+	// OpLessThan compares a pair against a threshold.
+	OpLessThan = "lessthan"
+	// OpDistIfLess conditionally resolves against a threshold.
+	OpDistIfLess = "distifless"
+	// OpBounds reads the current bounds of a pair.
+	OpBounds = "bounds"
+)
+
+// BatchOp is one operation inside a BatchRequest. Fields beyond Op are
+// interpreted per the op's scalar request type.
+type BatchOp struct {
+	// Op is one of the Op* constants.
+	Op string `json:"op"`
+	// I and J address the primary pair.
+	I int `json:"i"`
+	J int `json:"j"`
+	// K and L address the second pair for OpLess.
+	K int `json:"k,omitempty"`
+	L int `json:"l,omitempty"`
+	// C is the threshold for OpLessThan and OpDistIfLess.
+	C WireFloat `json:"c,omitempty"`
+}
+
+// BatchRequest executes many ops in one round-trip, in order, against one
+// session. Results arrive positionally in BatchResponse.Results.
+type BatchRequest struct {
+	// Ops are executed sequentially server-side.
+	Ops []BatchOp `json:"ops"`
+}
+
+// BatchResult is the outcome of one BatchOp; which fields are meaningful
+// depends on the op (same contracts as the scalar responses).
+type BatchResult struct {
+	// Less is set for less / lessthan / distifless ops.
+	Less bool `json:"less,omitempty"`
+	// D is set for dist ops, and for distifless ops when Less.
+	D WireFloat `json:"d,omitempty"`
+	// LB and UB are set for bounds ops.
+	LB WireFloat `json:"lb,omitempty"`
+	UB WireFloat `json:"ub,omitempty"`
+	// Err is an error code (Code* constant) when this op failed; ops are
+	// independent, so one failure does not poison the batch.
+	Err string `json:"err,omitempty"`
+}
+
+// BatchResponse carries one result per request op, positionally.
+type BatchResponse struct {
+	// Results aligns 1:1 with the request's Ops.
+	Results []BatchResult `json:"results"`
+}
+
+// KNNRequest runs the server-side kNN-graph builder on the session.
+type KNNRequest struct {
+	// K is the neighbour count per object.
+	K int `json:"k"`
+}
+
+// WireNeighbor is one (id, distance) edge of a kNN row.
+type WireNeighbor struct {
+	// ID is the neighbour object index.
+	ID int `json:"id"`
+	// D is the exact distance.
+	D WireFloat `json:"d"`
+}
+
+// KNNResponse is the full kNN graph in canonical (distance, id) order.
+type KNNResponse struct {
+	// Rows holds each object's neighbour list, indexed by object.
+	Rows [][]WireNeighbor `json:"rows"`
+}
+
+// WireEdge is one MST edge with U < V.
+type WireEdge struct {
+	// U and V are the endpoint object indices, U < V.
+	U int `json:"u"`
+	V int `json:"v"`
+	// W is the exact edge weight.
+	W WireFloat `json:"w"`
+}
+
+// MSTResponse is the server-side Prim MST result.
+type MSTResponse struct {
+	// Edges are the n−1 tree edges in discovery order.
+	Edges []WireEdge `json:"edges"`
+	// Weight is the summed edge weight.
+	Weight WireFloat `json:"weight"`
+}
+
+// MedoidRequest runs the server-side PAM clustering.
+type MedoidRequest struct {
+	// L is the number of medoids.
+	L int `json:"l"`
+	// Seed drives the random initialisation.
+	Seed int64 `json:"seed"`
+}
+
+// MedoidResponse is the server-side PAM result.
+type MedoidResponse struct {
+	// Medoids are the chosen medoid object indices.
+	Medoids []int `json:"medoids"`
+	// Assign maps each object to an index into Medoids.
+	Assign []int `json:"assign"`
+	// Cost is the summed point-to-medoid distance.
+	Cost WireFloat `json:"cost"`
+}
+
+// StatsResponse mirrors core.Stats for one session.
+type StatsResponse struct {
+	// OracleCalls — see core.Stats.
+	OracleCalls int64 `json:"oracle_calls"`
+	// BootstrapCalls — see core.Stats.
+	BootstrapCalls int64 `json:"bootstrap_calls"`
+	// BoundProbes — see core.Stats.
+	BoundProbes int64 `json:"bound_probes"`
+	// SavedComparisons — see core.Stats.
+	SavedComparisons int64 `json:"saved_comparisons"`
+	// ResolvedComparisons — see core.Stats.
+	ResolvedComparisons int64 `json:"resolved_comparisons"`
+	// CacheHits — see core.Stats.
+	CacheHits int64 `json:"cache_hits"`
+	// Retries — see core.Stats.
+	Retries int64 `json:"retries"`
+	// Timeouts — see core.Stats.
+	Timeouts int64 `json:"timeouts"`
+	// BreakerOpens — see core.Stats.
+	BreakerOpens int64 `json:"breaker_opens"`
+	// DegradedAnswers — see core.Stats.
+	DegradedAnswers int64 `json:"degraded_answers"`
+	// StoreErrors — see core.Stats.
+	StoreErrors int64 `json:"store_errors"`
+}
+
+// SessionList is the GET /v1/sessions response.
+type SessionList struct {
+	// Sessions are the live session names, sorted.
+	Sessions []string `json:"sessions"`
+}
+
+// Healthz is the GET /healthz response.
+type Healthz struct {
+	// Status is "ok" while serving, "draining" during shutdown.
+	Status string `json:"status"`
+	// N is the universe size of the daemon's space.
+	N int `json:"n"`
+	// Sessions is the live session count.
+	Sessions int `json:"sessions"`
+}

@@ -1,0 +1,56 @@
+package api
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"metricprox/internal/fcmp"
+)
+
+func TestWireFloatRoundTripsExactly(t *testing.T) {
+	cases := []float64{
+		0, 1, 0.1, 1.0 / 3.0, math.Pi, 5e-324, math.MaxFloat64,
+		math.Nextafter(0.7, 1), -0.25,
+		math.Inf(1), math.Inf(-1),
+	}
+	for _, f := range cases {
+		b, err := json.Marshal(WireFloat(f))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", f, err)
+		}
+		var got WireFloat
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if !fcmp.ExactEq(float64(got), f) && !(math.IsInf(f, 1) && math.IsInf(float64(got), 1)) &&
+			!(math.IsInf(f, -1) && math.IsInf(float64(got), -1)) {
+			t.Fatalf("round-trip %v → %s → %v: bits changed", f, b, float64(got))
+		}
+	}
+}
+
+func TestWireFloatInsideStruct(t *testing.T) {
+	req := DistIfLessRequest{I: 1, J: 2, C: WireFloat(math.Inf(1))}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got DistIfLessRequest
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal %s: %v", b, err)
+	}
+	if !math.IsInf(float64(got.C), 1) {
+		t.Fatalf("threshold +Inf became %v over the wire (%s)", float64(got.C), b)
+	}
+}
+
+func TestWireFloatRejectsJunkStrings(t *testing.T) {
+	var w WireFloat
+	if err := json.Unmarshal([]byte(`"NaN"`), &w); err == nil {
+		t.Fatal("accepted NaN, which never legitimately crosses the wire")
+	}
+	if err := json.Unmarshal([]byte(`"fast"`), &w); err == nil {
+		t.Fatal("accepted a junk string")
+	}
+}

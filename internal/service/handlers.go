@@ -1,0 +1,419 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"metricprox/internal/cachestore"
+	"metricprox/internal/core"
+	"metricprox/internal/prox"
+	"metricprox/internal/service/api"
+)
+
+// handleHealthz answers liveness probes; it stays mounted during drain so
+// orchestrators can watch the daemon go down cleanly.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, api.Healthz{Status: status, N: s.n, Sessions: len(s.reg.Names())})
+}
+
+// handleCreate creates a named session or idempotently attaches to an
+// existing one; attaching with contradictory parameters is a 409.
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req api.CreateSessionRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	if !validName(req.Name) {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+			fmt.Sprintf("invalid session name %q (want [A-Za-z0-9._-]+, no leading dot)", req.Name))
+		return
+	}
+	scheme, err := core.ParseScheme(req.Scheme)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	lmCount := s.landmarkCount(req.Landmarks)
+
+	entry, created, err := s.reg.GetOrCreate(req.Name, func() (*core.SharedSession, any, error) {
+		return s.buildSession(req.Name, scheme, lmCount, req.Seed, req.Bootstrap)
+	})
+	switch {
+	case errors.Is(err, core.ErrTooManySessions):
+		writeError(w, http.StatusServiceUnavailable, api.CodeTooManySessions, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+		return
+	}
+	st := entry.Data.(*sessionState)
+	if !created && (st.scheme != scheme || st.landmarks != lmCount || st.seed != req.Seed) {
+		writeError(w, http.StatusConflict, api.CodeConflict,
+			fmt.Sprintf("session %q exists with scheme=%v landmarks=%d seed=%d", entry.Name, st.scheme, st.landmarks, st.seed))
+		return
+	}
+	s.met.sessions.Set(float64(s.reg.Len()))
+	writeJSON(w, api.SessionInfo{
+		Name:        entry.Name,
+		Scheme:      st.scheme.String(),
+		N:           s.n,
+		MaxDistance: api.WireFloat(entry.Session.MaxDistance()),
+		Created:     created,
+	})
+}
+
+// buildSession is the registry build callback: session, optional
+// persistent cache (replayed for warm starts), optional bootstrap, then
+// the shared concurrent wrapper.
+func (s *Server) buildSession(name string, scheme core.Scheme, lmCount int, seed int64, bootstrap bool) (*core.SharedSession, any, error) {
+	var opts []core.Option
+	if s.cfg.MaxDistance > 0 {
+		opts = append(opts, core.WithMaxDistance(s.cfg.MaxDistance))
+	}
+	lms := core.PickLandmarks(s.n, lmCount, seed)
+	sess := core.NewFallibleSessionWithLandmarks(s.cfg.Oracle, scheme, lms, opts...)
+
+	st := &sessionState{
+		sem:       make(chan struct{}, s.queue),
+		scheme:    scheme,
+		landmarks: lmCount,
+		seed:      seed,
+	}
+	if path := s.cachePath(name); path != "" {
+		store, err := cachestore.OpenOrCreate(path, s.n)
+		if err != nil {
+			return nil, nil, fmt.Errorf("open session cache: %w", err)
+		}
+		if err := sess.AttachStore(store); err != nil {
+			store.Close()
+			return nil, nil, fmt.Errorf("replay session cache: %w", err)
+		}
+		st.store = store
+	}
+	if bootstrap && scheme != core.SchemeNoop {
+		if _, err := sess.BootstrapErr(lms); err != nil {
+			// Partial bootstrap is sound (bounds stay conservative);
+			// log and serve rather than refusing the session.
+			s.logf("service: session %q bootstrap aborted, continuing with partial bounds: %v", name, err)
+		}
+	}
+	return core.Share(sess), st, nil
+}
+
+// handleList lists live sessions.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, api.SessionList{Sessions: s.sortedNames()})
+}
+
+// handleStats snapshots one session's core.Stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	entry := s.reg.Get(r.PathValue("name"))
+	if entry == nil {
+		writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Sprintf("no session %q", r.PathValue("name")))
+		return
+	}
+	st := entry.Session.Stats()
+	writeJSON(w, api.StatsResponse{
+		OracleCalls:         st.OracleCalls,
+		BootstrapCalls:      st.BootstrapCalls,
+		BoundProbes:         st.BoundProbes,
+		SavedComparisons:    st.SavedComparisons,
+		ResolvedComparisons: st.ResolvedComparisons,
+		CacheHits:           st.CacheHits,
+		Retries:             st.Retries,
+		Timeouts:            st.Timeouts,
+		BreakerOpens:        st.BreakerOpens,
+		DegradedAnswers:     st.DegradedAnswers,
+		StoreErrors:         st.StoreErrors,
+	})
+}
+
+// handleDelete evicts a session, closing its cache store.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.reg.Evict(name) {
+		writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Sprintf("no session %q", name))
+		return
+	}
+	writeJSON(w, map[string]string{"deleted": name})
+}
+
+// checkPair validates one (i, j) index pair against the universe.
+func (s *Server) checkPair(i, j int) error {
+	if i < 0 || i >= s.n || j < 0 || j >= s.n {
+		return fmt.Errorf("pair (%d,%d) out of range [0,%d)", i, j, s.n)
+	}
+	if i == j {
+		return fmt.Errorf("pair (%d,%d): self-distances are not mediated", i, j)
+	}
+	return nil
+}
+
+// oracleFailure maps a session resolution error onto the wire: a 502 with
+// oracle_unavailable when the resilient policy gave up, 500 otherwise.
+// The server never degrades an answer to an estimate — that decision
+// belongs to the client, which knows whether its caller can tolerate it.
+func oracleFailure(w http.ResponseWriter, err error) {
+	if errors.Is(err, core.ErrOracleUnavailable) {
+		writeError(w, http.StatusBadGateway, api.CodeOracleUnavailable, err.Error())
+		return
+	}
+	writeError(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+}
+
+// handleDist resolves one exact distance. Audited Dist* endpoint: the
+// response carries a raw oracle value by design.
+func (s *Server) handleDist(w http.ResponseWriter, r *http.Request, entry *core.SessionEntry) {
+	var req api.PairRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	if err := s.checkPair(req.I, req.J); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	d, err := entry.Session.DistErr(req.I, req.J)
+	if err != nil {
+		oracleFailure(w, err)
+		return
+	}
+	writeJSON(w, api.DistResponse{D: api.WireFloat(d)})
+}
+
+// handleLess answers dist(i,j) < dist(k,l) — one bit, no distances.
+func (s *Server) handleLess(w http.ResponseWriter, r *http.Request, entry *core.SessionEntry) {
+	var req api.LessRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	if err := s.checkPair(req.I, req.J); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	if err := s.checkPair(req.K, req.L); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	less, err := entry.Session.LessErr(req.I, req.J, req.K, req.L)
+	if err != nil {
+		oracleFailure(w, err)
+		return
+	}
+	writeJSON(w, api.LessResponse{Less: less})
+}
+
+// handleLessThan answers dist(i,j) < c — one bit, no distances.
+func (s *Server) handleLessThan(w http.ResponseWriter, r *http.Request, entry *core.SessionEntry) {
+	var req api.LessThanRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	if err := s.checkPair(req.I, req.J); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	less, err := entry.Session.LessThanErr(req.I, req.J, float64(req.C))
+	if err != nil {
+		oracleFailure(w, err)
+		return
+	}
+	writeJSON(w, api.LessResponse{Less: less})
+}
+
+// handleDistIfLess conditionally resolves a distance. Audited Dist*
+// endpoint: D is a raw oracle value when Less.
+func (s *Server) handleDistIfLess(w http.ResponseWriter, r *http.Request, entry *core.SessionEntry) {
+	var req api.DistIfLessRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	if err := s.checkPair(req.I, req.J); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	d, less, err := entry.Session.DistIfLessErr(req.I, req.J, float64(req.C))
+	if err != nil {
+		oracleFailure(w, err)
+		return
+	}
+	resp := api.DistIfLessResponse{Less: less}
+	if less {
+		resp.D = api.WireFloat(d)
+	}
+	writeJSON(w, resp)
+}
+
+// handleBounds reads the current bounds of a pair — never an oracle call.
+// lb == ub exactly when the pair is resolved; that is the weak oracle's
+// public face, deliberately outside the Dist* audit (DESIGN.md §10).
+func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request, entry *core.SessionEntry) {
+	var req api.PairRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	if err := s.checkPair(req.I, req.J); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	lb, ub := entry.Session.Bounds(req.I, req.J)
+	writeJSON(w, api.BoundsResponse{LB: api.WireFloat(lb), UB: api.WireFloat(ub)})
+}
+
+// handleBootstrap resolves landmark rows up front.
+func (s *Server) handleBootstrap(w http.ResponseWriter, r *http.Request, entry *core.SessionEntry) {
+	var req api.BootstrapRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	for _, l := range req.Landmarks {
+		if l < 0 || l >= s.n {
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+				fmt.Sprintf("landmark %d out of range [0,%d)", l, s.n))
+			return
+		}
+	}
+	calls, err := entry.Session.BootstrapErr(req.Landmarks)
+	if err != nil {
+		oracleFailure(w, err)
+		return
+	}
+	writeJSON(w, api.BootstrapResponse{Calls: calls})
+}
+
+// handleDistBatch executes many primitive ops in one round-trip. Audited
+// Dist* endpoint: dist and distifless results carry raw oracle values;
+// less/lessthan/bounds results follow their scalar contracts (one bit /
+// bounds only). Ops fail independently via per-result error codes.
+func (s *Server) handleDistBatch(w http.ResponseWriter, r *http.Request, entry *core.SessionEntry) {
+	var req api.BatchRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	results := make([]api.BatchResult, len(req.Ops))
+	sess := entry.Session
+	for idx, op := range req.Ops {
+		res := &results[idx]
+		if err := s.checkPair(op.I, op.J); err != nil {
+			res.Err = api.CodeBadRequest
+			continue
+		}
+		switch op.Op {
+		case api.OpDist:
+			d, err := sess.DistErr(op.I, op.J)
+			if err != nil {
+				res.Err = api.CodeOracleUnavailable
+				continue
+			}
+			res.D = api.WireFloat(d)
+		case api.OpLess:
+			if err := s.checkPair(op.K, op.L); err != nil {
+				res.Err = api.CodeBadRequest
+				continue
+			}
+			less, err := sess.LessErr(op.I, op.J, op.K, op.L)
+			if err != nil {
+				res.Err = api.CodeOracleUnavailable
+				continue
+			}
+			res.Less = less
+		case api.OpLessThan:
+			less, err := sess.LessThanErr(op.I, op.J, float64(op.C))
+			if err != nil {
+				res.Err = api.CodeOracleUnavailable
+				continue
+			}
+			res.Less = less
+		case api.OpDistIfLess:
+			d, less, err := sess.DistIfLessErr(op.I, op.J, float64(op.C))
+			if err != nil {
+				res.Err = api.CodeOracleUnavailable
+				continue
+			}
+			res.Less = less
+			if less {
+				res.D = api.WireFloat(d)
+			}
+		case api.OpBounds:
+			lb, ub := sess.Bounds(op.I, op.J)
+			res.LB, res.UB = api.WireFloat(lb), api.WireFloat(ub)
+		default:
+			res.Err = api.CodeBadRequest
+		}
+	}
+	writeJSON(w, api.BatchResponse{Results: results})
+}
+
+// handleKNN runs the kNN-graph builder server-side. The session's sticky
+// OracleErr gates the response: results assembled while the oracle was
+// unavailable are estimates, and the server never ships estimates as
+// exact.
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request, entry *core.SessionEntry) {
+	var req api.KNNRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	if req.K < 1 {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Sprintf("k=%d, want >= 1", req.K))
+		return
+	}
+	g := prox.KNNGraph(entry.Session, req.K)
+	if err := entry.Session.OracleErr(); err != nil {
+		oracleFailure(w, err)
+		return
+	}
+	rows := make([][]api.WireNeighbor, len(g))
+	for u, ns := range g {
+		rows[u] = make([]api.WireNeighbor, len(ns))
+		for i, nb := range ns {
+			rows[u][i] = api.WireNeighbor{ID: nb.ID, D: api.WireFloat(nb.Dist)}
+		}
+	}
+	writeJSON(w, api.KNNResponse{Rows: rows})
+}
+
+// handleMST runs Prim's MST server-side; same OracleErr gate as handleKNN.
+func (s *Server) handleMST(w http.ResponseWriter, r *http.Request, entry *core.SessionEntry) {
+	m := prox.PrimMST(entry.Session)
+	if err := entry.Session.OracleErr(); err != nil {
+		oracleFailure(w, err)
+		return
+	}
+	edges := make([]api.WireEdge, len(m.Edges))
+	for i, e := range m.Edges {
+		edges[i] = api.WireEdge{U: e.U, V: e.V, W: api.WireFloat(e.W)}
+	}
+	writeJSON(w, api.MSTResponse{Edges: edges, Weight: api.WireFloat(m.Weight)})
+}
+
+// handleMedoid runs PAM server-side; same OracleErr gate as handleKNN.
+func (s *Server) handleMedoid(w http.ResponseWriter, r *http.Request, entry *core.SessionEntry) {
+	var req api.MedoidRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	if req.L < 1 {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Sprintf("l=%d, want >= 1", req.L))
+		return
+	}
+	c := prox.PAM(entry.Session, req.L, req.Seed)
+	if err := entry.Session.OracleErr(); err != nil {
+		oracleFailure(w, err)
+		return
+	}
+	writeJSON(w, api.MedoidResponse{Medoids: c.Medoids, Assign: c.Assign, Cost: api.WireFloat(c.Cost)})
+}

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"strconv"
+
+	"metricprox/internal/obs"
+)
+
+// Metric names exported by the service layer. Documented in
+// docs/METRICS.md; the CI server-smoke job asserts they appear on
+// /metrics after traffic.
+const (
+	// MetricRequests counts finished requests, labelled by endpoint and
+	// HTTP status code.
+	MetricRequests = "service_requests_total"
+	// MetricLatency is the per-endpoint request latency histogram in
+	// nanoseconds.
+	MetricLatency = "service_request_latency_ns"
+	// MetricQueueDepth gauges the work requests currently holding an
+	// admission slot, across all sessions.
+	MetricQueueDepth = "service_queue_depth"
+	// MetricShed counts requests refused with 503/overloaded because the
+	// session's work queue was full, labelled by endpoint.
+	MetricShed = "service_shed_total"
+	// MetricSessions gauges the live session count.
+	MetricSessions = "service_sessions"
+	// MetricEvictions counts sessions evicted (DELETE, TTL sweep, or
+	// shutdown drain).
+	MetricEvictions = "service_evictions_total"
+)
+
+// metrics bundles the service instruments. A nil registry yields a
+// registry-of-convenience so handler code never branches on observability
+// being off.
+type metrics struct {
+	reg        *obs.Registry
+	queueDepth *obs.Gauge
+	sessions   *obs.Gauge
+	evictions  *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &metrics{
+		reg:        reg,
+		queueDepth: reg.Gauge(MetricQueueDepth),
+		sessions:   reg.Gauge(MetricSessions),
+		evictions:  reg.Counter(MetricEvictions),
+	}
+}
+
+// count bumps the per-(endpoint, code) request counter.
+func (m *metrics) count(endpoint string, code int) {
+	m.reg.Counter(MetricRequests,
+		obs.Label{Key: "endpoint", Value: endpoint},
+		obs.Label{Key: "code", Value: statusLabel(code)},
+	).Inc()
+}
+
+// latency returns the endpoint's latency histogram.
+func (m *metrics) latency(endpoint string) *obs.Histogram {
+	return m.reg.Histogram(MetricLatency, obs.Label{Key: "endpoint", Value: endpoint})
+}
+
+// shed returns the endpoint's load-shed counter.
+func (m *metrics) shed(endpoint string) *obs.Counter {
+	return m.reg.Counter(MetricShed, obs.Label{Key: "endpoint", Value: endpoint})
+}
+
+// statusLabel renders an HTTP status code as a label value.
+func statusLabel(code int) string { return strconv.Itoa(code) }
