@@ -1,0 +1,169 @@
+// Command benchgate turns `go test -bench` output into a pass/fail
+// throughput gate plus a machine-readable report. CI's bench-smoke job
+// pipes the bound-store benchmarks through it to enforce the flat CSR
+// layout's speedup floor over the rbtree reference — both benchmarks run
+// in the same job on the same machine, so the enforced quantity is a
+// ratio, not a machine-dependent absolute time.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'TriBounds' -count 3 . | benchgate \
+//	    -subject BenchmarkTriBoundsCSR \
+//	    -base BenchmarkTriBoundsRBTreeRef \
+//	    -min 5 -out BENCH_boundstore.json
+//
+// Every benchmark line on stdin is recorded in the JSON report; with
+// -count > 1 the best (minimum) ns/op per benchmark is used, the usual
+// guard against scheduler noise. Exit status 1 when the subject or base
+// benchmark is missing or the speedup is below -min.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's aggregated measurement in the JSON report.
+type result struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"` // best (min) across runs
+	Runs    int     `json:"runs"`
+}
+
+// report is the BENCH_boundstore.json schema.
+type report struct {
+	Subject    string   `json:"subject"`
+	Base       string   `json:"base"`
+	Speedup    float64  `json:"speedup"` // base ns/op ÷ subject ns/op
+	MinSpeedup float64  `json:"min_speedup"`
+	Pass       bool     `json:"pass"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	subject := flag.String("subject", "BenchmarkTriBoundsCSR", "benchmark whose throughput is gated")
+	base := flag.String("base", "BenchmarkTriBoundsRBTreeRef", "baseline benchmark the subject is compared against")
+	min := flag.Float64("min", 5, "minimum required speedup (base ns/op ÷ subject ns/op)")
+	out := flag.String("out", "", "write the JSON report to this file ('' = stdout only)")
+	flag.Parse()
+
+	rep, err := gate(os.Stdin, *subject, *base, *min)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: encode report: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	os.Stdout.Write(blob)
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if !rep.Pass {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: %s is %.2fx faster than %s, floor is %.2fx\n",
+			rep.Subject, rep.Speedup, rep.Base, rep.MinSpeedup)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: ok: %s is %.2fx faster than %s (floor %.2fx)\n",
+		rep.Subject, rep.Speedup, rep.Base, rep.MinSpeedup)
+}
+
+// gate parses benchmark output and evaluates the speedup floor. It is
+// the whole tool behind the flag handling, split out for testing.
+func gate(r io.Reader, subject, base string, minSpeedup float64) (*report, error) {
+	best, runs, err := parseBench(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(best) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on input (want `go test -bench` output)")
+	}
+	sNs, okS := best[subject]
+	bNs, okB := best[base]
+	if !okS || !okB {
+		names := make([]string, 0, len(best))
+		for n := range best {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("subject %q present=%v, base %q present=%v; saw %v", subject, okS, base, okB, names)
+	}
+	rep := &report{
+		Subject:    subject,
+		Base:       base,
+		Speedup:    bNs / sNs,
+		MinSpeedup: minSpeedup,
+	}
+	rep.Pass = rep.Speedup >= minSpeedup
+	names := make([]string, 0, len(best))
+	for n := range best {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		rep.Benchmarks = append(rep.Benchmarks, result{Name: n, NsPerOp: best[n], Runs: runs[n]})
+	}
+	return rep, nil
+}
+
+// parseBench extracts ns/op figures from `go test -bench` output. A
+// benchmark line looks like
+//
+//	BenchmarkTriBoundsCSR-8   3825606   148.8 ns/op   0 B/op   0 allocs/op
+//
+// (the -8 GOMAXPROCS suffix is optional). Repeated lines for the same
+// benchmark (-count > 1) keep the minimum. Non-benchmark lines are
+// ignored, so the raw `go test` stream can be piped in unfiltered.
+func parseBench(r io.Reader) (best map[string]float64, runs map[string]int, err error) {
+	best = make(map[string]float64)
+	runs = make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		// Locate the "ns/op" unit; its value is the preceding field.
+		ns := -1.0
+		for x := 2; x < len(f); x++ {
+			if f[x] == "ns/op" {
+				v, perr := strconv.ParseFloat(f[x-1], 64)
+				if perr != nil {
+					return nil, nil, fmt.Errorf("line %q: bad ns/op value %q", sc.Text(), f[x-1])
+				}
+				ns = v
+				break
+			}
+		}
+		if ns < 0 {
+			continue
+		}
+		name := f[0]
+		if cut := strings.LastIndexByte(name, '-'); cut > 0 {
+			// Strip the GOMAXPROCS suffix iff numeric (benchmark names
+			// themselves may contain dashes).
+			if _, perr := strconv.Atoi(name[cut+1:]); perr == nil {
+				name = name[:cut]
+			}
+		}
+		if old, ok := best[name]; !ok || ns < old {
+			best[name] = ns
+		}
+		runs[name]++
+	}
+	return best, runs, sc.Err()
+}

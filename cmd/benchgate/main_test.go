@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: metricprox
+cpu: some CPU
+BenchmarkTriBoundsCSR-8          3825606     151.2 ns/op     0 B/op   0 allocs/op
+BenchmarkTriBoundsCSR-8          3901220     148.8 ns/op     0 B/op   0 allocs/op
+BenchmarkTriBoundsCSR-8          3791004     150.1 ns/op     0 B/op   0 allocs/op
+BenchmarkTriBoundsBatch-8          10000   118130 ns/op     0.0 allocs/pair   1024 pairs/op
+BenchmarkTriBoundsRBTreeRef-8     702458    1703 ns/op    96 B/op   4 allocs/op
+BenchmarkTriBoundsRBTreeRef-8     698121    1711 ns/op    96 B/op   4 allocs/op
+PASS
+ok  	metricprox	12.345s
+`
+
+func TestParseBench(t *testing.T) {
+	best, runs, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		ns   float64
+		runs int
+	}{
+		{"BenchmarkTriBoundsCSR", 148.8, 3},
+		{"BenchmarkTriBoundsBatch", 118130, 1},
+		{"BenchmarkTriBoundsRBTreeRef", 1703, 2},
+	}
+	if len(best) != len(cases) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(best), len(cases), best)
+	}
+	for _, c := range cases {
+		if best[c.name] != c.ns {
+			t.Errorf("%s: best = %v, want %v (minimum across runs)", c.name, best[c.name], c.ns)
+		}
+		if runs[c.name] != c.runs {
+			t.Errorf("%s: runs = %d, want %d", c.name, runs[c.name], c.runs)
+		}
+	}
+}
+
+func TestParseBenchKeepsDashedNames(t *testing.T) {
+	// Only a numeric trailing segment is a GOMAXPROCS suffix; sub-benchmark
+	// names with dashes survive intact.
+	in := "BenchmarkThing/size-big-4   10   50.0 ns/op\nBenchmarkPlain   10   25.0 ns/op\n"
+	best, _, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := best["BenchmarkThing/size-big"]; !ok {
+		t.Errorf("GOMAXPROCS suffix not stripped: %v", best)
+	}
+	if best["BenchmarkPlain"] != 25 {
+		t.Errorf("suffix-free benchmark mangled: %v", best)
+	}
+}
+
+func TestGatePassAndFail(t *testing.T) {
+	rep, err := gate(strings.NewReader(sampleOutput),
+		"BenchmarkTriBoundsCSR", "BenchmarkTriBoundsRBTreeRef", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, subj := 1703.0, 148.8
+	want := base / subj
+	if rep.Speedup != want {
+		t.Errorf("speedup = %v, want %v", rep.Speedup, want)
+	}
+	if !rep.Pass {
+		t.Errorf("gate failed at floor 5 with speedup %.2f", rep.Speedup)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Errorf("report carries %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+
+	rep, err = gate(strings.NewReader(sampleOutput),
+		"BenchmarkTriBoundsCSR", "BenchmarkTriBoundsRBTreeRef", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Error("gate passed at an impossible floor of 100x")
+	}
+}
+
+func TestGateMissingBenchmark(t *testing.T) {
+	if _, err := gate(strings.NewReader(sampleOutput), "BenchmarkNope", "BenchmarkTriBoundsRBTreeRef", 5); err == nil {
+		t.Error("missing subject benchmark not reported")
+	}
+	if _, err := gate(strings.NewReader("PASS\nok x 1s\n"), "A", "B", 5); err == nil {
+		t.Error("benchmark-free input not reported")
+	}
+}

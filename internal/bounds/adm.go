@@ -90,6 +90,10 @@ func (a *ADM) Update(i, j int, d float64) {
 // Bounds returns the matrix upper bound and the known-edge-scan lower
 // bound for (i, j).
 func (a *ADM) Bounds(i, j int) (float64, float64) {
+	if i == j {
+		// Self-distances are identically 0; skip the edge scan.
+		return 0, 0
+	}
 	if w, ok := a.known[pgraph.Key(i, j)]; ok {
 		return w, w
 	}

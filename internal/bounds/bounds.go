@@ -34,6 +34,19 @@ type Bounder interface {
 	Update(i, j int, d float64)
 }
 
+// BatchBounder is an optional Bounder extension for schemes that can
+// answer many bound queries in one pass over their internal state. The
+// canonical implementation is Tri, whose flat-row layout lets a batch
+// grouped by anchor object stream each shared adjacency row through the
+// cache once. BoundsBatch must write, for every x, exactly the interval
+// Bounds(is[x], js[x]) would return — batching is a cost optimisation,
+// never a semantic one; all four slices must share a length.
+type BatchBounder interface {
+	Bounder
+	// BoundsBatch answers pair (is[x], js[x]) into lb[x], ub[x].
+	BoundsBatch(is, js []int, lb, ub []float64)
+}
+
 // Comparator resolves distance comparisons directly, without going through
 // explicit bounds. Implemented by DFT. All Prove* methods are one-sided:
 // returning false means "could not prove", never "disproved".

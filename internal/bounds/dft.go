@@ -130,6 +130,11 @@ func (d *DFT) ProveGEC(i, j int, c float64) bool {
 // otherwise. (Interval bounds via LP bisection would be possible but the
 // comparator interface is strictly more powerful and cheaper.)
 func (d *DFT) Bounds(i, j int) (float64, float64) {
+	if i == j {
+		// A self-distance is identically 0 and has no LP variable
+		// (varOf is only defined for i ≠ j).
+		return 0, 0
+	}
 	if w, ok := d.known[pgraph.Key(i, j)]; ok {
 		return w, w
 	}

@@ -45,6 +45,10 @@ func (h *Hybrid) Update(i, j int, d float64) {
 
 // Bounds asks the cheap bounder, escalating when its interval is loose.
 func (h *Hybrid) Bounds(i, j int) (float64, float64) {
+	if i == j {
+		// Self-distances are identically 0; never an escalation.
+		return 0, 0
+	}
 	h.queries++
 	lb, ub := h.Cheap.Bounds(i, j)
 	if ub-lb <= h.Gap {

@@ -71,6 +71,11 @@ func (l *LAESA) Update(i, j int, d float64) {
 
 // Bounds combines every landmark with complete information on the pair.
 func (l *LAESA) Bounds(i, j int) (float64, float64) {
+	if i == j {
+		// A self-distance is identically 0; the landmark sums below would
+		// report a loose nonzero upper bound (2·d(l,i)).
+		return 0, 0
+	}
 	lb, ub := 0.0, l.maxDist
 	for _, row := range l.rows {
 		di, dj := row[i], row[j]
@@ -226,6 +231,9 @@ func (t *TLAESA) Bootstrap(resolve func(i, j int) float64, landmarks []int) {
 
 // Bounds refines the LAESA bounds with the pivot tree.
 func (t *TLAESA) Bounds(i, j int) (float64, float64) {
+	if i == j {
+		return 0, 0
+	}
 	lb, ub := t.LAESA.Bounds(i, j)
 	ci, cj := t.cluster[i], t.cluster[j]
 	if ci >= 0 && ci == cj && t.repRows[ci] != nil {

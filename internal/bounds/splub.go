@@ -47,6 +47,12 @@ func (s *SPLUB) Update(i, j int, d float64) { s.g.AddEdge(i, j, d) }
 
 // Bounds implements Algorithm 1 (SPLUB).
 func (s *SPLUB) Bounds(i, j int) (float64, float64) {
+	if i == j {
+		// A self-distance is identically 0; without this guard the two
+		// Dijkstra runs would pay full query cost to report a loose
+		// nonzero interval.
+		return 0, 0
+	}
 	if w, ok := s.g.Weight(i, j); ok {
 		return w, w
 	}
@@ -89,6 +95,9 @@ func (s *SPLUB) Bounds(i, j int) (float64, float64) {
 // Dijkstra that stops as soon as j is settled. It exists for the ablation
 // benchmark comparing early-exit against the full run used by Bounds.
 func (s *SPLUB) TightestUB(i, j int) float64 {
+	if i == j {
+		return 0
+	}
 	if w, ok := s.g.Weight(i, j); ok {
 		return w
 	}

@@ -9,10 +9,14 @@ import "metricprox/internal/pgraph"
 //	lb = max over common neighbours l of |w(i,l) − w(j,l)|
 //	ub = min over common neighbours l of  w(i,l) + w(j,l)
 //
-// The common neighbours are found by merging the two sorted adjacency
-// structures (red–black trees) in key order, exactly as the paper's
-// balanced-BST design. Expected query cost is O(m/n) (Theorem 4.2); updates
-// are the O(log n) tree insertions done by the shared partial graph.
+// The common neighbours come from intersecting the two flat adjacency
+// rows of the partial graph's CSR store. Rather than a two-cursor sorted
+// merge (whose key comparisons are data-dependent branches the CPU cannot
+// predict), the intersection stamps one row into per-object scratch and
+// probes the other — two sequential scans with one predictable test each,
+// no per-query allocation. Expected query cost stays O(deg i + deg j) =
+// O(m/n) (Theorem 4.2); updates are the sorted-run insertions done by the
+// shared partial graph.
 //
 // The bounds are looser than SPLUB's — only paths of length 2 are
 // considered — but queries avoid both Dijkstra bottlenecks, which is why
@@ -21,6 +25,20 @@ type Tri struct {
 	g       *pgraph.Graph
 	maxDist float64
 	rho     float64 // relaxation factor; 1 = true metric
+
+	// Intersection scratch, sized n at construction: stamp[v] == qid
+	// marks v as a neighbour of the currently stamped row and pos[v]
+	// remembers where, so a probe of the other row finds each common
+	// neighbour in O(1) with no clearing between queries (qid advances
+	// instead). Guarded by the session lock like the graph itself.
+	stamp []uint64
+	pos   []int32
+	qid   uint64
+
+	// order and cnt are reusable scratch for BoundsBatch's anchor-grouping
+	// counting sort, allocation-free once warm.
+	order []int32
+	cnt   []int32
 }
 
 // NewTri returns a Tri bounder over the given partial graph.
@@ -41,7 +59,13 @@ func NewTriRelaxed(g *pgraph.Graph, maxDist, rho float64) *Tri {
 	if rho < 1 {
 		panic("bounds: relaxation factor must be at least 1")
 	}
-	return &Tri{g: g, maxDist: maxDist, rho: rho}
+	return &Tri{
+		g:       g,
+		maxDist: maxDist,
+		rho:     rho,
+		stamp:   make([]uint64, g.N()),
+		pos:     make([]int32, g.N()),
+	}
 }
 
 // Name returns "tri".
@@ -52,35 +76,135 @@ func (t *Tri) Update(i, j int, d float64) { t.g.AddEdge(i, j, d) }
 
 // Bounds implements Algorithm 2 (Tri Scheme).
 func (t *Tri) Bounds(i, j int) (float64, float64) {
+	if i == j {
+		return 0, 0
+	}
 	if w, ok := t.g.Weight(i, j); ok {
 		return w, w
 	}
-	lb, ub := 0.0, t.maxDist
+	ni, wi := t.g.Row(i)
+	nj, wj := t.g.Row(j)
+	if len(nj) < len(ni) {
+		// Stamp the smaller row, probe the larger: both bound formulas
+		// are symmetric in the pair, so the swap changes no answer.
+		ni, wi, nj, wj = nj, wj, ni, wi
+	}
+	t.mark(ni)
+	lb, ub := t.probe(wi, nj, wj)
+	return clamp(lb, ub, t.maxDist)
+}
 
-	// Sorted merge of both adjacency trees, visiting exactly the common
-	// neighbours — the triangles whose other two sides are known.
-	ai, aj := t.g.Adjacency(i), t.g.Adjacency(j)
-	iti, itj := ai.Iter(), aj.Iter()
-	ki, wi, oki := iti.Next()
-	kj, wj, okj := itj.Next()
-	for oki && okj {
-		switch {
-		case ki == kj:
-			if d := wi/t.rho - wj; d > lb {
+// mark stamps row ni into the intersection scratch under a fresh query
+// id. A later probe recognises exactly these neighbours; stale stamps
+// from earlier queries fail the qid test and never need clearing.
+func (t *Tri) mark(ni []int32) {
+	t.qid++
+	for x, v := range ni {
+		t.stamp[v] = t.qid
+		t.pos[v] = int32(x)
+	}
+}
+
+// probe scans row nj against the stamped row: every hit is a common
+// neighbour — a triangle whose other two sides are known — and
+// contributes one candidate interval. wi indexes by the stamped row's
+// positions, wj by nj's. Common neighbours are visited in ascending id
+// order (nj is sorted), the same order the sorted merge produced, so the
+// accumulated interval is bit-identical to the merge's.
+func (t *Tri) probe(wi []float64, nj []int32, wj []float64) (lb, ub float64) {
+	lb, ub = 0, t.maxDist
+	qid, stamp := t.qid, t.stamp
+	if t.rho == 1 {
+		// True-metric fast path: with ρ = 1 the relaxed formulas below
+		// reduce exactly (x/1 and 1·x are IEEE identities), and the two
+		// divisions per triangle disappear from the hot loop.
+		for y, v := range nj {
+			if stamp[v] == qid {
+				a, b := wi[t.pos[v]], wj[y]
+				if d := a - b; d > lb {
+					lb = d
+				} else if d := b - a; d > lb {
+					lb = d
+				}
+				if s := a + b; s < ub {
+					ub = s
+				}
+			}
+		}
+		return lb, ub
+	}
+	for y, v := range nj {
+		if stamp[v] == qid {
+			a, b := wi[t.pos[v]], wj[y]
+			if d := a/t.rho - b; d > lb {
 				lb = d
-			} else if d := wj/t.rho - wi; d > lb {
+			} else if d := b/t.rho - a; d > lb {
 				lb = d
 			}
-			if s := t.rho * (wi + wj); s < ub {
+			if s := t.rho * (a + b); s < ub {
 				ub = s
 			}
-			ki, wi, oki = iti.Next()
-			kj, wj, okj = itj.Next()
-		case ki < kj:
-			ki, wi, oki = iti.Next()
-		default:
-			kj, wj, okj = itj.Next()
 		}
 	}
-	return clamp(lb, ub, t.maxDist)
+	return lb, ub
+}
+
+// BoundsBatch implements BatchBounder: it answers every (is[x], js[x])
+// pair, writing into lb[x]/ub[x]. Queries are processed grouped by their
+// anchor (first) row, which is stamped into the intersection scratch once
+// per group — a batch probing many pairs that share an anchor object, the
+// shape the service's /batch endpoint and the prox builders'
+// PrefetchBounds emit, pays each anchor row once instead of once per
+// pair. Resolved pairs and self-pairs answer exactly, like Bounds.
+func (t *Tri) BoundsBatch(is, js []int, lb, ub []float64) {
+	if len(is) != len(js) || len(is) != len(lb) || len(is) != len(ub) {
+		panic("bounds: BoundsBatch slice lengths differ")
+	}
+	// Group queries by their anchor row with a stable counting sort —
+	// O(n + q) integer passes, far cheaper than a comparison sort and
+	// allocation-free once the scratch is warm.
+	n := t.g.N()
+	if cap(t.cnt) < n+1 {
+		t.cnt = make([]int32, n+1)
+	}
+	cnt := t.cnt[:n+1]
+	for x := range cnt {
+		cnt[x] = 0
+	}
+	for _, i := range is {
+		cnt[i+1]++
+	}
+	for x := 1; x <= n; x++ {
+		cnt[x] += cnt[x-1]
+	}
+	if cap(t.order) < len(is) {
+		t.order = make([]int32, len(is))
+	}
+	order := t.order[:len(is)]
+	for x, i := range is {
+		order[cnt[i]] = int32(x)
+		cnt[i]++
+	}
+	anchor := -1
+	var wa []float64
+	for _, q := range order {
+		i, j := is[q], js[q]
+		if i == j {
+			lb[q], ub[q] = 0, 0
+			continue
+		}
+		if w, ok := t.g.Weight(i, j); ok {
+			lb[q], ub[q] = w, w
+			continue
+		}
+		if i != anchor {
+			anchor = i
+			var na []int32
+			na, wa = t.g.Row(i)
+			t.mark(na)
+		}
+		nj, wj := t.g.Row(j)
+		l, u := t.probe(wa, nj, wj)
+		lb[q], ub[q] = clamp(l, u, t.maxDist)
+	}
 }

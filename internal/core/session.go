@@ -535,6 +535,38 @@ func (s *Session) Bounds(i, j int) (lb, ub float64) {
 	return s.b.Bounds(i, j)
 }
 
+// BoundsBatch answers one bound query per (is[x], js[x]) pair into
+// lb[x]/ub[x], with no oracle calls — exactly the intervals Bounds would
+// return pair by pair, including the self-pair and resolved-pair exact
+// answers. When the active scheme implements bounds.BatchBounder (Tri
+// does), the whole batch runs in one pass over the scheme's state; other
+// schemes fall back to a per-pair loop. All four slices must share a
+// length. This is the entry point the service's /batch endpoint and the
+// remote client's prefetch drive.
+func (s *Session) BoundsBatch(is, js []int, lb, ub []float64) {
+	if len(is) != len(js) || len(is) != len(lb) || len(is) != len(ub) {
+		panic("core: BoundsBatch slice lengths differ")
+	}
+	bb, ok := s.b.(bounds.BatchBounder)
+	if !ok {
+		for q := range is {
+			lb[q], ub[q] = s.Bounds(is[q], js[q])
+		}
+		return
+	}
+	// Count probes exactly as the per-pair loop would: one per pair that
+	// reaches the bounder (not a self-pair, not already resolved), so the
+	// stats surface cannot tell the two paths apart.
+	var probes int64
+	for q := range is {
+		if is[q] != js[q] && !s.g.Known(is[q], js[q]) {
+			probes++
+		}
+	}
+	bb.BoundsBatch(is, js, lb, ub)
+	s.ins.BoundProbes.Add(probes)
+}
+
 // Less reports whether dist(i,j) < dist(k,l) — the paper's canonical IF
 // statement — resolving distances only when the bound scheme (and
 // comparator, if any) cannot decide.

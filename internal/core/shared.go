@@ -125,6 +125,16 @@ func (c *SharedSession) Bounds(i, j int) (float64, float64) {
 	return c.s.Bounds(i, j)
 }
 
+// BoundsBatch answers many bound queries in one pass under a single lock
+// acquisition; see Session.BoundsBatch. No oracle call is ever made, so
+// holding the lock for the whole batch is cheap — and one acquisition per
+// batch is the point for prefetch-style callers.
+func (c *SharedSession) BoundsBatch(is, js []int, lb, ub []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.BoundsBatch(is, js, lb, ub)
+}
+
 // Less reports whether dist(i,j) < dist(k,l). The bound-only decision
 // runs under the lock; if it is inconclusive both distances are resolved
 // with the lock released. On a failed resolution it degrades like

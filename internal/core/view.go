@@ -64,9 +64,23 @@ type BoundsPrefetcher interface {
 	PrefetchBounds(pairs []Pair)
 }
 
+// BatchBoundsView is an optional View extension for implementations that
+// answer many bound queries in one pass — Session and SharedSession
+// (single lock acquisition, one sweep over the bound scheme's state via
+// bounds.BatchBounder) implement it, and the service's /batch handler
+// probes for it to serve runs of bounds ops without per-pair dispatch.
+// The answers are exactly what per-pair Bounds calls would return.
+type BatchBoundsView interface {
+	// BoundsBatch answers pair (is[x], js[x]) into lb[x], ub[x]; all four
+	// slices must share a length.
+	BoundsBatch(is, js []int, lb, ub []float64)
+}
+
 var (
-	_ View         = (*Session)(nil)
-	_ View         = (*SharedSession)(nil)
-	_ FallibleView = (*Session)(nil)
-	_ FallibleView = (*SharedSession)(nil)
+	_ View            = (*Session)(nil)
+	_ View            = (*SharedSession)(nil)
+	_ FallibleView    = (*Session)(nil)
+	_ FallibleView    = (*SharedSession)(nil)
+	_ BatchBoundsView = (*Session)(nil)
+	_ BatchBoundsView = (*SharedSession)(nil)
 )

@@ -1,0 +1,177 @@
+package pgraph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestFlatStoreSortedRows checks that every row stays sorted and complete
+// under a random insertion order.
+func TestFlatStoreSortedRows(t *testing.T) {
+	const n = 64
+	g := New(n)
+	rng := rand.New(rand.NewSource(11))
+	ref := make(map[int]map[int]float64)
+	for e := 0; e < 600; e++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j || g.Known(i, j) {
+			continue
+		}
+		w := rng.Float64()
+		g.AddEdge(i, j, w)
+		for _, p := range [][2]int{{i, j}, {j, i}} {
+			if ref[p[0]] == nil {
+				ref[p[0]] = make(map[int]float64)
+			}
+			ref[p[0]][p[1]] = w
+		}
+	}
+	for u := 0; u < n; u++ {
+		nbrs, weights := g.Row(u)
+		if len(nbrs) != len(ref[u]) || g.Degree(u) != len(ref[u]) {
+			t.Fatalf("node %d: row len %d, degree %d, want %d", u, len(nbrs), g.Degree(u), len(ref[u]))
+		}
+		for x := 1; x < len(nbrs); x++ {
+			if nbrs[x-1] >= nbrs[x] {
+				t.Fatalf("node %d: row not strictly sorted at %d: %v", u, x, nbrs)
+			}
+		}
+		for x, v := range nbrs {
+			if w, ok := ref[u][int(v)]; !ok || w != weights[x] {
+				t.Fatalf("node %d neighbour %d: weight %v, want %v (present %v)", u, v, weights[x], w, ok)
+			}
+		}
+	}
+}
+
+// TestFlatStoreGrowthEpoch checks that relocations advance the epoch and
+// that garbage is eventually compacted away.
+func TestFlatStoreGrowthEpoch(t *testing.T) {
+	const n = 512
+	g := New(n)
+	if g.Stats().Epoch != 0 {
+		t.Fatalf("fresh store has nonzero epoch: %+v", g.Stats())
+	}
+	rng := rand.New(rand.NewSource(7))
+	for g.M() < 20000 {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j && !g.Known(i, j) {
+			g.AddEdge(i, j, rng.Float64())
+		}
+	}
+	st := g.Stats()
+	if st.Epoch == 0 {
+		t.Fatal("no growth events despite thousands of inserts")
+	}
+	if st.Live != 2*g.M() {
+		t.Fatalf("live cells %d, want 2*M = %d", st.Live, 2*g.M())
+	}
+	if st.Slab > 1024 && st.Dead > st.Slab/2 {
+		t.Fatalf("compaction never ran: %d dead of %d slab cells", st.Dead, st.Slab)
+	}
+}
+
+// TestFlatStoreCompaction drives one node's row through repeated doublings
+// so the slab accumulates garbage and must compact, then checks the rows
+// survived the move intact.
+func TestFlatStoreCompaction(t *testing.T) {
+	const n = 600
+	g := New(n)
+	// Star around node 0: its row doubles ~log2(n) times, abandoning
+	// capacity each time, while the leaves keep minimal rows.
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v, float64(v))
+	}
+	st := g.Stats()
+	if st.Dead > st.Slab/2 && st.Slab > 1024 {
+		t.Fatalf("store left more than half the slab dead: %+v", st)
+	}
+	nbrs, weights := g.Row(0)
+	if len(nbrs) != n-1 {
+		t.Fatalf("hub row has %d entries, want %d", len(nbrs), n-1)
+	}
+	for x, v := range nbrs {
+		if int(v) != x+1 || weights[x] != float64(v) {
+			t.Fatalf("hub row corrupted at %d: (%d, %v)", x, v, weights[x])
+		}
+	}
+	for v := 1; v < n; v++ {
+		nb, ws := g.Row(v)
+		if len(nb) != 1 || nb[0] != 0 || ws[0] != float64(v) {
+			t.Fatalf("leaf %d row corrupted: %v %v", v, nb, ws)
+		}
+	}
+}
+
+// TestNeighborLookup checks the binary-search lookup against the packed
+// known map.
+func TestNeighborLookup(t *testing.T) {
+	g := New(16)
+	g.AddEdge(3, 7, 0.25)
+	g.AddEdge(3, 1, 0.5)
+	if w, ok := g.Neighbor(3, 7); !ok || w != 0.25 {
+		t.Fatalf("Neighbor(3,7) = %v,%v", w, ok)
+	}
+	if w, ok := g.Neighbor(7, 3); !ok || w != 0.25 {
+		t.Fatalf("Neighbor(7,3) = %v,%v", w, ok)
+	}
+	if _, ok := g.Neighbor(3, 2); ok {
+		t.Fatal("Neighbor reported an absent edge")
+	}
+	if _, ok := g.Neighbor(5, 6); ok {
+		t.Fatal("Neighbor reported an edge on an isolated node")
+	}
+}
+
+// TestDijkstraConvenienceReuse verifies the lazily cached searcher path
+// gives the same answers as a dedicated Searcher and allocates only on
+// first use.
+func TestDijkstraConvenienceReuse(t *testing.T) {
+	g := paperGraph()
+	a := make([]float64, 7)
+	b := make([]float64, 7)
+	g.Dijkstra(1, a) // builds the cached searcher
+	s := NewSearcher(g)
+	s.Run(1, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cached searcher diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() { g.Dijkstra(1, a) })
+	if allocs > 0 {
+		t.Fatalf("warm convenience Dijkstra allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestRowViewsMatchSortedScan cross-checks Row against a sort of the edge
+// list after heavy churn (many relocations and at least one compaction).
+func TestRowViewsMatchSortedScan(t *testing.T) {
+	const n = 300
+	g := New(n)
+	rng := rand.New(rand.NewSource(23))
+	for g.M() < 9000 {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j && !g.Known(i, j) {
+			g.AddEdge(i, j, rng.Float64())
+		}
+	}
+	want := make(map[int][]int)
+	for _, e := range g.Edges() {
+		want[e.U] = append(want[e.U], e.V)
+		want[e.V] = append(want[e.V], e.U)
+	}
+	for u := 0; u < n; u++ {
+		sort.Ints(want[u])
+		nbrs, _ := g.Row(u)
+		if len(nbrs) != len(want[u]) {
+			t.Fatalf("node %d: %d neighbours, want %d", u, len(nbrs), len(want[u]))
+		}
+		for x, v := range nbrs {
+			if int(v) != want[u][x] {
+				t.Fatalf("node %d position %d: %d, want %d", u, x, v, want[u][x])
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package pgraph
+
+import (
+	"math"
+	"testing"
+
+	"metricprox/internal/rbtree"
+)
+
+// refGraph is the differential reference for the flat CSR store: one
+// red–black tree per node (the layout the store replaced) plus a plain
+// map of packed keys. It is implemented independently of flatStore so a
+// bug must occur twice, identically, to escape the comparison.
+type refGraph struct {
+	n     int
+	adj   []*rbtree.Tree
+	known map[int64]float64
+}
+
+func newRefGraph(n int) *refGraph {
+	r := &refGraph{n: n, adj: make([]*rbtree.Tree, n), known: make(map[int64]float64)}
+	for i := range r.adj {
+		r.adj[i] = rbtree.New()
+	}
+	return r
+}
+
+func (r *refGraph) addEdge(i, j int, w float64) {
+	r.known[Key(i, j)] = w
+	r.adj[i].Put(j, w)
+	r.adj[j].Put(i, w)
+}
+
+// triIntersect is the reference triangle intersection: a sorted merge of
+// two rbtree iterators, exactly the pre-CSR Tri walk.
+func (r *refGraph) triIntersect(i, j int) (lb, ub float64) {
+	lb, ub = 0, 1
+	iti, itj := r.adj[i].Iter(), r.adj[j].Iter()
+	defer iti.Release()
+	defer itj.Release()
+	ki, wi, oki := iti.Next()
+	kj, wj, okj := itj.Next()
+	for oki && okj {
+		switch {
+		case ki == kj:
+			if d := math.Abs(wi - wj); d > lb {
+				lb = d
+			}
+			if s := wi + wj; s < ub {
+				ub = s
+			}
+			ki, wi, oki = iti.Next()
+			kj, wj, okj = itj.Next()
+		case ki < kj:
+			ki, wi, oki = iti.Next()
+		default:
+			kj, wj, okj = itj.Next()
+		}
+	}
+	return lb, ub
+}
+
+// FuzzStoreVsRBTree feeds an arbitrary interleaved schedule of edge
+// insertions and queries to the flat CSR store and to the rbtree+map
+// reference, and fails on any divergence in Weight, Degree, row order and
+// content, or the Tri-style intersection. The byte stream is decoded two
+// bytes per operation, so the fuzzer explores relocation and compaction
+// schedules (many inserts on few nodes) as well as query-heavy mixes.
+func FuzzStoreVsRBTree(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 250, 0, 251, 1})
+	f.Add([]byte{7, 7, 7, 8, 7, 9, 7, 10, 7, 11, 7, 12, 250, 7})
+	f.Add([]byte{0, 255, 16, 32, 250, 16, 252, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 24
+		g := New(n)
+		ref := newRefGraph(n)
+		nextW := 0.0 // distinct deterministic weights, 0 < w ≤ 1
+
+		for k := 0; k+1 < len(data); k += 2 {
+			a, b := data[k], data[k+1]
+			switch {
+			case a < 250: // insert edge (a%n, b%n) if new
+				i, j := int(a)%n, int(b)%n
+				if i == j || g.Known(i, j) {
+					continue
+				}
+				nextW += 1.0 / 1024
+				if nextW > 1 {
+					nextW = 1.0 / 1024
+				}
+				g.AddEdge(i, j, nextW)
+				ref.addEdge(i, j, nextW)
+			case a == 250: // full-row audit of node b%n
+				u := int(b) % n
+				checkRow(t, g, ref, u)
+			case a == 251: // intersection audit of (b%n, b%n+1)
+				i := int(b) % n
+				j := (i + 1) % n
+				if i == j {
+					continue
+				}
+				checkIntersect(t, g, ref, i, j)
+			default: // global audit
+				checkAll(t, g, ref)
+			}
+		}
+		checkAll(t, g, ref)
+	})
+}
+
+func checkRow(t *testing.T, g *Graph, ref *refGraph, u int) {
+	t.Helper()
+	if got, want := g.Degree(u), ref.adj[u].Len(); got != want {
+		t.Fatalf("Degree(%d) = %d, reference %d", u, got, want)
+	}
+	nbrs, weights := g.Row(u)
+	x := 0
+	it := ref.adj[u].Iter()
+	defer it.Release()
+	for k, w, ok := it.Next(); ok; k, w, ok = it.Next() {
+		if x >= len(nbrs) {
+			t.Fatalf("Row(%d) shorter than reference ascend", u)
+		}
+		if int(nbrs[x]) != k || weights[x] != w {
+			t.Fatalf("Row(%d)[%d] = (%d,%v), reference (%d,%v)", u, x, nbrs[x], weights[x], k, w)
+		}
+		x++
+	}
+	if x != len(nbrs) {
+		t.Fatalf("Row(%d) longer than reference ascend (%d > %d)", u, len(nbrs), x)
+	}
+	for x := 1; x < len(nbrs); x++ {
+		if nbrs[x-1] >= nbrs[x] {
+			t.Fatalf("Row(%d) not strictly ascending at %d: %v", u, x, nbrs)
+		}
+	}
+}
+
+func checkIntersect(t *testing.T, g *Graph, ref *refGraph, i, j int) {
+	t.Helper()
+	// Flat-row sorted merge over the store under test.
+	lb, ub := 0.0, 1.0
+	ni, wi := g.Row(i)
+	nj, wj := g.Row(j)
+	x, y := 0, 0
+	for x < len(ni) && y < len(nj) {
+		switch {
+		case ni[x] == nj[y]:
+			if d := math.Abs(wi[x] - wj[y]); d > lb {
+				lb = d
+			}
+			if s := wi[x] + wj[y]; s < ub {
+				ub = s
+			}
+			x++
+			y++
+		case ni[x] < nj[y]:
+			x++
+		default:
+			y++
+		}
+	}
+	rlb, rub := ref.triIntersect(i, j)
+	if lb != rlb || ub != rub {
+		t.Fatalf("intersection (%d,%d) = [%v,%v], reference [%v,%v]", i, j, lb, ub, rlb, rub)
+	}
+}
+
+func checkAll(t *testing.T, g *Graph, ref *refGraph) {
+	t.Helper()
+	for k, w := range ref.known {
+		i, j := int(k>>32), int(k&0xffffffff)
+		if got, ok := g.Weight(i, j); !ok || got != w {
+			t.Fatalf("Weight(%d,%d) = (%v,%v), reference %v", i, j, got, ok, w)
+		}
+		if got, ok := g.Neighbor(i, j); !ok || got != w {
+			t.Fatalf("Neighbor(%d,%d) = (%v,%v), reference %v", i, j, got, ok, w)
+		}
+	}
+	if g.M() != len(ref.known) {
+		t.Fatalf("M() = %d, reference %d", g.M(), len(ref.known))
+	}
+	for u := 0; u < g.N(); u++ {
+		checkRow(t, g, ref, u)
+	}
+	st := g.Stats()
+	if st.Live != 2*g.M() {
+		t.Fatalf("stats: Live = %d, want 2·M = %d", st.Live, 2*g.M())
+	}
+	if st.Slab > 1024 && st.Dead > st.Slab/2 {
+		t.Fatalf("stats: compaction invariant violated: %+v", st)
+	}
+}

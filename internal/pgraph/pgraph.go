@@ -3,10 +3,14 @@
 // subset of the edges (the distances resolved so far by the oracle) are
 // known. It is the shared data model of every bound-computation scheme.
 //
-// Each node's adjacency is kept both as a flat edge list (for SPLUB's
-// "scan all known edges" step) and as a sorted structure (a red–black tree,
-// for the Tri Scheme's merge intersection). Edge weights are additionally
-// indexed by a packed (i,j) key for O(1) lookup.
+// Each node's adjacency is a sorted run inside a CSR-style flat store
+// (see csr.go): sorted neighbour/weight slabs with epoch-based growth and
+// amortized compaction, serving the Tri Scheme's merge intersection and
+// SPLUB's Dijkstra relaxation allocation-free. Edge weights are
+// additionally indexed by a packed (i,j) key for O(1) exact lookup, and
+// the append-only edge list serves SPLUB's "scan all known edges" step.
+// (The original red–black-tree-per-node layout survives in
+// internal/rbtree as the differential-test reference.)
 package pgraph
 
 import (
@@ -15,7 +19,6 @@ import (
 
 	"metricprox/internal/fcmp"
 	"metricprox/internal/pqueue"
-	"metricprox/internal/rbtree"
 )
 
 // Edge is a known, weighted edge of the partial graph with U < V.
@@ -27,22 +30,25 @@ type Edge struct {
 // Graph is a partial distance graph over objects 0..n-1.
 type Graph struct {
 	n     int
-	adj   []*rbtree.Tree // adj[u]: neighbour -> weight, sorted by neighbour
-	edges []Edge         // append-only list of known edges
+	adj   *flatStore // per-node sorted neighbour/weight runs
+	edges []Edge     // append-only list of known edges
 	known map[int64]float64
+
+	// searcher backs the convenience Dijkstra method, built lazily on
+	// first use and reused across calls so the convenience path stops
+	// paying an O(n) priority-queue allocation per call. Callers running
+	// searches from multiple goroutines (none in-repo: the Session lock
+	// serialises graph access) must hold their own Searcher instead.
+	searcher *Searcher
 }
 
 // New returns an empty partial graph over n objects.
 func New(n int) *Graph {
-	g := &Graph{
+	return &Graph{
 		n:     n,
-		adj:   make([]*rbtree.Tree, n),
+		adj:   newFlatStore(n),
 		known: make(map[int64]float64),
 	}
-	for i := range g.adj {
-		g.adj[i] = rbtree.New()
-	}
-	return g
 }
 
 // Key packs an unordered pair into a single map key.
@@ -76,11 +82,28 @@ func (g *Graph) Known(i, j int) bool {
 }
 
 // Degree returns the number of known edges incident on u.
-func (g *Graph) Degree(u int) int { return g.adj[u].Len() }
+func (g *Graph) Degree(u int) int { return g.adj.degree(u) }
 
-// Adjacency returns u's sorted adjacency tree (neighbour -> weight). The
-// tree is owned by the graph and must not be modified by callers.
-func (g *Graph) Adjacency(u int) *rbtree.Tree { return g.adj[u] }
+// Row returns u's adjacency as two parallel slices — neighbour ids in
+// strictly increasing order and the matching edge weights. The slices
+// alias the graph's flat store: they are read-only and valid only until
+// the next AddEdge (a row relocation or compaction may move them; see
+// Stats().Epoch). This zero-copy view is the substrate of the Tri
+// Scheme's sorted-merge intersection.
+func (g *Graph) Row(u int) (nbrs []int32, weights []float64) {
+	return g.adj.row(u)
+}
+
+// Neighbor returns the weight of the known edge (u, v) by binary search
+// over u's row. It exists for ablation benchmarks; Weight is the O(1)
+// production lookup.
+func (g *Graph) Neighbor(u, v int) (float64, bool) {
+	return g.adj.get(u, v)
+}
+
+// Stats snapshots the flat store's occupancy (slab cells, garbage,
+// growth epoch).
+func (g *Graph) Stats() StoreStats { return g.adj.stats() }
 
 // AddEdge records the resolved distance w between i and j.
 // Re-adding an existing edge with the same weight is a no-op; re-adding
@@ -101,8 +124,8 @@ func (g *Graph) AddEdge(i, j int, w float64) {
 		return
 	}
 	g.known[k] = w
-	g.adj[i].Put(j, w)
-	g.adj[j].Put(i, w)
+	g.adj.insert(i, j, w)
+	g.adj.insert(j, i, w)
 	if i > j {
 		i, j = j, i
 	}
@@ -111,11 +134,14 @@ func (g *Graph) AddEdge(i, j int, w float64) {
 
 // Dijkstra computes single-source shortest paths over the known edges from
 // src and stores them into dist, which must have length n. Unreachable
-// nodes get +Inf. The scratch queue is allocated per call; for the hot path
-// use a Searcher.
+// nodes get +Inf. The convenience path reuses one lazily built per-graph
+// Searcher, so repeated calls allocate nothing; callers needing
+// concurrent searches (or early exit) hold their own Searcher.
 func (g *Graph) Dijkstra(src int, dist []float64) {
-	s := NewSearcher(g)
-	s.Run(src, dist)
+	if g.searcher == nil {
+		g.searcher = NewSearcher(g)
+	}
+	g.searcher.Run(src, dist)
 }
 
 // Searcher runs repeated Dijkstra searches over the same graph, reusing its
@@ -152,13 +178,13 @@ func (s *Searcher) Run(src int, dist []float64) {
 		if du > dist[u] {
 			continue
 		}
-		g.adj[u].Ascend(func(v int, w float64) bool {
-			if nd := du + w; nd < dist[v] {
+		nb, ws := g.adj.row(u)
+		for t, v := range nb {
+			if nd := du + ws[t]; nd < dist[v] {
 				dist[v] = nd
-				q.Push(v, nd)
+				q.Push(int(v), nd)
 			}
-			return true
-		})
+		}
 	}
 }
 
@@ -184,13 +210,13 @@ func (s *Searcher) RunTo(src, target int, dist []float64) float64 {
 		if u == target {
 			return du
 		}
-		g.adj[u].Ascend(func(v int, w float64) bool {
-			if nd := du + w; nd < dist[v] {
+		nb, ws := g.adj.row(u)
+		for t, v := range nb {
+			if nd := du + ws[t]; nd < dist[v] {
 				dist[v] = nd
-				q.Push(v, nd)
+				q.Push(int(v), nd)
 			}
-			return true
-		})
+		}
 	}
 	return dist[target]
 }

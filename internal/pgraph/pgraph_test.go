@@ -204,9 +204,18 @@ func TestAdjacencySorted(t *testing.T) {
 	for _, v := range []int{7, 2, 9, 4} {
 		g.AddEdge(5, v, float64(v)/10)
 	}
-	keys := g.Adjacency(5).Keys()
+	nbrs, weights := g.Row(5)
+	keys := make([]int, len(nbrs))
+	for i, v := range nbrs {
+		keys[i] = int(v)
+	}
 	if !sort.IntsAreSorted(keys) {
 		t.Fatalf("adjacency keys unsorted: %v", keys)
+	}
+	for i, v := range nbrs {
+		if w, ok := g.Weight(5, int(v)); !ok || w != weights[i] {
+			t.Fatalf("row weight mismatch at %d: %v vs known %v", v, weights[i], w)
+		}
 	}
 }
 

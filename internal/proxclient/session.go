@@ -452,12 +452,20 @@ func (s *Session) PrefetchBounds(pairs []core.Pair) {
 	}
 	var ops []api.BatchOp
 	var want []core.Pair
+	seen := make(map[uint64]struct{}, len(pairs))
 	s.mu.Lock()
 	for _, p := range pairs {
 		if p.A == p.B {
 			continue
 		}
-		if _, ok := s.known[pairKey(p.A, p.B)]; ok {
+		k := pairKey(p.A, p.B)
+		if _, dup := seen[k]; dup {
+			// Builders announce candidate lists with repeats; one bounds
+			// read per unordered pair per hint is enough.
+			continue
+		}
+		seen[k] = struct{}{}
+		if _, ok := s.known[k]; ok {
 			continue
 		}
 		ops = append(ops, api.BatchOp{Op: api.OpBounds, I: p.A, J: p.B})

@@ -1,13 +1,18 @@
 // Package rbtree implements a left-leaning red–black binary search tree
 // keyed by int with float64 values.
 //
-// The Tri Scheme (Section 4.2 of the paper) stores each node's adjacency
-// list in a balanced binary search tree so that (a) inserting a newly
-// resolved edge costs O(log n) and (b) the triangle search — the sorted
-// intersection of two adjacency lists — can walk both trees in key order in
-// linear time. This package is that substrate. It is also reused anywhere a
-// sorted int→float64 dictionary is needed.
+// It was the Tri Scheme's original adjacency substrate (Section 4.2 of
+// the paper stores each node's adjacency in a balanced BST); the partial
+// graph has since moved to a flat CSR layout (internal/pgraph/csr.go) and
+// this package now serves as the independently implemented reference the
+// differential fuzz tests check the flat store against, and as a sorted
+// int→float64 dictionary wherever one is needed.
 package rbtree
+
+import (
+	"math/bits"
+	"sync"
+)
 
 const (
 	red   = true
@@ -190,18 +195,38 @@ func (t *Tree) Keys() []int {
 }
 
 // Iterator walks the tree in increasing key order without recursion, using
-// an explicit stack. It is the workhorse of the Tri Scheme merge
-// intersection: two iterators are advanced in lockstep like a sorted-list
-// merge.
+// an explicit stack. Two iterators advanced in lockstep perform a
+// sorted-list merge — the Tri Scheme's original intersection walk.
 type Iterator struct {
 	stack []*node
 }
 
-// Iter returns an iterator positioned before the smallest key.
+// iterPool recycles iterators so a hot loop of Iter/Next/Release walks
+// allocation-free. Iter used to allocate the Iterator and grow its stack
+// on every call, which dominated the profile of merge-heavy callers.
+var iterPool = sync.Pool{New: func() any { return new(Iterator) }}
+
+// Iter returns an iterator positioned before the smallest key. Call
+// Release when done walking to recycle it; an unreleased iterator is
+// merely garbage, never wrong.
 func (t *Tree) Iter() *Iterator {
-	it := &Iterator{}
+	it := iterPool.Get().(*Iterator)
+	// Pre-size to the LLRB height bound, 2·lg(size+1), so pushLeft never
+	// grows the stack mid-walk.
+	if bound := 2*bits.Len(uint(t.size)) + 1; cap(it.stack) < bound {
+		it.stack = make([]*node, 0, bound)
+	}
 	it.pushLeft(t.root)
 	return it
+}
+
+// Release recycles the iterator. The caller must not use it afterwards.
+func (it *Iterator) Release() {
+	for i := range it.stack {
+		it.stack[i] = nil // drop node references; the pool outlives trees
+	}
+	it.stack = it.stack[:0]
+	iterPool.Put(it)
 }
 
 func (it *Iterator) pushLeft(x *node) {

@@ -255,3 +255,63 @@ func BenchmarkIterate(b *testing.B) {
 		}
 	}
 }
+
+// TestIterReleaseRecycles pins the Iter allocation fix: a warm
+// Iter/drain/Release cycle must not allocate, and a released-then-reused
+// iterator must still walk in exact key order.
+func TestIterReleaseRecycles(t *testing.T) {
+	tr := New()
+	for i := 0; i < 200; i++ {
+		tr.Put((i*37)%211, float64(i))
+	}
+	walk := func() []int {
+		it := tr.Iter()
+		defer it.Release()
+		var keys []int
+		for k, _, ok := it.Next(); ok; k, _, ok = it.Next() {
+			keys = append(keys, k)
+		}
+		return keys
+	}
+	want := tr.Keys()
+	for round := 0; round < 3; round++ {
+		got := walk()
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d keys, want %d", round, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: keys[%d] = %d, want %d", round, i, got[i], want[i])
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		it := tr.Iter()
+		for _, _, ok := it.Next(); ok; _, _, ok = it.Next() {
+		}
+		it.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Iter/drain/Release allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestIterReleaseMidWalk releases a part-consumed iterator and checks the
+// recycled one starts from the smallest key again.
+func TestIterReleaseMidWalk(t *testing.T) {
+	tr := New()
+	for i := 0; i < 64; i++ {
+		tr.Put(i, float64(i))
+	}
+	it := tr.Iter()
+	for i := 0; i < 10; i++ {
+		it.Next()
+	}
+	it.Release()
+	it2 := tr.Iter()
+	defer it2.Release()
+	k, _, ok := it2.Next()
+	if !ok || k != 0 {
+		t.Fatalf("recycled iterator first key = %d (ok=%v), want 0", k, ok)
+	}
+}

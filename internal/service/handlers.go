@@ -304,7 +304,23 @@ func (s *Server) handleDistBatch(w http.ResponseWriter, r *http.Request, entry *
 	}
 	results := make([]api.BatchResult, len(req.Ops))
 	sess := entry.Session
-	for idx, op := range req.Ops {
+	for idx := 0; idx < len(req.Ops); idx++ {
+		op := req.Ops[idx]
+		if op.Op == api.OpBounds {
+			// A bounds op never mutates session state, so a maximal
+			// consecutive run of them answers identically whether served
+			// one by one or in a single BoundsBatch sweep — and the sweep
+			// takes one lock acquisition and one pass over the bound
+			// scheme's state for the whole run (the shape the client's
+			// PrefetchBounds emits).
+			end := idx + 1
+			for end < len(req.Ops) && req.Ops[end].Op == api.OpBounds {
+				end++
+			}
+			s.serveBoundsRun(sess, req.Ops[idx:end], results[idx:end])
+			idx = end - 1
+			continue
+		}
 		res := &results[idx]
 		if err := s.checkPair(op.I, op.J); err != nil {
 			res.Err = api.CodeBadRequest
@@ -346,14 +362,39 @@ func (s *Server) handleDistBatch(w http.ResponseWriter, r *http.Request, entry *
 			if less {
 				res.D = api.WireFloat(d)
 			}
-		case api.OpBounds:
-			lb, ub := sess.Bounds(op.I, op.J)
-			res.LB, res.UB = api.WireFloat(lb), api.WireFloat(ub)
 		default:
 			res.Err = api.CodeBadRequest
 		}
 	}
 	writeJSON(w, api.BatchResponse{Results: results})
+}
+
+// serveBoundsRun answers a consecutive run of bounds ops with one
+// BoundsBatch call. Ops with invalid pairs fail individually with
+// CodeBadRequest, exactly as the scalar path would, and do not join the
+// batch.
+func (s *Server) serveBoundsRun(sess *core.SharedSession, ops []api.BatchOp, results []api.BatchResult) {
+	is := make([]int, 0, len(ops))
+	js := make([]int, 0, len(ops))
+	slots := make([]int, 0, len(ops))
+	for x, op := range ops {
+		if err := s.checkPair(op.I, op.J); err != nil {
+			results[x].Err = api.CodeBadRequest
+			continue
+		}
+		is = append(is, op.I)
+		js = append(js, op.J)
+		slots = append(slots, x)
+	}
+	if len(is) == 0 {
+		return
+	}
+	lb := make([]float64, len(is))
+	ub := make([]float64, len(is))
+	sess.BoundsBatch(is, js, lb, ub)
+	for q, x := range slots {
+		results[x].LB, results[x].UB = api.WireFloat(lb[q]), api.WireFloat(ub[q])
+	}
 }
 
 // handleKNN runs the kNN-graph builder server-side. The session's sticky

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -515,5 +516,51 @@ func TestSelfPairRejected(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest || eb.Code != api.CodeBadRequest {
 		t.Fatalf("self pair: status %d code %q", resp.StatusCode, eb.Code)
+	}
+}
+
+// TestBatchBoundsRunMatchesScalar drives the /batch bounds fast path: a
+// long consecutive run of bounds ops (served by one BoundsBatch sweep),
+// interrupted by invalid pairs inside the run and a dist op that splits
+// it. Every bounds result must equal the reference session's scalar
+// answer, and invalid ops must fail individually.
+func TestBatchBoundsRunMatchesScalar(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	createSession(t, ts.URL, "boundsrun", "tri", true)
+	ref := referenceSession(t, core.SchemeTri)
+
+	rng := rand.New(rand.NewSource(21))
+	var ops []api.BatchOp
+	for q := 0; q < 40; q++ {
+		ops = append(ops, api.BatchOp{Op: api.OpBounds, I: rng.Intn(testN), J: rng.Intn(testN)})
+	}
+	ops[7] = api.BatchOp{Op: api.OpBounds, I: 7, J: 7}       // self pair: rejected
+	ops[13] = api.BatchOp{Op: api.OpBounds, I: -1, J: 3}     // out of range: rejected
+	ops[20] = api.BatchOp{Op: api.OpDist, I: 20, J: 21}      // splits the run
+	ops = append(ops, ops[0])                                // duplicate of the first query
+
+	var resp api.BatchResponse
+	post(t, ts.URL+"/v1/sessions/boundsrun/batch", api.BatchRequest{Ops: ops}, &resp, http.StatusOK)
+	if len(resp.Results) != len(ops) {
+		t.Fatalf("%d results for %d ops", len(resp.Results), len(ops))
+	}
+	for idx, op := range ops {
+		res := resp.Results[idx]
+		switch {
+		case idx == 7 || idx == 13:
+			if res.Err != api.CodeBadRequest {
+				t.Fatalf("op %d: err %q, want %q", idx, res.Err, api.CodeBadRequest)
+			}
+		case idx == 20:
+			if !fcmp.ExactEq(float64(res.D), ref.Dist(op.I, op.J)) {
+				t.Fatalf("op %d: dist %v, want %v", idx, float64(res.D), ref.Dist(op.I, op.J))
+			}
+		default:
+			lb, ub := ref.Bounds(op.I, op.J)
+			if !fcmp.ExactEq(float64(res.LB), lb) || !fcmp.ExactEq(float64(res.UB), ub) {
+				t.Fatalf("op %d (%d,%d): bounds [%v,%v], want [%v,%v]",
+					idx, op.I, op.J, float64(res.LB), float64(res.UB), lb, ub)
+			}
+		}
 	}
 }
