@@ -1,6 +1,6 @@
 // Command proxlint is the project's analyzer suite: a multichecker that
 // mechanically enforces the oracle-discipline invariants (see DESIGN.md,
-// "Static guarantees").
+// "Static guarantees", and docs/LINT.md for the full reference).
 //
 // It runs in two modes:
 //
@@ -9,18 +9,27 @@
 //     go build -o bin/proxlint ./cmd/proxlint
 //     go vet -vettool=bin/proxlint ./...
 //
-//     This is how CI gates the repository; it covers test files and
-//     caches results per package like any vet run.
+//     This is how CI gates the repository; it covers test files, caches
+//     results per package like any vet run, and carries cross-package
+//     facts (rowescape's slab-growth sets, degradedtaint's
+//     estimate-returning functions, wireinf's raw-float wire types)
+//     through the unitchecker vetx files.
 //
 //   - standalone mode, for quick local runs on non-test code:
 //
 //     go run ./cmd/proxlint ./...
 //
+//     Facts flow between the packages named by the patterns (analyzed in
+//     dependency order); facts from packages outside the patterns are
+//     unavailable, so prefer ./... over narrow patterns.
+//
 // Analyzers: oracleescape, lockheldoracle, commitonce, floatcmp,
-// obspurity, exporteddoc.
+// obspurity, exporteddoc, rowescape, degradedtaint, ctxflow, wireinf.
 // Suppress a finding with an explanation:
 //
 //	//proxlint:allow <analyzer> -- <rationale>
+//
+// A directive that suppresses nothing is itself reported as an error.
 package main
 
 import (
@@ -35,7 +44,15 @@ import (
 	"metricprox/internal/proxlint"
 )
 
-const version = "v1.0.0"
+// version keys the go command's vet result cache: bump it whenever the
+// analyzer suite, the fact encoding, or the diagnostic set changes, so
+// stale cached results (and stale vetx fact files) are never reused.
+const version = "v1.1.0"
+
+// fixUsage is the single source of truth for the -fix flag's description:
+// it is registered once in run and echoed verbatim by the -flags probe,
+// so the two can never diverge again.
+const fixUsage = "accepted for go vet compatibility; proxlint never rewrites code (ignored, with a warning in standalone mode)"
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -58,7 +75,7 @@ func run(args []string) int {
 	verFlag := fs.Bool("version", false, "print version and exit")
 	jsonOut := fs.Bool("json", false, "emit JSON diagnostics to stdout instead of text to stderr")
 	fs.Int("c", -1, "display offending line with this many lines of context (accepted for vet compatibility; ignored)")
-	fs.Bool("fix", false, "accepted for vet compatibility; proxlint never rewrites code")
+	fixFlag := fs.Bool("fix", false, fixUsage)
 	enabled := make(map[string]*bool)
 	for _, a := range proxlint.Analyzers() {
 		enabled[a.Name] = fs.Bool(a.Name, false, "enable only the "+a.Name+" analyzer: "+a.Doc)
@@ -74,6 +91,9 @@ func run(args []string) int {
 
 	if fs.NArg() == 1 && strings.HasSuffix(fs.Arg(0), ".cfg") {
 		return runVet(fs.Arg(0), analyzers, *jsonOut)
+	}
+	if *fixFlag {
+		fmt.Fprintln(os.Stderr, "proxlint: warning: -fix is ignored; proxlint never rewrites code")
 	}
 	return runStandalone(fs.Args(), analyzers, *jsonOut)
 }
@@ -109,7 +129,9 @@ func runVet(cfgPath string, analyzers []*analysis.Analyzer, jsonOut bool) int {
 }
 
 // runStandalone loads the named package patterns (default ./...) from
-// source and analyzes each.
+// source and analyzes each in dependency order, threading one fact table
+// through the whole set so cross-package analyzers work within the
+// pattern's closure.
 func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -119,9 +141,10 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bo
 		fmt.Fprintf(os.Stderr, "proxlint: %v\n", err)
 		return 1
 	}
+	facts := analysis.NewFactTable()
 	var results []*analysis.UnitResult
 	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, analyzers)
+		diags, err := analysis.RunFacts(pkg, analyzers, facts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "proxlint: %v\n", err)
 			return 1
@@ -182,7 +205,7 @@ func printFlagsJSON() {
 		{Name: "version", Bool: true, Usage: "print version and exit"},
 		{Name: "json", Bool: true, Usage: "emit JSON diagnostics"},
 		{Name: "c", Bool: false, Usage: "display offending line plus this many lines of context"},
-		{Name: "fix", Bool: true, Usage: "no-op; proxlint never rewrites code"},
+		{Name: "fix", Bool: true, Usage: fixUsage},
 	}
 	for _, a := range proxlint.Analyzers() {
 		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})

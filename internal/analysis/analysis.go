@@ -41,6 +41,7 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diags *[]Diagnostic
+	facts *FactTable
 }
 
 // Reportf records a diagnostic at pos.
@@ -94,24 +95,22 @@ func NewInfo() *types.Info {
 	}
 }
 
-// Run applies the analyzers to the package, filters findings through the
-// //proxlint:allow directives present in the source, and returns the
-// surviving diagnostics sorted by position. Malformed directives are
-// themselves reported as diagnostics.
+// Run applies the analyzers to the package with a fresh, private fact
+// table. Drivers that thread facts across packages use RunFacts instead.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var raw []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Pkg,
-			TypesInfo: pkg.Info,
-			diags:     &raw,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
-		}
+	return RunFacts(pkg, analyzers, NewFactTable())
+}
+
+// RunFacts applies the analyzers to the package, resolving cross-package
+// facts through (and exporting new facts into) the shared table, filters
+// findings through the //proxlint:allow directives present in the source,
+// and returns the surviving diagnostics sorted by position. Malformed
+// directives, and directives that suppressed nothing although every
+// analyzer they name ran, are themselves reported as diagnostics.
+func RunFacts(pkg *Package, analyzers []*Analyzer, facts *FactTable) ([]Diagnostic, error) {
+	raw, err := runAnalyzers(pkg, analyzers, facts)
+	if err != nil {
+		return nil, err
 	}
 	dirs, bad := parseDirectives(pkg.Fset, pkg.Files)
 	var out []Diagnostic
@@ -121,6 +120,11 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			out = append(out, d)
 		}
 	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	out = append(out, dirs.stale(ran)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Position, out[j].Position
 		if a.Filename != b.Filename {
@@ -132,4 +136,32 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return out[i].Analyzer < out[j].Analyzer
 	})
 	return out, nil
+}
+
+// GatherFacts runs the analyzers over the package purely for their fact
+// exports, discarding diagnostics. Drivers call it on dependency packages
+// (the VetxOnly units of the unitchecker protocol, or testdata imports)
+// so that fact-powered analyzers see the whole import graph.
+func GatherFacts(pkg *Package, analyzers []*Analyzer, facts *FactTable) error {
+	_, err := runAnalyzers(pkg, analyzers, facts)
+	return err
+}
+
+func runAnalyzers(pkg *Package, analyzers []*Analyzer, facts *FactTable) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			diags:     &raw,
+			facts:     facts,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	return raw, nil
 }

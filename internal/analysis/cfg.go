@@ -1,0 +1,430 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// CFG is a per-function control-flow graph over go/ast, the substrate of
+// the dataflow engine in dataflow.go. Each basic block holds the
+// statements and condition expressions that execute straight-line, in
+// order; edges follow every branch, loop back-edge, switch dispatch, and
+// goto. The granularity is deliberately statement-level (not SSA): the
+// taint engine re-walks each node's sub-expressions itself, and
+// statement-level blocks keep positions exact for diagnostics.
+//
+// Modeling choices, all conservative for forward may-analyses:
+//
+//   - panic(...) and return end a block with no successor.
+//   - defer bodies are treated as executing at the defer statement (the
+//     latest point at which the deferred values are known to be live).
+//   - A function literal is a single opaque node; the dataflow engine
+//     analyzes literal bodies as separate functions.
+//   - select/switch dispatch edges ignore case-order side conditions: every
+//     case is a successor of the head.
+type CFG struct {
+	// Blocks in allocation order; Blocks[0] is the entry block.
+	Blocks []*Block
+}
+
+// Block is one basic block.
+type Block struct {
+	Index int
+	// Nodes are the straight-line statements and branch-condition
+	// expressions of the block, in execution order.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+}
+
+// String renders the graph compactly for tests and debugging:
+// "0->[1 2] 1->[3] ...".
+func (c *CFG) String() string {
+	var b strings.Builder
+	for _, blk := range c.Blocks {
+		if blk.Index > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d->[", blk.Index)
+		for i, s := range blk.Succs {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", s.Index)
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, labels: map[string]*labelInfo{}}
+	b.cur = b.newBlock()
+	b.stmtList(body.List)
+	return b.cfg
+}
+
+// labelInfo tracks one label: the block a goto jumps to, plus the break
+// and continue targets while the labeled statement is being built.
+type labelInfo struct {
+	target          *Block // jump target of `goto L` (start of the labeled stmt)
+	breakTo, contTo *Block // non-nil only while inside the labeled loop/switch
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block under construction; nil while the builder is in
+	// unreachable code (after return/panic/branch).
+	cur *Block
+	// breakTo / contTo are the innermost unlabeled break/continue targets.
+	breakTo, contTo *Block
+	labels          map[string]*labelInfo
+	// pendingLabel is the label naming the next loop/switch statement.
+	pendingLabel *labelInfo
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge records a control transfer from -> to (no-op when from is nil,
+// i.e. unreachable).
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startFrom begins a new block reached from the current one.
+func (b *cfgBuilder) startFrom(from *Block) *Block {
+	blk := b.newBlock()
+	b.edge(from, blk)
+	return blk
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	if b.cur == nil && !isLabeled(s) {
+		// Unreachable code still gets a block of its own so every node
+		// appears in the graph (diagnostics can anchor there), but no
+		// edge leads in.
+		b.cur = b.newBlock()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.cur = nil
+		}
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// Assign, Decl, IncDec, Send, Defer, Go, ... — straight-line.
+		b.add(s)
+	}
+}
+
+func isLabeled(s ast.Stmt) bool {
+	_, ok := s.(*ast.LabeledStmt)
+	return ok
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic" && id.Obj == nil
+}
+
+func (b *cfgBuilder) labeledStmt(s *ast.LabeledStmt) {
+	li := b.labels[s.Label.Name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[s.Label.Name] = li
+	}
+	if li.target == nil {
+		li.target = b.newBlock()
+	}
+	b.edge(b.cur, li.target)
+	b.cur = li.target
+	b.pendingLabel = li
+	b.stmt(s.Stmt)
+	b.pendingLabel = nil
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	var to *Block
+	switch s.Tok.String() {
+	case "break":
+		to = b.breakTo
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil {
+				to = li.breakTo
+			}
+		}
+	case "continue":
+		to = b.contTo
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil {
+				to = li.contTo
+			}
+		}
+	case "goto":
+		li := b.labels[s.Label.Name]
+		if li == nil {
+			li = &labelInfo{}
+			b.labels[s.Label.Name] = li
+		}
+		if li.target == nil {
+			li.target = b.newBlock() // forward goto: block filled later
+		}
+		to = li.target
+	case "fallthrough":
+		// Handled by switchStmt; as a lone statement it is a syntax
+		// error anyway, so just terminate the block.
+	}
+	if to != nil {
+		b.edge(b.cur, to)
+	}
+	b.cur = nil
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.cur
+	after := b.newBlock()
+
+	b.cur = b.startFrom(head)
+	b.stmt(s.Body)
+	b.edge(b.cur, after)
+
+	if s.Else != nil {
+		b.cur = b.startFrom(head)
+		b.stmt(s.Else)
+		b.edge(b.cur, after)
+	} else {
+		b.edge(head, after)
+	}
+	b.cur = after
+}
+
+// loopTargets installs break/continue targets (including for the label
+// naming this loop, if any) and returns a restore function.
+func (b *cfgBuilder) loopTargets(breakTo, contTo *Block) func() {
+	savedB, savedC := b.breakTo, b.contTo
+	b.breakTo, b.contTo = breakTo, contTo
+	li := b.pendingLabel
+	b.pendingLabel = nil
+	if li != nil {
+		li.breakTo, li.contTo = breakTo, contTo
+	}
+	return func() {
+		b.breakTo, b.contTo = savedB, savedC
+		if li != nil {
+			li.breakTo, li.contTo = nil, nil
+		}
+	}
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.startFrom(b.cur)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	after := b.newBlock()
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+	} else {
+		post = head
+	}
+	restore := b.loopTargets(after, post)
+
+	b.cur = b.startFrom(head)
+	b.stmt(s.Body)
+	b.edge(b.cur, post)
+	if s.Post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		b.edge(b.cur, head)
+	}
+	restore()
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	// The ranged expression is evaluated once, before the loop.
+	b.add(s.X)
+	head := b.startFrom(b.cur)
+	// The RangeStmt node stands for the per-iteration key/value
+	// assignment; the dataflow engine interprets it as such. A shallow
+	// copy with an emptied body goes into the graph so that walking the
+	// head node never re-traverses the loop body, whose statements live
+	// in their own blocks.
+	iter := *s
+	iter.Body = &ast.BlockStmt{Lbrace: s.Body.Lbrace, Rbrace: s.Body.Lbrace}
+	head.Nodes = append(head.Nodes, &iter)
+	after := b.newBlock()
+	b.edge(head, after)
+	restore := b.loopTargets(after, head)
+
+	b.cur = b.startFrom(head)
+	b.stmt(s.Body)
+	b.edge(b.cur, head)
+	restore()
+	b.cur = after
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	head := b.cur
+	after := b.newBlock()
+	restore := b.loopTargets(after, b.contTo)
+	b.switchBody(head, after, s.Body, func(cc *ast.CaseClause, blk *Block) {
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+	})
+	restore()
+	b.cur = after
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.cur
+	after := b.newBlock()
+	restore := b.loopTargets(after, b.contTo)
+	b.switchBody(head, after, s.Body, func(cc *ast.CaseClause, blk *Block) {
+		// Each case re-binds the type-switch variable; the Assign
+		// statement node carries that def into the case block.
+		blk.Nodes = append(blk.Nodes, s.Assign)
+	})
+	restore()
+	b.cur = after
+}
+
+// switchBody wires the shared case-dispatch shape of value and type
+// switches: every case block is a successor of the head, fallthrough
+// chains case bodies, and a missing default adds a head->after edge.
+func (b *cfgBuilder) switchBody(head, after *Block, body *ast.BlockStmt, seed func(*ast.CaseClause, *Block)) {
+	hasDefault := false
+	var caseBlocks []*Block
+	var clauses []*ast.CaseClause
+	for _, raw := range body.List {
+		cc, ok := raw.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.startFrom(head)
+		seed(cc, blk)
+		caseBlocks = append(caseBlocks, blk)
+		clauses = append(clauses, cc)
+	}
+	for i, cc := range clauses {
+		b.cur = caseBlocks[i]
+		// Peel a trailing fallthrough: the body flows into the next
+		// case's block instead of after.
+		stmts := cc.Body
+		fallsThrough := false
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				fallsThrough = i+1 < len(caseBlocks)
+				stmts = stmts[:n-1]
+			}
+		}
+		b.stmtList(stmts)
+		if fallsThrough {
+			b.edge(b.cur, caseBlocks[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	head := b.cur
+	after := b.newBlock()
+	restore := b.loopTargets(after, b.contTo)
+	for _, raw := range s.Body.List {
+		cc, ok := raw.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.startFrom(head)
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		b.cur = blk
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	restore()
+	b.cur = after
+}

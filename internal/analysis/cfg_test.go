@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseFunc parses src (a complete file body after "package p") and
+// returns the body of the first function declaration.
+func parseFunc(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+func TestBuildCFG(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "if_else",
+			src: `func f(c bool) {
+				if c {
+					a()
+				} else {
+					b()
+				}
+				d()
+			}`,
+			want: "0->[2 3] 1->[] 2->[1] 3->[1]",
+		},
+		{
+			name: "if_no_else",
+			src: `func f(c bool) {
+				if c {
+					a()
+				}
+				d()
+			}`,
+			want: "0->[2 1] 1->[] 2->[1]",
+		},
+		{
+			name: "for_loop_back_edge",
+			src: `func f(n int) {
+				for i := 0; i < n; i++ {
+					g()
+				}
+				h()
+			}`,
+			// 1 is the head (cond), 3 the post (i++), 4 the body: the
+			// back edge is 3->1.
+			want: "0->[1] 1->[2 4] 2->[] 3->[1] 4->[3]",
+		},
+		{
+			name: "for_break_continue",
+			src: `func f(n int) {
+				for i := 0; i < n; i++ {
+					if i == 2 {
+						continue
+					}
+					if i == 4 {
+						break
+					}
+					g()
+				}
+				h()
+			}`,
+			// continue (6) jumps to the post block 3; break (8) to the
+			// after block 2.
+			want: "0->[1] 1->[2 4] 2->[] 3->[1] 4->[6 5] 5->[8 7] 6->[3] 7->[3] 8->[2]",
+		},
+		{
+			name: "range_loop",
+			src: `func f(xs []int) {
+				for _, x := range xs {
+					g(x)
+				}
+				h()
+			}`,
+			want: "0->[1] 1->[2 3] 2->[] 3->[1]",
+		},
+		{
+			name: "labeled_break_from_nested_loop",
+			src: `func f() {
+			outer:
+				for {
+					for {
+						break outer
+					}
+				}
+				h()
+			}`,
+			// break outer (7) jumps straight to the outer loop's after
+			// block 3; no cond on either loop, so neither head reaches
+			// its after block directly.
+			want: "0->[1] 1->[2] 2->[4] 3->[] 4->[5] 5->[7] 6->[2] 7->[3]",
+		},
+		{
+			name: "switch_fallthrough_and_default",
+			src: `func f(x int) {
+				switch x {
+				case 1:
+					a()
+					fallthrough
+				case 2:
+					b()
+				default:
+					c()
+				}
+				d()
+			}`,
+			// case 1 (block 2) falls through into case 2 (block 3); the
+			// default means no direct head->after edge.
+			want: "0->[2 3 4] 1->[] 2->[3] 3->[1] 4->[1]",
+		},
+		{
+			name: "switch_no_default",
+			src: `func f(x int) {
+				switch x {
+				case 1:
+					a()
+				}
+				d()
+			}`,
+			want: "0->[2 1] 1->[] 2->[1]",
+		},
+		{
+			name: "type_switch",
+			src: `func f(x any) {
+				switch v := x.(type) {
+				case int:
+					a(v)
+				default:
+					_ = v
+				}
+			}`,
+			want: "0->[2 3] 1->[] 2->[1] 3->[1]",
+		},
+		{
+			name: "select",
+			src: `func f(ch chan int) {
+				select {
+				case v := <-ch:
+					a(v)
+				default:
+					b()
+				}
+			}`,
+			want: "0->[2 3] 1->[] 2->[1] 3->[1]",
+		},
+		{
+			name: "backward_goto",
+			src: `func f() {
+				i := 0
+			L:
+				i++
+				if i < 3 {
+					goto L
+				}
+			}`,
+			want: "0->[1] 1->[3 2] 2->[] 3->[1]",
+		},
+		{
+			name: "forward_goto",
+			src: `func f(c bool) {
+				if c {
+					goto L
+				}
+				a()
+			L:
+				b()
+			}`,
+			want: "0->[2 1] 1->[3] 2->[3] 3->[]",
+		},
+		{
+			name: "return_makes_rest_unreachable",
+			src: `func f() {
+				return
+				g()
+			}`,
+			// g() still gets a block so diagnostics can anchor in it,
+			// but nothing leads there.
+			want: "0->[] 1->[]",
+		},
+		{
+			name: "panic_terminates_block",
+			src: `func f(c bool) {
+				if !c {
+					panic("bad")
+				}
+				g()
+			}`,
+			want: "0->[2 1] 1->[] 2->[]",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := BuildCFG(parseFunc(t, tt.src))
+			if got := cfg.String(); got != tt.want {
+				t.Errorf("CFG mismatch:\n got %s\nwant %s", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBuildCFGEntryIsFirstBlock(t *testing.T) {
+	cfg := BuildCFG(parseFunc(t, `func f() { g() }`))
+	if len(cfg.Blocks) == 0 || cfg.Blocks[0].Index != 0 {
+		t.Fatalf("entry block missing: %s", cfg)
+	}
+	if len(cfg.Blocks[0].Nodes) != 1 {
+		t.Fatalf("entry block should hold the single statement, got %d nodes", len(cfg.Blocks[0].Nodes))
+	}
+}

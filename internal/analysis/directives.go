@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -16,17 +17,74 @@ import (
 // point of the allowlist is that every sanctioned bypass of the oracle
 // discipline is greppable (`grep -rn proxlint:allow`) together with its
 // justification.
+//
+// A directive that suppresses nothing is itself an error: allow-lists rot
+// in exactly one direction (the violation is refactored away, the
+// directive stays and silently licenses the next real violation on that
+// line). Staleness is judged only when every analyzer the directive
+// names actually ran — a partial run (-floatcmp, or a single-analyzer
+// test harness) says nothing about the directives aimed at the others.
 const directivePrefix = "proxlint:allow"
 
-type directiveIndex struct {
-	// byLine maps filename:line to the analyzer names allowed there.
-	byLine map[string]map[string]bool
+// directive is one parsed, well-formed //proxlint:allow comment.
+type directive struct {
+	pos      token.Pos
+	position token.Position
+	names    []string // analyzer names, "all" allowed
+	line     int      // the line the directive covers
+	used     bool     // suppressed at least one diagnostic this run
 }
 
-func (ix directiveIndex) allows(d Diagnostic) bool {
+type directiveIndex struct {
+	directives []*directive
+	// byLine maps filename:line to the directives covering that line.
+	byLine map[string][]*directive
+}
+
+func (ix *directiveIndex) allows(d Diagnostic) bool {
 	key := d.Position.Filename + ":" + itoa(d.Position.Line)
-	names := ix.byLine[key]
-	return names[d.Analyzer] || names["all"]
+	allowed := false
+	for _, dir := range ix.byLine[key] {
+		for _, n := range dir.names {
+			if n == d.Analyzer || n == "all" {
+				dir.used = true
+				allowed = true
+			}
+		}
+	}
+	return allowed
+}
+
+// stale returns a diagnostic for every directive that provably suppressed
+// nothing: all its named analyzers were in this run's set (so the absence
+// of a suppression is meaningful), and no diagnostic on its line matched.
+// "all" directives are exempt — their scope can never be fully judged by
+// one run.
+func (ix *directiveIndex) stale(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range ix.directives {
+		if dir.used {
+			continue
+		}
+		judged := true
+		for _, n := range dir.names {
+			if n == "all" || !ran[n] {
+				judged = false
+				break
+			}
+		}
+		if !judged {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      dir.pos,
+			Position: dir.position,
+			Analyzer: "proxlint",
+			Message: "stale //proxlint:allow " + strings.Join(dir.names, ",") +
+				" directive: it suppresses no diagnostic; delete it so it cannot license a future violation",
+		})
+	}
+	return out
 }
 
 func itoa(n int) string {
@@ -46,8 +104,8 @@ func itoa(n int) string {
 // parseDirectives scans every comment in the files, building the
 // suppression index and reporting malformed directives (missing analyzer
 // list or missing rationale) as diagnostics.
-func parseDirectives(fset *token.FileSet, files []*ast.File) (directiveIndex, []Diagnostic) {
-	ix := directiveIndex{byLine: make(map[string]map[string]bool)}
+func parseDirectives(fset *token.FileSet, files []*ast.File) (*directiveIndex, []Diagnostic) {
+	ix := &directiveIndex{byLine: make(map[string][]*directive)}
 	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -74,13 +132,14 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) (directiveIndex, []
 				if isOwnLine(fset, f, c) {
 					line++
 				}
-				key := pos.Filename + ":" + itoa(line)
-				if ix.byLine[key] == nil {
-					ix.byLine[key] = make(map[string]bool)
-				}
+				dir := &directive{pos: c.Pos(), position: pos, line: line}
 				for _, n := range strings.Split(names, ",") {
-					ix.byLine[key][strings.TrimSpace(n)] = true
+					dir.names = append(dir.names, strings.TrimSpace(n))
 				}
+				sort.Strings(dir.names)
+				ix.directives = append(ix.directives, dir)
+				key := pos.Filename + ":" + itoa(line)
+				ix.byLine[key] = append(ix.byLine[key], dir)
 			}
 		}
 	}

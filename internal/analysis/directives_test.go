@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// reportAtMarker is a test analyzer that reports on every call to a
+// function named "bad".
+func reportAtMarker(name string) *Analyzer {
+	return &Analyzer{
+		Name: name,
+		Doc:  "test analyzer",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "bad" {
+						pass.Reportf(call.Pos(), "bad call")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+func runDirectiveTest(t *testing.T, src string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	pkg := checkPkg(t, token.NewFileSet(), "p", src, nil)
+	diags, err := Run(pkg, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+const directiveDecls = `func bad()  {}
+func fine() {}
+`
+
+func TestDirectiveSuppressesAndIsNotStale(t *testing.T) {
+	diags := runDirectiveTest(t, `package p
+
+`+directiveDecls+`
+func f() {
+	bad() //proxlint:allow testcheck -- sanctioned here
+}
+`, reportAtMarker("testcheck"))
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics = %v, want none (suppressed, directive used)", diags)
+	}
+}
+
+func TestStaleDirectiveReported(t *testing.T) {
+	diags := runDirectiveTest(t, `package p
+
+`+directiveDecls+`
+func f() {
+	fine() //proxlint:allow testcheck -- nothing to suppress
+}
+`, reportAtMarker("testcheck"))
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly the stale-directive report", diags)
+	}
+	if !strings.Contains(diags[0].Message, "stale //proxlint:allow") || diags[0].Analyzer != "proxlint" {
+		t.Fatalf("unexpected diagnostic: %v", diags[0])
+	}
+}
+
+func TestStaleNotJudgedOnPartialRun(t *testing.T) {
+	// The directive names an analyzer that did not run: its staleness
+	// cannot be judged, so nothing is reported.
+	diags := runDirectiveTest(t, `package p
+
+`+directiveDecls+`
+func f() {
+	fine() //proxlint:allow othercheck -- judged only when othercheck runs
+}
+`, reportAtMarker("testcheck"))
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics = %v, want none (othercheck did not run)", diags)
+	}
+}
+
+func TestStaleExemptsAllDirectives(t *testing.T) {
+	diags := runDirectiveTest(t, `package p
+
+`+directiveDecls+`
+func f() {
+	fine() //proxlint:allow all -- blanket waiver, never judged stale
+}
+`, reportAtMarker("testcheck"))
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics = %v, want none (all is exempt)", diags)
+	}
+}
+
+func TestOwnLineDirectiveCoversNextLine(t *testing.T) {
+	diags := runDirectiveTest(t, `package p
+
+`+directiveDecls+`
+func f() {
+	//proxlint:allow testcheck -- covers the line below
+	bad()
+}
+`, reportAtMarker("testcheck"))
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics = %v, want none", diags)
+	}
+}
+
+func TestMalformedDirectiveReported(t *testing.T) {
+	diags := runDirectiveTest(t, `package p
+
+`+directiveDecls+`
+func f() {
+	bad() //proxlint:allow testcheck
+}
+`, reportAtMarker("testcheck"))
+	// The malformed directive (no rationale) suppresses nothing, so both
+	// the malformed report and the underlying finding surface.
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %v, want malformed-directive report plus the finding", diags)
+	}
+	var sawMalformed bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "malformed") {
+			sawMalformed = true
+		}
+	}
+	if !sawMalformed {
+		t.Fatalf("no malformed-directive report in %v", diags)
+	}
+}

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkPkg type-checks one file of source as the package at path, using
+// imp to resolve its imports.
+func checkPkg(t *testing.T, fset *token.FileSet, path, src string, imp types.Importer) *Package {
+	t.Helper()
+	f, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", path, err)
+	}
+	return &Package{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
+}
+
+func TestObjectKey(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg := checkPkg(t, fset, "example.com/p", `package p
+
+type T struct{}
+
+func (t *T) Grow()  {}
+func Top()          {}
+
+var V int
+`, nil)
+
+	named := pkg.Pkg.Scope().Lookup("T").Type().(*types.Named)
+	var grow types.Object
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "Grow" {
+			grow = named.Method(i)
+		}
+	}
+	tests := []struct {
+		obj  types.Object
+		want string
+	}{
+		{grow, "example.com/p.T.Grow"}, // pointer receiver stripped
+		{pkg.Pkg.Scope().Lookup("Top"), "example.com/p.Top"},
+		{pkg.Pkg.Scope().Lookup("V"), "example.com/p.V"},
+		{nil, ""},
+	}
+	for _, tt := range tests {
+		if got := ObjectKey(tt.obj); got != tt.want {
+			t.Errorf("ObjectKey(%v) = %q, want %q", tt.obj, got, tt.want)
+		}
+	}
+}
+
+func TestFactTableDedupAndRoundTrip(t *testing.T) {
+	ft := NewFactTable()
+	f := Fact{Object: "p.T.Grow", Kind: "grows"}
+	ft.Add("rowescape", f)
+	ft.Add("rowescape", f) // exact duplicate: dropped
+	ft.Add("rowescape", Fact{Object: "p.Borrow", Kind: "borrows", Detail: "0"})
+	ft.Add("wireinf", Fact{Object: "p.Resp", Kind: "rawfloat", Detail: "Value"})
+	if ft.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (duplicate must be dropped)", ft.Len())
+	}
+
+	enc1, err := ft.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, _ := ft.Encode()
+	if !bytes.Equal(enc1, enc2) {
+		t.Error("Encode is not deterministic")
+	}
+
+	back := NewFactTable()
+	if err := back.DecodeMerge(enc1); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 {
+		t.Fatalf("decoded Len = %d, want 3", back.Len())
+	}
+	got := back.Lookup("rowescape", "p.T.Grow")
+	if len(got) != 1 || got[0].Kind != "grows" {
+		t.Fatalf("Lookup after round trip = %v", got)
+	}
+	if err := back.DecodeMerge([]byte("not json")); err == nil {
+		t.Error("DecodeMerge accepted garbage")
+	}
+	// Re-merging the same data is idempotent (the vetx re-export path
+	// hands every unit its dependencies' facts repeatedly).
+	if err := back.DecodeMerge(enc1); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 {
+		t.Fatalf("re-merged Len = %d, want 3", back.Len())
+	}
+}
+
+// TestCrossPackageFactImport drives the full fact pipeline: an analyzer
+// exports a fact while analyzing package a, the table crosses a
+// serialization boundary (as the vetx files do), and the same analyzer
+// sees the fact attached to the imported object while analyzing package b.
+func TestCrossPackageFactImport(t *testing.T) {
+	fset := token.NewFileSet()
+	aPkg := checkPkg(t, fset, "example.com/a", `package a
+
+func Grow() {}
+func Safe() {}
+`, nil)
+	bPkg := checkPkg(t, fset, "example.com/b", `package b
+
+import "example.com/a"
+
+func Use() {
+	a.Grow()
+	a.Safe()
+}
+`, importerFunc(func(path string) (*types.Package, error) {
+		return aPkg.Pkg, nil
+	}))
+
+	// One analyzer, as in real use: it exports "grows" facts for
+	// functions named Grow and reports every call to a grows-function.
+	analyzer := &Analyzer{
+		Name: "growcheck",
+		Doc:  "test analyzer",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "Grow" {
+						pass.ExportFact(pass.TypesInfo.Defs[fd.Name], "grows", "")
+					}
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					var obj types.Object
+					switch fun := ast.Unparen(call.Fun).(type) {
+					case *ast.Ident:
+						obj = pass.TypesInfo.Uses[fun]
+					case *ast.SelectorExpr:
+						obj = pass.TypesInfo.Uses[fun.Sel]
+					}
+					if obj != nil && pass.HasFact(obj, "grows") {
+						pass.Reportf(call.Pos(), "call to growing function %s", obj.Name())
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+
+	facts := NewFactTable()
+	if err := GatherFacts(aPkg, []*Analyzer{analyzer}, facts); err != nil {
+		t.Fatal(err)
+	}
+	if len(facts.Lookup("growcheck", "example.com/a.Grow")) != 1 {
+		t.Fatalf("fact not exported for a.Grow; table has %d facts", facts.Len())
+	}
+
+	// Serialize and decode into a fresh table, as the unitchecker does
+	// between the a unit and the b unit.
+	data, err := facts.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	imported := NewFactTable()
+	if err := imported.DecodeMerge(data); err != nil {
+		t.Fatal(err)
+	}
+
+	diags, err := RunFacts(bPkg, []*Analyzer{analyzer}, imported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits []string
+	for _, d := range diags {
+		hits = append(hits, d.Message)
+	}
+	if len(hits) != 1 || !strings.Contains(hits[0], "Grow") {
+		t.Fatalf("diagnostics in b = %v, want exactly one call-to-Grow report", hits)
+	}
+}

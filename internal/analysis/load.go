@@ -35,6 +35,13 @@ type listedPackage struct {
 // compiler export data that `go list -export` materialises in the build
 // cache, so the loader works offline and never type-checks the standard
 // library from source.
+//
+// The returned packages preserve go list's -deps ordering — dependencies
+// before dependents — so a driver that analyzes them in order with one
+// shared FactTable sees every in-set dependency's facts before analyzing
+// the dependent. (Facts from packages outside the requested patterns are
+// unavailable in standalone mode; the vet -vettool path covers the full
+// import graph.)
 func Load(patterns []string) ([]*Package, error) {
 	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)

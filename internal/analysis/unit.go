@@ -40,9 +40,14 @@ type UnitResult struct {
 
 // RunUnit executes the analyzers on the package described by the vet
 // config file at cfgPath, implementing the contract `go vet -vettool`
-// expects: facts output is always written (ours is empty — no analyzer
-// here exports facts), dependency-only units are not analyzed, and type
-// errors respect SucceedOnTypecheckFailure.
+// expects, with fact flow: facts imported from the dependency vetx files
+// (PackageVetx) are visible to the analyzers, and the unit's own vetx
+// output re-exports everything it saw plus what its analyzers exported —
+// so fact flow stays transitive no matter which subset of vetx files a
+// driver hands each unit. Dependency-only (VetxOnly) units within the
+// module are parsed, type-checked, and analyzed purely for their facts;
+// standard-library units are skipped (no proxlint invariant lives there)
+// and type errors respect SucceedOnTypecheckFailure.
 func RunUnit(cfgPath string, analyzers []*Analyzer) (*UnitResult, error) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -52,15 +57,34 @@ func RunUnit(cfgPath string, analyzers []*Analyzer) (*UnitResult, error) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return nil, fmt.Errorf("parsing vet config %s: %w", cfgPath, err)
 	}
-	// The go command requires the facts file to exist after every run,
-	// including VetxOnly (dependency) runs.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("proxlint: no facts\n"), 0o666); err != nil {
-			return nil, err
+	facts := NewFactTable()
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // missing dependency facts are an accepted degradation
 		}
+		// Tolerate undecodable files the same way: they contribute no
+		// facts. The tool version string keys the go command's cache, so
+		// stale-format files only appear when hand-edited.
+		_ = facts.DecodeMerge(data)
+	}
+	// The go command requires the facts file to exist after every run;
+	// writeFacts is re-invoked with the enriched table on success paths.
+	writeFacts := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		data, err := facts.Encode()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(cfg.VetxOutput, data, 0o666)
+	}
+	if err := writeFacts(); err != nil {
+		return nil, err
 	}
 	res := &UnitResult{ImportPath: cfg.ImportPath}
-	if cfg.VetxOnly {
+	if cfg.Standard[cfg.ImportPath] {
 		return res, nil
 	}
 
@@ -69,7 +93,7 @@ func RunUnit(cfgPath string, analyzers []*Analyzer) (*UnitResult, error) {
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			if cfg.SucceedOnTypecheckFailure {
+			if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
 				return res, nil
 			}
 			return nil, err
@@ -94,15 +118,22 @@ func RunUnit(cfgPath string, analyzers []*Analyzer) (*UnitResult, error) {
 	info := NewInfo()
 	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
+		if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
 			return res, nil
 		}
 		return nil, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
 	}
-	diags, err := Run(&Package{Fset: fset, Files: files, Pkg: pkg, Info: info}, analyzers)
+	unit := &Package{Fset: fset, Files: files, Pkg: pkg, Info: info}
+	if cfg.VetxOnly {
+		if err := GatherFacts(unit, analyzers, facts); err != nil {
+			return nil, err
+		}
+		return res, writeFacts()
+	}
+	diags, err := RunFacts(unit, analyzers, facts)
 	if err != nil {
 		return nil, err
 	}
 	res.Diagnostics = diags
-	return res, nil
+	return res, writeFacts()
 }

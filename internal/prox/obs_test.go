@@ -165,7 +165,9 @@ func TestObserverDoesNotChangeOutput(t *testing.T) {
 	}
 	wPlain, cPlain := runOnce(nil)
 	wObs, cObs := runOnce(obs.NewObserver(true, 0, nil))
-	if wPlain != wObs { //proxlint:allow floatcmp -- deliberate bit-exact output-preservation check
+	// floatcmp skips test files, so this deliberate bit-exact
+	// output-preservation check needs no allow directive.
+	if wPlain != wObs {
 		t.Fatalf("MST weight changed under observation: %v vs %v", wPlain, wObs)
 	}
 	if cPlain != cObs {

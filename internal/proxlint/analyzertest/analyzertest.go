@@ -27,20 +27,29 @@ import (
 // Run loads each of the named packages from testdataDir/src and applies
 // the analyzer, failing the test on any mismatch between reported and
 // expected diagnostics.
+//
+// Cross-package facts work as in the real drivers: every fake dependency
+// package under testdata/src is analyzed for its facts as soon as it
+// loads (dependencies first, by construction of the recursive importer),
+// and the shared fact table is visible while the named packages are
+// checked. Fact exports are idempotent, so a package that is both a
+// dependency and a named target is safe to analyze twice.
 func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
 	l := &loader{
-		srcdir: filepath.Join(testdataDir, "src"),
-		fset:   token.NewFileSet(),
-		cache:  make(map[string]*entry),
-		std:    newStdImporter(),
+		srcdir:   filepath.Join(testdataDir, "src"),
+		fset:     token.NewFileSet(),
+		cache:    make(map[string]*entry),
+		std:      newStdImporter(),
+		facts:    analysis.NewFactTable(),
+		analyzer: a,
 	}
 	for _, path := range paths {
 		e, err := l.load(path)
 		if err != nil {
 			t.Fatalf("loading %s: %v", path, err)
 		}
-		diags, err := analysis.Run(&analysis.Package{Fset: l.fset, Files: e.files, Pkg: e.pkg, Info: e.info}, []*analysis.Analyzer{a})
+		diags, err := analysis.RunFacts(&analysis.Package{Fset: l.fset, Files: e.files, Pkg: e.pkg, Info: e.info}, []*analysis.Analyzer{a}, l.facts)
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, path, err)
 		}
@@ -55,10 +64,12 @@ type entry struct {
 }
 
 type loader struct {
-	srcdir string
-	fset   *token.FileSet
-	cache  map[string]*entry
-	std    *stdImporter
+	srcdir   string
+	fset     *token.FileSet
+	cache    map[string]*entry
+	std      *stdImporter
+	facts    *analysis.FactTable
+	analyzer *analysis.Analyzer
 }
 
 func (l *loader) load(path string) (*entry, error) {
@@ -90,6 +101,12 @@ func (l *loader) load(path string) (*entry, error) {
 	}
 	e := &entry{files: files, pkg: pkg, info: info}
 	l.cache[path] = e
+	// Gather the analyzer's facts immediately: importPkg recursion means
+	// every dependency reaches this point before its importers, giving
+	// the same deps-first fact ordering the real drivers guarantee.
+	if err := analysis.GatherFacts(&analysis.Package{Fset: l.fset, Files: files, Pkg: pkg, Info: info}, []*analysis.Analyzer{l.analyzer}, l.facts); err != nil {
+		return nil, fmt.Errorf("gathering facts for %s: %w", path, err)
+	}
 	return e, nil
 }
 

@@ -1,0 +1,124 @@
+// Package ctxflow defines an analyzer that forbids minting a fresh root
+// context where a caller's context is already in scope.
+//
+// The fallible-session stack threads cancellation from the service edge
+// down to the oracle transport; per-attempt deadlines belong to the
+// resilient policy layer, not to ad-hoc context.Background() calls in the
+// middle of a call path. A Background()/TODO() inside a function that
+// receives a context (directly, through an enclosing closure, or via an
+// *http.Request) silently detaches everything below it from the caller's
+// deadline and cancellation — the bug class this analyzer removes.
+//
+// Functions with no caller context in scope (constructors storing a base
+// context, main, tests) are untouched: there, Background() is the honest
+// root. Deliberate detachment on a context-carrying path should use
+// context.WithoutCancel(ctx), which keeps values and says what it means,
+// or carry a //proxlint:allow ctxflow directive with the rationale.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"metricprox/internal/analysis"
+	"metricprox/internal/proxlint/lintutil"
+)
+
+// Analyzer flags context.Background()/TODO() where a caller ctx is in
+// scope.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid context.Background()/context.TODO() inside functions where a " +
+		"caller context is in scope; thread the caller's ctx or use context.WithoutCancel",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Type, fd.Body, ctxParamName(pass, fd.Type))
+		}
+	}
+	return nil
+}
+
+// checkFunc walks one function body. ctxName is the name of the context
+// (or request) parameter in scope, "" when none is; nested function
+// literals inherit the enclosing scope's context.
+func checkFunc(pass *analysis.Pass, ft *ast.FuncType, body *ast.BlockStmt, ctxName string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := ctxParamName(pass, n.Type)
+			if inner == "" {
+				inner = ctxName
+			}
+			checkFunc(pass, n.Type, n.Body, inner)
+			return false
+		case *ast.CallExpr:
+			if ctxName == "" {
+				return true
+			}
+			f := lintutil.Callee(pass.TypesInfo, n)
+			if f == nil || f.Pkg() == nil || f.Pkg().Path() != "context" {
+				return true
+			}
+			if f.Name() == "Background" || f.Name() == "TODO" {
+				pass.Reportf(n.Pos(),
+					"context.%s() discards the caller's context %s that is in scope; thread it through, or use context.WithoutCancel(%s) to detach deliberately",
+					f.Name(), ctxName, ctxName)
+			}
+		}
+		return true
+	})
+}
+
+// ctxParamName returns the name of the first parameter that carries a
+// caller context: a context.Context, or an *http.Request (whose
+// .Context() is the caller context at the service edge). Unnamed and
+// blank parameters still count — the context is in scope in the
+// signature sense, and naming it is the fix.
+func ctxParamName(pass *analysis.Pass, ft *ast.FuncType) string {
+	if ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if !isContextType(tv.Type) && !isHTTPRequest(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+		return "_" // unnamed/blank ctx param: still in scope to claim
+	}
+	return ""
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+func isHTTPRequest(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	return ok && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "net/http" && n.Obj().Name() == "Request"
+}

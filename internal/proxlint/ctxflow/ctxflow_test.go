@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"metricprox/internal/proxlint/analyzertest"
+	"metricprox/internal/proxlint/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analyzertest.Run(t, "testdata", ctxflow.Analyzer, "a")
+}

@@ -1,0 +1,31 @@
+package a
+
+import (
+	"context"
+	"net/http"
+)
+
+func query(ctx context.Context, q string) error {
+	c := context.Background() // want `discards the caller's context ctx`
+	_ = c
+	return run(ctx, q)
+}
+
+func todoInside(ctx context.Context) {
+	_ = run(context.TODO(), "x") // want `discards the caller's context ctx`
+}
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `discards the caller's context r`
+	_ = ctx
+}
+
+// closureInherits: the literal has no ctx parameter of its own, so the
+// enclosing function's ctx is the caller context in scope.
+func closureInherits(ctx context.Context) func() {
+	return func() {
+		_ = context.Background() // want `discards the caller's context ctx`
+	}
+}
+
+func run(ctx context.Context, q string) error { return nil }

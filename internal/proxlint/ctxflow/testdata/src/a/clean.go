@@ -1,0 +1,28 @@
+package a
+
+import "context"
+
+// root is a constructor with no caller context in scope: Background is
+// the honest root here.
+func root() context.Context {
+	return context.Background()
+}
+
+// detach detaches deliberately with WithoutCancel, keeping values.
+func detach(ctx context.Context) context.Context {
+	return context.WithoutCancel(ctx)
+}
+
+// freshParam's literal receives its own context; using it is the point.
+func freshParam() func(context.Context) error {
+	return func(ctx context.Context) error {
+		return run(ctx, "q")
+	}
+}
+
+// spawn has no ctx in scope even though its sibling functions do.
+func spawn() {
+	go func() {
+		_ = run(context.Background(), "background job")
+	}()
+}

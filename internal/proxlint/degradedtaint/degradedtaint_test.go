@@ -1,0 +1,12 @@
+package degradedtaint_test
+
+import (
+	"testing"
+
+	"metricprox/internal/proxlint/analyzertest"
+	"metricprox/internal/proxlint/degradedtaint"
+)
+
+func TestDegradedTaint(t *testing.T) {
+	analyzertest.Run(t, "testdata", degradedtaint.Analyzer, "a")
+}

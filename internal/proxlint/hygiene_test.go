@@ -1,0 +1,68 @@
+package proxlint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzerHygiene enforces the registration contract for every
+// analyzer in the suite: a non-empty doc, a unique identifier-shaped name
+// matching its package directory, and a testdata corpus that proves the
+// analyzer both fires (at least one `// want` expectation) and stays
+// quiet on conforming code (at least one expectation-free file).
+func TestAnalyzerHygiene(t *testing.T) {
+	nameRe := regexp.MustCompile(`^[a-z][a-z0-9]*$`)
+	seen := make(map[string]bool)
+	for _, a := range Analyzers() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			if a.Doc == "" {
+				t.Error("empty Doc: the -flags probe and docs/LINT.md both render it")
+			}
+			if !nameRe.MatchString(a.Name) {
+				t.Errorf("name %q is not a lowercase identifier", a.Name)
+			}
+			if seen[a.Name] {
+				t.Errorf("duplicate analyzer name %q", a.Name)
+			}
+			seen[a.Name] = true
+			if a.Run == nil {
+				t.Fatal("nil Run")
+			}
+
+			dir := a.Name // package directory == analyzer name
+			if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+				t.Fatalf("no package directory internal/proxlint/%s for analyzer %q", dir, a.Name)
+			}
+			srcdir := filepath.Join(dir, "testdata", "src")
+			wantFiles, cleanFiles := 0, 0
+			err := filepath.WalkDir(srcdir, func(path string, d os.DirEntry, err error) error {
+				if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+					return err
+				}
+				data, err := os.ReadFile(path)
+				if err != nil {
+					return err
+				}
+				if strings.Contains(string(data), "// want ") {
+					wantFiles++
+				} else {
+					cleanFiles++
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("walking %s: %v", srcdir, err)
+			}
+			if wantFiles == 0 {
+				t.Errorf("%s has no testdata file with a // want expectation: nothing proves the analyzer fires", srcdir)
+			}
+			if cleanFiles == 0 {
+				t.Errorf("%s has no expectation-free testdata file: nothing proves the analyzer stays quiet on conforming code", srcdir)
+			}
+		})
+	}
+}

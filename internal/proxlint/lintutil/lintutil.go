@@ -165,6 +165,34 @@ func InMetricPackage(path string) bool {
 	return path == "metricprox/internal/metric" || strings.HasSuffix(path, "internal/metric")
 }
 
+// InPgraphPackage reports whether the path names the proximity-graph
+// store (internal/pgraph), matching both the real module path and
+// testdata fakes.
+func InPgraphPackage(path string) bool {
+	return path == "metricprox/internal/pgraph" || strings.HasSuffix(path, "internal/pgraph")
+}
+
+// InCachestorePackage reports whether the path names the persistent
+// distance cache (internal/cachestore), matching both the real module
+// path and testdata fakes.
+func InCachestorePackage(path string) bool {
+	return path == "metricprox/internal/cachestore" || strings.HasSuffix(path, "internal/cachestore")
+}
+
+// InAPIPackage reports whether the path names the wire-type package
+// (internal/service/api), matching both the real module path and testdata
+// fakes.
+func InAPIPackage(path string) bool {
+	return path == "metricprox/internal/service/api" || strings.HasSuffix(path, "internal/service/api")
+}
+
+// InProxclientPackage reports whether the path names the service client
+// (internal/proxclient), matching both the real module path and testdata
+// fakes.
+func InProxclientPackage(path string) bool {
+	return path == "metricprox/internal/proxclient" || strings.HasSuffix(path, "internal/proxclient")
+}
+
 // oracleLayerSuffixes are the packages that make up the oracle transport
 // chain: metric (the oracle itself), faultmetric (deterministic fault
 // injection), and resilient (retry/backoff/circuit-breaking). Moving raw

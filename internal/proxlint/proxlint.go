@@ -8,11 +8,15 @@ package proxlint
 import (
 	"metricprox/internal/analysis"
 	"metricprox/internal/proxlint/commitonce"
+	"metricprox/internal/proxlint/ctxflow"
+	"metricprox/internal/proxlint/degradedtaint"
 	"metricprox/internal/proxlint/exporteddoc"
 	"metricprox/internal/proxlint/floatcmp"
 	"metricprox/internal/proxlint/lockheldoracle"
 	"metricprox/internal/proxlint/obspurity"
 	"metricprox/internal/proxlint/oracleescape"
+	"metricprox/internal/proxlint/rowescape"
+	"metricprox/internal/proxlint/wireinf"
 )
 
 // Analyzers returns the full suite in reporting order.
@@ -24,5 +28,9 @@ func Analyzers() []*analysis.Analyzer {
 		floatcmp.Analyzer,
 		obspurity.Analyzer,
 		exporteddoc.Analyzer,
+		rowescape.Analyzer,
+		degradedtaint.Analyzer,
+		ctxflow.Analyzer,
+		wireinf.Analyzer,
 	}
 }

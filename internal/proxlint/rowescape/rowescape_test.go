@@ -1,0 +1,12 @@
+package rowescape_test
+
+import (
+	"testing"
+
+	"metricprox/internal/proxlint/analyzertest"
+	"metricprox/internal/proxlint/rowescape"
+)
+
+func TestRowEscape(t *testing.T) {
+	analyzertest.Run(t, "testdata", rowescape.Analyzer, "a")
+}

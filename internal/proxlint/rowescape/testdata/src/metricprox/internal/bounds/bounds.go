@@ -1,0 +1,16 @@
+// Package bounds exercises the cross-package fact flow: Adjacency earns
+// a "borrows" fact, Rebuild a "grows" fact, both consumed by package a.
+package bounds
+
+import "metricprox/internal/pgraph"
+
+// Adjacency returns the borrowed neighbour row of u.
+func Adjacency(g *pgraph.Graph, u int) []int32 {
+	nbrs, _ := g.Row(u)
+	return nbrs
+}
+
+// Rebuild grows the graph.
+func Rebuild(g *pgraph.Graph) {
+	g.AddEdge(0, 1, 1.0)
+}

@@ -1,0 +1,18 @@
+// Package api is a fake of the wire-type package: WireFloat is the
+// sanctioned carrier, Interval uses it, BadStats does not.
+package api
+
+// WireFloat carries float64 values (±Inf included) across JSON.
+type WireFloat float64
+
+// Interval is the wire form of a bound pair: fully wrapped, clean.
+type Interval struct {
+	Lo WireFloat `json:"lo"`
+	Hi WireFloat `json:"hi"`
+}
+
+// BadStats leaks a raw float onto the wire.
+type BadStats struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"` // want `raw float`
+}

@@ -1,0 +1,28 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"metricprox/internal/service/api"
+)
+
+// writeDist sends every float through WireFloat: the contract done right.
+func writeDist(w http.ResponseWriter, d float64) error {
+	return json.NewEncoder(w).Encode(distResponse{D: api.WireFloat(d)})
+}
+
+// marshalInterval marshals a fully wrapped imported wire type.
+func marshalInterval(iv api.Interval) ([]byte, error) {
+	return json.Marshal(iv)
+}
+
+// countsOnly has no floats at all.
+type countsOnly struct {
+	Calls int `json:"calls"`
+	Hits  int `json:"hits"`
+}
+
+func writeCounts(w http.ResponseWriter, c countsOnly) error {
+	return json.NewEncoder(w).Encode(c)
+}

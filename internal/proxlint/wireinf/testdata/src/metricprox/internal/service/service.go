@@ -1,0 +1,31 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"metricprox/internal/service/api"
+	"metricprox/internal/stats"
+)
+
+type distResponse struct {
+	D api.WireFloat `json:"d"`
+}
+
+type rawResponse struct {
+	D float64 `json:"d"` // want `raw float`
+}
+
+func writeRaw(w http.ResponseWriter, d float64) error {
+	return json.NewEncoder(w).Encode(rawResponse{D: d}) // want `raw float`
+}
+
+// writeImported marshals a type declared outside the wire layer: the
+// cross-package "rawfloat" fact carries the verdict here.
+func writeImported(w http.ResponseWriter, s stats.Summary) error {
+	return json.NewEncoder(w).Encode(s) // want `raw float`
+}
+
+func marshalImported(s *stats.Summary) ([]byte, error) {
+	return json.Marshal(s) // want `raw float`
+}

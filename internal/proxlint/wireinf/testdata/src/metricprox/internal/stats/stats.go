@@ -1,0 +1,10 @@
+// Package stats lives outside the wire layer: declaring raw-float
+// structs here is fine, but the exported "rawfloat" fact lets the wire
+// layer catch itself marshalling them.
+package stats
+
+// Summary aggregates run statistics.
+type Summary struct {
+	Runs int     `json:"runs"`
+	Mean float64 `json:"mean"`
+}

@@ -1,0 +1,314 @@
+// Package wireinf defines an analyzer that keeps ±Inf-capable float64s
+// off the JSON wire unless they travel as api.WireFloat.
+//
+// Bounds in this library are routinely infinite (an unbootstrapped upper
+// bound is +Inf), and encoding/json rejects infinities outright:
+// json.Marshal of a raw +Inf float64 fails the whole response.
+// api.WireFloat exists precisely to carry ±Inf across the wire; this
+// analyzer makes its use a checked invariant instead of a convention:
+//
+//   - every struct field that JSON would serialise as a raw float
+//     (float64/float32, directly or through slices, arrays, maps,
+//     pointers, or nested structs) earns the enclosing named type a
+//     "rawfloat" fact, in whatever package the type lives;
+//   - inside the wire-facing packages (internal/service,
+//     internal/service/api, internal/proxclient), declaring such a field
+//     on a JSON-tagged struct is reported at the field;
+//   - in the same packages, passing a rawfloat-carrying value (including
+//     one whose type lives in another package — that is what the facts
+//     are for) to json.Marshal/MarshalIndent or (*json.Encoder).Encode is
+//     reported at the call.
+//
+// Packages outside the wire layer may marshal raw floats freely (the
+// benchmark gate writes NaN-free summaries, observability traces clamp);
+// their types still export facts so that wire-layer marshalling of
+// imported types is caught.
+package wireinf
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"metricprox/internal/analysis"
+	"metricprox/internal/proxlint/lintutil"
+)
+
+// Analyzer flags raw float64s crossing service JSON marshalling.
+var Analyzer = &analysis.Analyzer{
+	Name: "wireinf",
+	Doc: "float64 values crossing service JSON marshalling must go through " +
+		"api.WireFloat so that ±Inf bounds survive the wire",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Phase 1: export "rawfloat" facts for every package-scope named
+	// struct type with a JSON-visible raw float, whatever the package.
+	memo := make(map[*types.Named]string)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if path := rawFloatPath(pass, named, memo); path != "" {
+			pass.ExportFact(tn, "rawfloat", path)
+		}
+	}
+
+	if !inWireLayer(pass.Pkg.Path()) {
+		return nil
+	}
+
+	// Phase 2: report raw-float fields on JSON-tagged wire structs
+	// declared here.
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || !hasJSONTag(st) {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				checkFieldDecl(pass, memo, field)
+			}
+			return true
+		})
+	}
+
+	// Phase 3: report marshalling of rawfloat-carrying values.
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isJSONMarshalCall(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			arg := call.Args[len(call.Args)-1] // Marshal(v) and enc.Encode(v): value last
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if named, path := rawFloatNamed(pass, memo, tv.Type); named != nil {
+				pass.Reportf(arg.Pos(),
+					"JSON-marshalling %s, whose field %s is a raw float: ±Inf bounds fail to encode — use api.WireFloat for wire floats",
+					named.Obj().Name(), path)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inWireLayer reports whether the package is one whose JSON output
+// crosses the service wire.
+func inWireLayer(path string) bool {
+	return lintutil.InServicePackage(path) || lintutil.InAPIPackage(path) || lintutil.InProxclientPackage(path)
+}
+
+// hasJSONTag reports whether any field of the struct carries a json tag —
+// the declaration-level signal that the struct is a wire type.
+func hasJSONTag(st *ast.StructType) bool {
+	for _, f := range st.Fields.List {
+		if f.Tag != nil && strings.Contains(f.Tag.Value, "json:") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFieldDecl reports a JSON-visible field whose type carries a raw
+// float.
+func checkFieldDecl(pass *analysis.Pass, memo map[*types.Named]string, field *ast.Field) {
+	if len(field.Names) > 0 && !ast.IsExported(field.Names[0].Name) {
+		return
+	}
+	if jsonSkipped(field) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[field.Type]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if path := typeRawFloat(pass, memo, tv.Type, nil); path != "" {
+		name := "embedded field"
+		if len(field.Names) > 0 {
+			name = field.Names[0].Name
+		}
+		pass.Reportf(field.Pos(),
+			"wire struct field %s is a raw float (%s): ±Inf bounds fail to JSON-encode — declare it api.WireFloat", name, path)
+	}
+}
+
+func jsonSkipped(field *ast.Field) bool {
+	if field.Tag == nil {
+		return false
+	}
+	tag, err := unquote(field.Tag.Value)
+	if err != nil {
+		return false
+	}
+	jt := reflect.StructTag(tag).Get("json")
+	return jt == "-"
+}
+
+func unquote(s string) (string, error) {
+	if len(s) >= 2 && s[0] == '`' && s[len(s)-1] == '`' {
+		return s[1 : len(s)-1], nil
+	}
+	return strings.Trim(s, `"`), nil
+}
+
+// rawFloatPath computes (and memoises) the first JSON-visible raw-float
+// field path inside named, "" when there is none. Cross-package named
+// structs resolve through the fact table when their source is not loaded.
+func rawFloatPath(pass *analysis.Pass, named *types.Named, memo map[*types.Named]string) string {
+	if path, ok := memo[named]; ok {
+		return path // includes the in-progress "" marker: cycles are float-free
+	}
+	if isWireFloat(named) {
+		memo[named] = ""
+		return ""
+	}
+	if named.Obj().Pkg() != nil && named.Obj().Pkg() != pass.Pkg {
+		// Imported type: its defining package already exported the fact.
+		if detail, ok := pass.FactDetail(named.Obj(), "rawfloat"); ok {
+			memo[named] = detail
+			return detail
+		}
+		// Fall through: with export data loaded we can still walk the
+		// struct shape directly (standalone mode on a narrow pattern).
+	}
+	memo[named] = "" // cycle marker
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		// A named non-struct: raw float underlying means raw float on
+		// the wire, unless it is WireFloat (checked above).
+		if isRawFloat(named.Underlying()) {
+			memo[named] = named.Obj().Name()
+			return named.Obj().Name()
+		}
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		if reflect.StructTag(st.Tag(i)).Get("json") == "-" {
+			continue
+		}
+		if sub := typeRawFloat(pass, memo, f.Type(), nil); sub != "" {
+			path := f.Name()
+			if sub != "float64" && sub != "float32" {
+				path = f.Name() + "." + sub
+			}
+			memo[named] = path
+			return path
+		}
+	}
+	return ""
+}
+
+// typeRawFloat reports the raw-float path within t as JSON serialises it,
+// "" when every float is wrapped.
+func typeRawFloat(pass *analysis.Pass, memo map[*types.Named]string, t types.Type, seen []types.Type) string {
+	for _, s := range seen {
+		if s == t {
+			return ""
+		}
+	}
+	seen = append(seen, t)
+	switch t := t.(type) {
+	case *types.Basic:
+		if isRawFloat(t) {
+			return t.Name()
+		}
+	case *types.Named:
+		return rawFloatPath(pass, t, memo)
+	case *types.Alias:
+		return typeRawFloat(pass, memo, types.Unalias(t), seen)
+	case *types.Pointer:
+		return typeRawFloat(pass, memo, t.Elem(), seen)
+	case *types.Slice:
+		return typeRawFloat(pass, memo, t.Elem(), seen)
+	case *types.Array:
+		return typeRawFloat(pass, memo, t.Elem(), seen)
+	case *types.Map:
+		return typeRawFloat(pass, memo, t.Elem(), seen)
+	}
+	return ""
+}
+
+func isRawFloat(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && (b.Kind() == types.Float64 || b.Kind() == types.Float32)
+}
+
+// rawFloatNamed unwraps pointers/slices around a marshalled value's type
+// and returns the named struct carrying a raw float, if any.
+func rawFloatNamed(pass *analysis.Pass, memo map[*types.Named]string, t types.Type) (*types.Named, string) {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		case *types.Array:
+			t = u.Elem()
+			continue
+		case *types.Alias:
+			t = types.Unalias(u)
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	if path := rawFloatPath(pass, named, memo); path != "" {
+		return named, path
+	}
+	return nil, ""
+}
+
+// isJSONMarshalCall matches json.Marshal, json.MarshalIndent, and
+// (*json.Encoder).Encode.
+func isJSONMarshalCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	f := lintutil.Callee(pass.TypesInfo, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "encoding/json" {
+		return false
+	}
+	switch f.Name() {
+	case "Marshal", "MarshalIndent":
+		return true
+	case "Encode":
+		sig, ok := f.Type().(*types.Signature)
+		return ok && sig.Recv() != nil
+	}
+	return false
+}
+
+// isWireFloat reports whether the named type is api.WireFloat (or a
+// same-named wrapper in a testdata fake of the api package).
+func isWireFloat(n *types.Named) bool {
+	obj := n.Obj()
+	return obj.Name() == "WireFloat" && obj.Pkg() != nil && lintutil.InAPIPackage(obj.Pkg().Path())
+}

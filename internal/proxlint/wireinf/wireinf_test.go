@@ -1,0 +1,13 @@
+package wireinf_test
+
+import (
+	"testing"
+
+	"metricprox/internal/proxlint/analyzertest"
+	"metricprox/internal/proxlint/wireinf"
+)
+
+func TestWireInf(t *testing.T) {
+	analyzertest.Run(t, "testdata", wireinf.Analyzer,
+		"metricprox/internal/service", "metricprox/internal/service/api")
+}
