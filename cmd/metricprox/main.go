@@ -10,6 +10,8 @@
 //	metricprox -in points.csv -algo kcenter -l 5 -cache d.cache
 //	metricprox -demo 500 -algo tsp                          # synthetic demo
 //	metricprox -demo 500 -algo mst -faults seed=3,rate=0.2  # flaky oracle
+//	metricprox -demo 500 -algo knn -near-metric eps=0.1 -slack eps=0.1
+//	metricprox -calibrate -cache d.cache                    # repair a cache
 //
 // The input is one point per line, comma-separated coordinates, optional
 // header; distances are Minkowski-p (default Euclidean) normalised into
@@ -19,6 +21,19 @@
 // injector and the resilient retry policy; the run then reports retries,
 // timeouts, and breaker opens alongside the usual call counts, and warns
 // when answers degraded to bounds-only estimates.
+//
+// -near-metric perturbs the oracle into a seeded near-metric (triangle
+// violations bounded by eps, see internal/faultmetric); -slack declares
+// the tolerated violation (eps=X[,ratio=R], or auto) so the bound
+// schemes stay sound over it, and -audit attaches a violation auditor
+// that cross-checks resolved triangles for free. When -faults and
+// -near-metric are combined, one injector serves both and the seed comes
+// from -faults.
+//
+// -calibrate repairs a -cache file offline: it projects the cached
+// distances onto the metric polytope (HLWB-anchored cyclic projection,
+// see internal/lp) and rewrites the file atomically, printing the
+// violation margin before and after. No dataset is needed or read.
 //
 // -listen (e.g. -listen :6060) serves live observability for the
 // duration of the run: the obs metrics registry as JSON at /metrics and
@@ -35,6 +50,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"metricprox/internal/buildinfo"
@@ -66,12 +82,21 @@ func main() {
 		seedFlag    = flag.Int64("seed", 1, "seed for randomised algorithms")
 		cacheFlag   = flag.String("cache", "", "persistent distance-cache file")
 		faultsFlag  = flag.String("faults", "", "inject oracle faults: seed=N,rate=P with P in (0,1]")
+		nearFlag    = flag.String("near-metric", "", "perturb the oracle into a near-metric: eps=X[,ratio=R][,seed=N]")
+		slackFlag   = flag.String("slack", "", "tolerate near-metric oracles: eps=X[,ratio=R], or auto")
+		auditFlag   = flag.Bool("audit", false, "cross-check resolved triangles for metric violations (no extra oracle calls)")
+		calFlag     = flag.Bool("calibrate", false, "repair the -cache file into metric consistency and exit (no dataset needed)")
+		calTolFlag  = flag.Float64("calibrate-tol", 1e-9, "target triangle-violation tolerance for -calibrate")
 		listenFlag  = flag.String("listen", "", "serve /metrics JSON and /debug/pprof on this address (e.g. :6060) for the duration of the run")
 		versionFlag = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *versionFlag {
 		fmt.Println(buildinfo.String("metricprox"))
+		return
+	}
+	if *calFlag {
+		calibrate(*cacheFlag, *calTolFlag)
 		return
 	}
 
@@ -102,6 +127,38 @@ func main() {
 		var err error
 		if faultCfg, err = faultmetric.ParseSpec(*faultsFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "metricprox: -faults: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *nearFlag != "" {
+		nearCfg, err := faultmetric.ParseNearMetricSpec(*nearFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricprox: -near-metric: %v\n", err)
+			os.Exit(2)
+		}
+		if *faultsFlag != "" {
+			// One injector serves both fault classes; its schedule — and
+			// hence the seed — comes from -faults, so a second seed here
+			// would be silently ignored. Reject the ambiguity instead.
+			if hasSeedKey(*nearFlag) {
+				fmt.Fprintln(os.Stderr, "metricprox: -near-metric: seed is taken from -faults when both flags are set")
+				os.Exit(2)
+			}
+			faultCfg.NearMetricEps = nearCfg.NearMetricEps
+			faultCfg.NearMetricRatio = nearCfg.NearMetricRatio
+		} else {
+			faultCfg = nearCfg
+		}
+	}
+	var slack core.SlackPolicy
+	if *slackFlag != "" {
+		var err error
+		if slack, err = core.ParseSlackSpec(*slackFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "metricprox: -slack: %v\n", err)
+			os.Exit(2)
+		}
+		if err := core.SlackSupported(slack, scheme); err != nil {
+			fmt.Fprintf(os.Stderr, "metricprox: -slack: %v\n", err)
 			os.Exit(2)
 		}
 	}
@@ -138,18 +195,32 @@ func main() {
 	}
 
 	var oracle metric.FallibleOracle = metric.NewOracle(space)
-	if *faultsFlag != "" {
+	if *faultsFlag != "" || *nearFlag != "" {
 		inj := faultmetric.New(space, faultCfg)
-		ro := resilient.New(inj, resilient.RetryOnlyPolicy(faultCfg.Seed))
 		if observer != nil {
 			inj.Observe(observer.Registry)
-			ro.Observe(observer.Registry)
 		}
-		oracle = ro
+		oracle = inj
+		if faultCfg.TransientRate > 0 {
+			// The retry policy only earns its keep over transient
+			// failures; a pure near-metric injector never fails.
+			ro := resilient.New(inj, resilient.RetryOnlyPolicy(faultCfg.Seed))
+			if observer != nil {
+				ro.Observe(observer.Registry)
+			}
+			oracle = ro
+		}
 	}
 	var opts []core.Option
 	if observer != nil {
 		opts = append(opts, core.WithObserver(observer))
+	}
+	if slack.Active() {
+		opts = append(opts, core.WithSlack(slack))
+	}
+	if *auditFlag && !slack.Auto {
+		// Auto slack attaches its own auditor inside WithSlack.
+		opts = append(opts, core.WithAuditor(metric.NewAuditor(0)))
 	}
 	s := core.NewFallibleSessionWithLandmarks(oracle, scheme, lms, opts...)
 
@@ -191,6 +262,14 @@ func main() {
 		fmt.Printf("resilience: %d retries, %d timeouts, %d breaker opens\n",
 			st.Retries, st.Timeouts, st.BreakerOpens)
 	}
+	if aud := s.Auditor(); aud != nil {
+		fmt.Printf("audit: %d/%d triangles violated, worst margin %.3g, worst ratio %.3g\n",
+			aud.Violations(), aud.Triangles(), aud.Margin(), aud.Ratio())
+	}
+	if st.SlackResolved > 0 {
+		fmt.Printf("slack: %d comparisons resolved from relaxed intervals (sound for the declared near-metric)\n",
+			st.SlackResolved)
+	}
 	fmt.Printf("wall time: %s\n", elapsed.Round(time.Millisecond))
 	if err := s.OracleErr(); err != nil {
 		fmt.Fprintln(os.Stderr, "metricprox: oracle degraded — results are best-effort, not exact:", err)
@@ -200,6 +279,58 @@ func main() {
 	}
 	if err := s.StoreErr(); err != nil {
 		fmt.Fprintln(os.Stderr, "metricprox: cache warning:", err)
+	}
+	if err := s.ViolationErr(); err != nil {
+		sl := s.Slack()
+		switch {
+		case !sl.Active():
+			// Strict mode: every bound the run used assumed the triangle
+			// inequality, so the output-preservation guarantee is void.
+			fmt.Fprintln(os.Stderr, "metricprox: the oracle is not a metric — results assume the triangle inequality; re-run with -slack (or -slack auto) to stay sound:", err)
+			os.Exit(1)
+		case !sl.Auto && s.Auditor().Margin() > sl.Additive:
+			// Violations beyond the declared contract: the relaxed
+			// intervals were too narrow for this oracle.
+			fmt.Fprintf(os.Stderr, "metricprox: observed violation margin %.3g exceeds the declared -slack eps %.3g — results are not guaranteed; raise eps or use -slack auto\n",
+				s.Auditor().Margin(), sl.Additive)
+			os.Exit(1)
+		}
+		// Violations within the declared (or auto-grown) slack are exactly
+		// what the relaxed intervals already tolerate; the audit line above
+		// records them.
+	}
+}
+
+// hasSeedKey reports whether a key=value spec sets "seed", for rejecting
+// the ambiguous -faults + -near-metric seed combination.
+func hasSeedKey(spec string) bool {
+	for _, field := range strings.Split(spec, ",") {
+		if key, _, ok := strings.Cut(strings.TrimSpace(field), "="); ok && key == "seed" {
+			return true
+		}
+	}
+	return false
+}
+
+// calibrate repairs the cache file in place and prints the report; it is
+// the offline half of the near-metric story (detection and slack are the
+// online half).
+func calibrate(path string, tol float64) {
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "metricprox: -calibrate requires -cache <file>")
+		os.Exit(2)
+	}
+	rep, err := cachestore.Calibrate(path, tol, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricprox: -calibrate:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("calibrated %s: %d records, %d fully-cached triangles\n", path, rep.Records, rep.Triangles)
+	fmt.Printf("violation margin: %.6g before, %.6g after (%d projection sweeps)\n",
+		rep.MarginBefore, rep.MarginAfter, rep.Iterations)
+	if rep.MarginAfter > tol {
+		fmt.Fprintf(os.Stderr, "metricprox: margin %.3g still above tolerance %.3g after the sweep budget\n", rep.MarginAfter, tol)
+		os.Exit(1)
 	}
 }
 

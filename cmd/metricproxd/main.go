@@ -12,6 +12,16 @@
 //	metricproxd -in points.csv -p 1 -listen 127.0.0.1:7600
 //	metricproxd -demo 500 -cache-dir /var/lib/metricproxd  # warm restarts
 //	metricproxd -demo 500 -faults seed=3,rate=0.2          # chaos drill
+//	metricproxd -demo 500 -near-metric eps=0.05            # imperfect oracle
+//
+// -near-metric serves a deterministically perturbed near-metric (triangle
+// violations bounded by eps, see internal/faultmetric) instead of the
+// true space: the server-side half of the robustness drill. Slack is a
+// per-session property declared by clients at session creation
+// (slack_eps / slack_ratio / slack_auto in the API; SessionOptions in
+// proxclient), not a daemon flag — different tenants may declare
+// different contracts over the same oracle. When -faults and -near-metric
+// are combined, one injector serves both and the seed comes from -faults.
 //
 // The daemon exposes the service API and the observability surface on the
 // same listener: /metrics serves the obs registry (per-endpoint latency
@@ -27,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,6 +60,7 @@ func main() {
 		seedFlag    = flag.Int64("seed", 1, "seed for the synthetic dataset")
 		listenFlag  = flag.String("listen", ":7600", "address to serve the API, /metrics, and /debug/pprof on")
 		faultsFlag  = flag.String("faults", "", "inject oracle faults: seed=N,rate=P with P in (0,1]")
+		nearFlag    = flag.String("near-metric", "", "serve a perturbed near-metric: eps=X[,ratio=R][,seed=N]")
 		cacheDir    = flag.String("cache-dir", "", "directory for per-session distance caches (enables warm restarts)")
 		maxSessions = flag.Int("max-sessions", 16, "maximum live sessions (0 = unlimited)")
 		sessionTTL  = flag.Duration("session-ttl", 0, "evict sessions idle for this long (0 = never)")
@@ -77,6 +89,26 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *nearFlag != "" {
+		nearCfg, err := faultmetric.ParseNearMetricSpec(*nearFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricproxd: -near-metric: %v\n", err)
+			os.Exit(2)
+		}
+		if *faultsFlag != "" {
+			// One injector serves both fault classes; its schedule — and
+			// hence the seed — comes from -faults, so a second seed here
+			// would be silently ignored. Reject the ambiguity instead.
+			if hasSeedKey(*nearFlag) {
+				fmt.Fprintln(os.Stderr, "metricproxd: -near-metric: seed is taken from -faults when both flags are set")
+				os.Exit(2)
+			}
+			faultCfg.NearMetricEps = nearCfg.NearMetricEps
+			faultCfg.NearMetricRatio = nearCfg.NearMetricRatio
+		} else {
+			faultCfg = nearCfg
+		}
+	}
 
 	space, err := loadSpace(*inFlag, *demoFlag, *planarFlag, *pFlag, *seedFlag)
 	if err != nil {
@@ -86,12 +118,17 @@ func main() {
 
 	reg := obs.NewRegistry()
 	var oracle metric.FallibleOracle = metric.NewOracle(space)
-	if *faultsFlag != "" {
+	if *faultsFlag != "" || *nearFlag != "" {
 		inj := faultmetric.New(space, faultCfg)
-		ro := resilient.New(inj, resilient.RetryOnlyPolicy(faultCfg.Seed))
 		inj.Observe(reg)
-		ro.Observe(reg)
-		oracle = ro
+		oracle = inj
+		if faultCfg.TransientRate > 0 {
+			// The retry policy only earns its keep over transient
+			// failures; a pure near-metric injector never fails.
+			ro := resilient.New(inj, resilient.RetryOnlyPolicy(faultCfg.Seed))
+			ro.Observe(reg)
+			oracle = ro
+		}
 	}
 
 	srv, err := service.New(service.Config{
@@ -139,6 +176,17 @@ func main() {
 	}
 	srv.Close()
 	fmt.Fprintln(os.Stderr, "metricproxd: drained, bye")
+}
+
+// hasSeedKey reports whether a key=value spec sets "seed", for rejecting
+// the ambiguous -faults + -near-metric seed combination.
+func hasSeedKey(spec string) bool {
+	for _, field := range strings.Split(spec, ",") {
+		if key, _, ok := strings.Cut(strings.TrimSpace(field), "="); ok && key == "seed" {
+			return true
+		}
+	}
+	return false
 }
 
 // loadSpace mirrors cmd/metricprox: a synthetic demo or a CSV point file

@@ -35,6 +35,11 @@ const (
 	// is a best-effort estimate from bounds midpoints. OracleErr is
 	// latched whenever this outcome is produced.
 	OutcomeUnavailable
+	// OutcomeSlack means the answer was proven from bound intervals that
+	// an active SlackPolicy had widened: exact under the declared
+	// near-metric contract (d ≤ ρ·(sum of legs) + ε), rather than
+	// unconditionally like OutcomeBounds.
+	OutcomeSlack
 )
 
 // String returns the outcome name used in reports.
@@ -48,6 +53,8 @@ func (o Outcome) String() string {
 		return "bounds"
 	case OutcomeUnavailable:
 		return "unavailable"
+	case OutcomeSlack:
+		return "slack"
 	default:
 		return "outcome(?)"
 	}

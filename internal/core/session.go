@@ -74,6 +74,17 @@ type Stats struct {
 	// StoreErrors counts failed appends to the attached persistent cache
 	// (the resolutions stay in memory; only the on-disk cache is short).
 	StoreErrors int64
+
+	// --- near-metric counters (see DESIGN.md §12) ---
+
+	// SlackResolved counts comparisons settled from bound intervals that
+	// were widened by an active SlackPolicy — a subset of
+	// SavedComparisons, exact under the declared near-metric contract
+	// rather than unconditionally.
+	SlackResolved int64
+	// Violations counts triangle-inequality violations the attached
+	// auditor observed among resolved distances (0 when no auditor).
+	Violations int64
 }
 
 // Session mediates every distance access of a proximity algorithm. It
@@ -143,6 +154,15 @@ type Session struct {
 	store    *cachestore.Store
 	storeErr error
 	logf     func(format string, args ...any)
+
+	// slack, when active, declares the oracle a near-metric and widens
+	// every derived bound interval accordingly (see SlackPolicy and
+	// DESIGN.md §12).
+	slack SlackPolicy
+
+	// auditor, when attached, checks every resolution against the
+	// triangles it closes on the known-edge graph and feeds Auto slack.
+	auditor *metric.Auditor
 }
 
 // Option configures a Session.
@@ -346,6 +366,12 @@ func NewFallibleSessionWithLandmarks(fo metric.FallibleOracle, scheme Scheme, la
 	if s.rho > 1 && scheme != SchemeNoop && scheme != SchemeTri {
 		panic(fmt.Sprintf("core: scheme %v does not support relaxed metrics", scheme))
 	}
+	validateSlackScheme(s.slack, scheme, s.cmp != nil)
+	if s.slack.Auto && s.auditor == nil {
+		// Auto slack needs a margin source; give the session its own
+		// auditor when the caller did not share one.
+		s.auditor = metric.NewAuditor(0)
+	}
 	switch scheme {
 	case SchemeNoop:
 		s.b = bounds.NewNoop(s.maxDist)
@@ -396,6 +422,9 @@ func NewFallibleSessionWithLandmarks(fo metric.FallibleOracle, scheme Scheme, la
 		reg = obs.NewRegistry()
 	}
 	s.ins = obs.NewSessionInstruments(reg, s.schemeName)
+	if s.slackAdditive() {
+		s.ins.SlackEps.Set(s.slackEps())
+	}
 	return s
 }
 
@@ -416,6 +445,10 @@ func (s *Session) Stats() Stats {
 		CacheHits:           s.ins.CacheHits.Value(),
 		DegradedAnswers:     s.ins.DegradedAnswers.Value(),
 		StoreErrors:         s.ins.StoreErrors.Value(),
+		SlackResolved:       s.ins.SlackResolved.Value(),
+	}
+	if s.auditor != nil {
+		st.Violations = s.auditor.Violations()
 	}
 	if pc, ok := s.fo.(interface {
 		PolicyCounters() (retries, timeouts, breakerOpens int64)
@@ -513,6 +546,18 @@ func (s *Session) commitResolution(i, j int, d float64) {
 }
 
 func (s *Session) record(i, j int, d float64) {
+	if s.auditor != nil {
+		// Audit before AddEdge: auditTriangles borrows adjacency rows,
+		// and the commit below may grow the slabs and invalidate them.
+		s.auditTriangles(i, j, d)
+		if s.slack.Auto {
+			// Publish the possibly escalated ε; in-process bounds are
+			// derived fresh per query, so escalation needs no cache
+			// invalidation here (remote mirrors watch this gauge's value
+			// through the wire instead).
+			s.ins.SlackEps.Set(s.slackEps())
+		}
+	}
 	if s.sharesGraph {
 		// SPLUB/Tri read the session graph; a single AddEdge serves both.
 		s.g.AddEdge(i, j, d)
@@ -523,7 +568,10 @@ func (s *Session) record(i, j int, d float64) {
 }
 
 // Bounds returns the current lower and upper bounds for (i, j) without any
-// oracle call. Resolved pairs return the exact value twice.
+// oracle call. Resolved pairs return the exact value twice. Under an
+// active additive slack policy the derived interval is widened to
+// [lb−ε, ub+ε] (self-pairs and resolved pairs stay exact: oracle values
+// are not derived, so the near-metric contract does not touch them).
 func (s *Session) Bounds(i, j int) (lb, ub float64) {
 	if i == j {
 		return 0, 0
@@ -532,7 +580,13 @@ func (s *Session) Bounds(i, j int) (lb, ub float64) {
 		return w, w
 	}
 	s.ins.BoundProbes.Inc()
-	return s.b.Bounds(i, j)
+	lb, ub = s.b.Bounds(i, j)
+	if s.slackAdditive() {
+		if eps := s.slackEps(); eps > 0 {
+			lb, ub = s.slack.Relax(lb, ub, eps, s.maxDist)
+		}
+	}
+	return lb, ub
 }
 
 // BoundsBatch answers one bound query per (is[x], js[x]) pair into
@@ -565,6 +619,18 @@ func (s *Session) BoundsBatch(is, js []int, lb, ub []float64) {
 	}
 	bb.BoundsBatch(is, js, lb, ub)
 	s.ins.BoundProbes.Add(probes)
+	if s.slackAdditive() {
+		if eps := s.slackEps(); eps > 0 {
+			// Relax exactly the derived intervals: the same predicate as
+			// the probe count, so self-pairs and resolved pairs stay
+			// exact on the batch path too.
+			for q := range is {
+				if is[q] != js[q] && !s.g.Known(is[q], js[q]) {
+					lb[q], ub[q] = s.slack.Relax(lb[q], ub[q], eps, s.maxDist)
+				}
+			}
+		}
+	}
 }
 
 // Less reports whether dist(i,j) < dist(k,l) — the paper's canonical IF
@@ -613,13 +679,15 @@ func (s *Session) decideLess(i, j, k, l int) (result bool, out Outcome, gap floa
 	lb2, ub2 := s.Bounds(k, l)
 	if ub1 < lb2 {
 		s.noteSaved()
-		s.traceCmp(obs.OpLess, i, j, k, l, obs.OutcomeBounds, 0, 0)
-		return true, OutcomeBounds, 0
+		out, oc := s.boundsOutcome()
+		s.traceCmp(obs.OpLess, i, j, k, l, oc, 0, 0)
+		return true, out, 0
 	}
 	if lb1 >= ub2 {
 		s.noteSaved()
-		s.traceCmp(obs.OpLess, i, j, k, l, obs.OutcomeBounds, 0, 0)
-		return false, OutcomeBounds, 0
+		out, oc := s.boundsOutcome()
+		s.traceCmp(obs.OpLess, i, j, k, l, oc, 0, 0)
+		return false, out, 0
 	}
 	if s.cmp != nil {
 		if s.cmp.ProveLess(i, j, k, l) {
@@ -669,13 +737,15 @@ func (s *Session) decideLessThan(i, j int, c float64) (result bool, out Outcome,
 	lb, ub := s.Bounds(i, j)
 	if ub < c {
 		s.noteSaved()
-		s.traceCmp(obs.OpLessThan, i, j, -1, -1, obs.OutcomeBounds, 0, 0)
-		return true, OutcomeBounds, 0
+		out, oc := s.boundsOutcome()
+		s.traceCmp(obs.OpLessThan, i, j, -1, -1, oc, 0, 0)
+		return true, out, 0
 	}
 	if lb >= c {
 		s.noteSaved()
-		s.traceCmp(obs.OpLessThan, i, j, -1, -1, obs.OutcomeBounds, 0, 0)
-		return false, OutcomeBounds, 0
+		out, oc := s.boundsOutcome()
+		s.traceCmp(obs.OpLessThan, i, j, -1, -1, oc, 0, 0)
+		return false, out, 0
 	}
 	if s.cmp != nil {
 		if s.cmp.ProveLessC(i, j, c) {
@@ -732,8 +802,9 @@ func (s *Session) decideDistIfLess(i, j int, c float64) (d float64, less bool, o
 	lb, ub := s.Bounds(i, j)
 	if lb >= c {
 		s.noteSaved()
-		s.traceCmp(obs.OpDistIfLess, i, j, -1, -1, obs.OutcomeBounds, 0, 0)
-		return 0, false, OutcomeBounds, 0
+		out, oc := s.boundsOutcome()
+		s.traceCmp(obs.OpDistIfLess, i, j, -1, -1, oc, 0, 0)
+		return 0, false, out, 0
 	}
 	if s.cmp != nil && s.cmp.ProveGEC(i, j, c) {
 		s.noteSaved()

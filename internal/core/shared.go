@@ -308,6 +308,24 @@ func (c *SharedSession) OracleErr() error {
 	return c.s.OracleErr()
 }
 
+// ViolationErr returns the first triangle-inequality violation the
+// session's auditor observed; see Session.ViolationErr. The auditor is
+// internally synchronised — concurrent resolutions audit without the
+// session lock held beyond the usual commit bookkeeping.
+func (c *SharedSession) ViolationErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.ViolationErr()
+}
+
+// SlackEps returns the additive slack currently applied to derived
+// intervals; see Session.SlackEps.
+func (c *SharedSession) SlackEps() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.SlackEps()
+}
+
 // StoreErr returns the first failed append to the attached cache store;
 // see Session.StoreErr.
 func (c *SharedSession) StoreErr() error {

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"metricprox/internal/datasets"
+	"metricprox/internal/faultmetric"
+	"metricprox/internal/metric"
+)
+
+// FuzzSlackSoundness is the executable form of the ε-slack theorem: under
+// injected triangle violations with additive margin ≤ ε, a session
+// declaring SlackPolicy{Additive: ε} keeps every relaxed derived interval
+// sound — it contains both the value the (perturbed) oracle serves and
+// the fault-free distance. Resolved pairs are exact for the oracle the
+// session actually talks to, which is the commit discipline's contract.
+func FuzzSlackSoundness(f *testing.F) {
+	f.Add(int64(1), 0.1, uint8(12))
+	f.Add(int64(7), 0.4, uint8(20))
+	f.Add(int64(42), 0.01, uint8(6))
+	f.Add(int64(-3), 0.25, uint8(9))
+	f.Fuzz(func(t *testing.T, seed int64, eps float64, n uint8) {
+		if !(eps > 0) || eps > 0.5 || math.IsNaN(eps) {
+			t.Skip()
+		}
+		size := 4 + int(n)%21
+		base := datasets.RandomMetric(size, seed)
+		cfg := faultmetric.Config{Seed: seed, NearMetricEps: eps}
+		inj := faultmetric.New(base, cfg)
+		s := NewFallibleSession(inj, SchemeTri,
+			WithSlack(SlackPolicy{Additive: cfg.MarginBound()}),
+			WithAuditor(metric.NewAuditor(0)))
+
+		// Resolve a seed-derived subset of pairs to grow the known graph.
+		rng := rand.New(rand.NewSource(seed))
+		for q := 0; q < 3*size; q++ {
+			i, j := rng.Intn(size), rng.Intn(size)
+			if i == j {
+				continue
+			}
+			if _, err := s.DistErr(i, j); err != nil {
+				t.Fatalf("DistErr(%d,%d): %v", i, j, err)
+			}
+		}
+
+		ctx := context.Background()
+		for i := 0; i < size; i++ {
+			for j := 0; j < size; j++ {
+				lb, ub := s.Bounds(i, j)
+				served, err := inj.DistanceCtx(ctx, i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if served < lb-1e-9 || served > ub+1e-9 {
+					t.Fatalf("interval [%v,%v] excludes served d(%d,%d)=%v (eps=%v, n=%d)",
+						lb, ub, i, j, served, eps, size)
+				}
+				if i == j {
+					continue
+				}
+				if _, known := s.Known(i, j); !known {
+					// Derived intervals must also cover the fault-free
+					// distance: the perturbation only shrinks values, by
+					// less than the declared ε.
+					truth := base.Distance(i, j)
+					if truth < lb-1e-9 || truth > ub+1e-9 {
+						t.Fatalf("relaxed interval [%v,%v] excludes fault-free d(%d,%d)=%v (eps=%v)",
+							lb, ub, i, j, truth, eps)
+					}
+				}
+			}
+		}
+		// The injector keeps its MarginBound promise: the auditor, which
+		// saw every committed triangle, never measured a larger margin.
+		if m := s.Auditor().Margin(); m > cfg.MarginBound()+1e-9 {
+			t.Fatalf("observed margin %v exceeds the injected bound %v", m, cfg.MarginBound())
+		}
+	})
+}

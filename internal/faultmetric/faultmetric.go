@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"metricprox/internal/fcmp"
 	"metricprox/internal/metric"
 )
 
@@ -54,6 +55,34 @@ type Config struct {
 	// Setting it below the retry budget of the policy under test makes
 	// completion deterministic. 0 means no cap.
 	MaxFailuresPerPair int
+
+	// NearMetricEps > 0 perturbs successful responses into a near-metric:
+	// each pair's distance is deterministically lowered by up to
+	// NearMetricEps/2 (never raised, never below zero), so every triangle's
+	// additive violation margin is bounded by NearMetricEps (see
+	// MarginBound). The perturbation is a pure function of (seed, pair) —
+	// retries and re-resolutions of a pair always see the same value, so
+	// memoising layers above stay coherent.
+	NearMetricEps float64
+	// NearMetricRatio > 1 additionally scales each perturbed distance by a
+	// deterministic per-pair factor in (1/NearMetricRatio, 1], bounding the
+	// multiplicative triangle violation: d(i,j) ≤ NearMetricRatio ·
+	// (d(i,k)+d(k,j)) + NearMetricEps. Values ≤ 1 disable ratio
+	// perturbation.
+	NearMetricRatio float64
+}
+
+// MarginBound returns the guaranteed upper bound on the additive triangle
+// violation margin introduced by the near-metric perturbation alone
+// (ratio perturbation excluded): with only NearMetricEps set, every
+// triangle of perturbed distances satisfies d(i,j) ≤ d(i,k) + d(k,j) +
+// MarginBound(). A SlackPolicy with Additive ≥ this bound keeps every
+// relaxed interval sound.
+func (c Config) MarginBound() float64 {
+	if c.NearMetricEps > 0 {
+		return c.NearMetricEps
+	}
+	return 0
 }
 
 // Counters is the injector's ground-truth account of what it did.
@@ -65,6 +94,11 @@ type Counters struct {
 	Corrupts   int64 // corrupt (NaN/negative) responses
 	Latencies  int64 // calls that slept the injected latency
 	CtxCancels int64 // calls aborted by their context (during latency)
+
+	// Perturbations counts successful responses whose value was changed
+	// by the near-metric perturbation — the ground truth for how many
+	// potentially triangle-violating distances left the injector.
+	Perturbations int64
 }
 
 // Failures returns the number of attempts that returned an error.
@@ -209,7 +243,42 @@ func (f *Injector) DistanceCtx(ctx context.Context, i, j int) (float64, error) {
 		f.mu.Unlock()
 		return 0, err
 	}
-	return f.base.Distance(i, j), nil
+	d := f.base.Distance(i, j)
+	if pd := f.perturb(key, d); !fcmp.ExactEq(pd, d) {
+		f.mu.Lock()
+		f.counts.Perturbations++
+		if f.ins != nil {
+			f.ins.perturbations.Inc()
+		}
+		f.mu.Unlock()
+		return pd, nil
+	}
+	return d, nil
+}
+
+// perturb applies the near-metric perturbation to one successful
+// response. Distances only ever shrink: lowering d(i,j) can only violate
+// triangles in which (i,j) is a leg, and each leg shrinks by at most
+// NearMetricEps/2, so the additive margin of any triangle is bounded by
+// NearMetricEps — the guarantee MarginBound advertises and the chaos
+// harness's slack-preservation theorem relies on. (Raising distances
+// instead would need a clamp at the space's maximum, and clamping breaks
+// the bound.) The draw uses attempt index 0 regardless of the actual
+// attempt so that retried and re-resolved pairs observe identical values.
+func (f *Injector) perturb(key int64, d float64) float64 {
+	eps, ratio := f.cfg.NearMetricEps, f.cfg.NearMetricRatio
+	if eps <= 0 && ratio <= 1 {
+		return d
+	}
+	if eps > 0 {
+		u := f.roll(key, 0, rollPerturb)
+		d = math.Max(0, d-u*eps/2)
+	}
+	if ratio > 1 {
+		u := f.roll(key, 0, rollPerturbRatio)
+		d *= 1 - u*(1-1/ratio)
+	}
+	return d
 }
 
 // roll draws the uniform [0,1) variate for one decision stream.
@@ -224,6 +293,8 @@ const (
 	rollCorrupt
 	rollCorruptKind
 	rollLatency
+	rollPerturb
+	rollPerturbRatio
 )
 
 // pairKey normalises an unordered pair into one int64.

@@ -172,3 +172,135 @@ func TestCleanConfigPassesThrough(t *testing.T) {
 		}
 	}
 }
+
+func TestNearMetricPerturbation(t *testing.T) {
+	n := 16
+	cfg := Config{Seed: 11, NearMetricEps: 0.3}
+	inj := New(unitSpace(n), cfg)
+	base := unitSpace(n)
+	ctx := context.Background()
+
+	perturbed := make(map[[2]int]float64)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d, err := inj.DistanceCtx(ctx, i, j)
+			if err != nil {
+				t.Fatalf("DistanceCtx(%d,%d): %v", i, j, err)
+			}
+			orig := base.Distance(i, j)
+			if d > orig {
+				t.Fatalf("perturbation raised d(%d,%d): %v > %v", i, j, d, orig)
+			}
+			if d < 0 {
+				t.Fatalf("perturbation went negative on (%d,%d): %v", i, j, d)
+			}
+			if orig-d > cfg.NearMetricEps/2 {
+				t.Fatalf("per-pair shrink %v exceeds eps/2 = %v", orig-d, cfg.NearMetricEps/2)
+			}
+			perturbed[[2]int{i, j}] = d
+		}
+	}
+	// Symmetry and retry-stability: the perturbation is per-pair, not
+	// per-attempt, so replays see identical values.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d, err := inj.DistanceCtx(ctx, i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != perturbed[[2]int{i, j}] {
+				t.Fatalf("replay of (%d,%d) changed: %v vs %v", i, j, d, perturbed[[2]int{i, j}])
+			}
+			if d != perturbed[[2]int{j, i}] {
+				t.Fatalf("perturbation asymmetric on (%d,%d)", i, j)
+			}
+		}
+	}
+	// Margin bound: every triangle's additive violation ≤ MarginBound.
+	bound := cfg.MarginBound()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				dij := perturbed[[2]int{i, j}]
+				dik := perturbed[[2]int{i, k}]
+				dkj := perturbed[[2]int{k, j}]
+				if dij > dik+dkj+bound+1e-12 {
+					t.Fatalf("triangle (%d,%d,%d) margin %v exceeds bound %v",
+						i, j, k, dij-(dik+dkj), bound)
+				}
+			}
+		}
+	}
+	if got := inj.Counters().Perturbations; got == 0 {
+		t.Fatal("no perturbations counted despite eps > 0")
+	}
+	// There must be at least one actual triangle violation at this eps,
+	// or the chaos strict-detect test would be vacuous.
+	viol := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if k == i || k == j {
+					continue
+				}
+				if perturbed[[2]int{i, j}] > perturbed[[2]int{i, k}]+perturbed[[2]int{k, j}]+1e-9 {
+					viol++
+				}
+			}
+		}
+	}
+	if viol == 0 {
+		t.Fatal("perturbation produced a perfect metric; injected eps too small to test anything")
+	}
+}
+
+func TestNearMetricRatioBound(t *testing.T) {
+	n := 12
+	R := 1.5
+	cfg := Config{Seed: 5, NearMetricRatio: R}
+	inj := New(unitSpace(n), cfg)
+	base := unitSpace(n)
+	ctx := context.Background()
+	d := func(i, j int) float64 {
+		v, err := inj.DistanceCtx(ctx, i, j)
+		if err != nil {
+			t.Fatalf("DistanceCtx(%d,%d): %v", i, j, err)
+		}
+		return v
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := d(i, j)
+			orig := base.Distance(i, j)
+			if v > orig || v < orig/R-1e-12 {
+				t.Fatalf("ratio perturbation out of [d/R, d] on (%d,%d): %v vs %v", i, j, v, orig)
+			}
+			for k := 0; k < n; k++ {
+				if v > R*(d(i, k)+d(k, j))+1e-12 {
+					t.Fatalf("triangle (%d,%d,%d) violates the ρ=%v contract", i, j, k, R)
+				}
+			}
+		}
+	}
+}
+
+func TestNearMetricOffIsIdentity(t *testing.T) {
+	n := 8
+	inj := New(unitSpace(n), Config{Seed: 3})
+	base := unitSpace(n)
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d, err := inj.DistanceCtx(ctx, i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != base.Distance(i, j) {
+				t.Fatalf("eps=0 injector changed d(%d,%d)", i, j)
+			}
+		}
+	}
+	if got := inj.Counters().Perturbations; got != 0 {
+		t.Fatalf("Perturbations = %d with near-metric off", got)
+	}
+}

@@ -21,6 +21,8 @@ const (
 	MetricLatencies = "faultmetric_latencies_total"
 	// MetricCtxCancels mirrors Counters.CtxCancels.
 	MetricCtxCancels = "faultmetric_ctx_cancels_total"
+	// MetricPerturbations mirrors Counters.Perturbations.
+	MetricPerturbations = "faultmetric_perturbations_total"
 )
 
 // instruments is the injector's set of obs handles.
@@ -30,8 +32,9 @@ type instruments struct {
 	rateLimits *obs.Counter
 	outages    *obs.Counter
 	corrupts   *obs.Counter
-	latencies  *obs.Counter
-	ctxCancels *obs.Counter
+	latencies     *obs.Counter
+	ctxCancels    *obs.Counter
+	perturbations *obs.Counter
 }
 
 // Observe registers the injector's instruments in r and mirrors every
@@ -47,8 +50,9 @@ func (f *Injector) Observe(r *obs.Registry) {
 		rateLimits: r.Counter(MetricRateLimits),
 		outages:    r.Counter(MetricOutages),
 		corrupts:   r.Counter(MetricCorrupts),
-		latencies:  r.Counter(MetricLatencies),
-		ctxCancels: r.Counter(MetricCtxCancels),
+		latencies:     r.Counter(MetricLatencies),
+		ctxCancels:    r.Counter(MetricCtxCancels),
+		perturbations: r.Counter(MetricPerturbations),
 	}
 	f.mu.Lock()
 	ins.calls.Add(f.counts.Calls)
@@ -58,6 +62,7 @@ func (f *Injector) Observe(r *obs.Registry) {
 	ins.corrupts.Add(f.counts.Corrupts)
 	ins.latencies.Add(f.counts.Latencies)
 	ins.ctxCancels.Add(f.counts.CtxCancels)
+	ins.perturbations.Add(f.counts.Perturbations)
 	f.ins = ins
 	f.mu.Unlock()
 }

@@ -2,6 +2,7 @@ package faultmetric
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -62,3 +63,62 @@ func ParseSpec(spec string) (Config, error) {
 // ParseSpec. Any retry policy granting more attempts than this per
 // resolution completes deterministically under the parsed schedule.
 const SpecMaxFailuresPerPair = 3
+
+// ParseNearMetricSpec parses the CLI near-metric specification:
+//
+//	-near-metric eps=X[,ratio=R][,seed=N]
+//
+// into a Config whose only active injection is the deterministic
+// near-metric perturbation: distances shrink by up to eps/2 per pair
+// (bounding every triangle's additive violation margin by eps, see
+// Config.MarginBound) and, when ratio is given, additionally scale by a
+// per-pair factor in (1/ratio, 1]. eps must be ≥ 0 and finite, ratio ≥ 1
+// and finite, and at least one of them must be set; seed defaults to 1.
+// Unknown keys, duplicates, and out-of-range values are rejected rather
+// than ignored, the same fail-loudly contract as ParseSpec.
+func ParseNearMetricSpec(spec string) (Config, error) {
+	cfg := Config{Seed: 1}
+	seen := map[string]bool{}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok || val == "" {
+			return Config{}, fmt.Errorf("faultmetric: bad field %q in near-metric spec %q (want key=value)", field, spec)
+		}
+		if seen[key] {
+			return Config{}, fmt.Errorf("faultmetric: duplicate key %q in near-metric spec %q", key, spec)
+		}
+		seen[key] = true
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("faultmetric: bad seed %q: %v", val, err)
+			}
+			cfg.Seed = n
+		case "eps":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("faultmetric: bad eps %q: %v", val, err)
+			}
+			if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+				return Config{}, fmt.Errorf("faultmetric: eps must be ≥ 0 and finite, got %v", p)
+			}
+			cfg.NearMetricEps = p
+		case "ratio":
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("faultmetric: bad ratio %q: %v", val, err)
+			}
+			if !(r >= 1) || math.IsInf(r, 0) {
+				return Config{}, fmt.Errorf("faultmetric: ratio must be ≥ 1 and finite, got %v", r)
+			}
+			cfg.NearMetricRatio = r
+		default:
+			return Config{}, fmt.Errorf("faultmetric: unknown key %q in near-metric spec %q (known: eps, ratio, seed)", key, spec)
+		}
+	}
+	if !seen["eps"] && !seen["ratio"] {
+		return Config{}, fmt.Errorf("faultmetric: near-metric spec %q needs at least one of eps, ratio", spec)
+	}
+	return cfg, nil
+}

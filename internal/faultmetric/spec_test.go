@@ -46,3 +46,61 @@ func TestParseSpec(t *testing.T) {
 		}
 	}
 }
+
+func TestParseNearMetricSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Config
+		err  string // substring of the expected error, "" for success
+	}{
+		{spec: "eps=0.5", want: Config{Seed: 1, NearMetricEps: 0.5}},
+		{spec: "eps=0.5,ratio=1.2", want: Config{Seed: 1, NearMetricEps: 0.5, NearMetricRatio: 1.2}},
+		{spec: "ratio=2", want: Config{Seed: 1, NearMetricRatio: 2}},
+		{spec: "eps=0,ratio=1.5", want: Config{Seed: 1, NearMetricEps: 0, NearMetricRatio: 1.5}},
+		{spec: "seed=9,eps=0.25", want: Config{Seed: 9, NearMetricEps: 0.25}},
+		{spec: " eps=0.1 , seed=3", want: Config{Seed: 3, NearMetricEps: 0.1}},
+
+		{spec: "", err: "bad field"},
+		{spec: "eps", err: "bad field"},
+		{spec: "eps=", err: "bad field"},
+		{spec: "seed=4", err: "needs at least one of eps, ratio"},
+		{spec: "eps=-0.1", err: "eps must be ≥ 0 and finite"},
+		{spec: "eps=NaN", err: "eps must be ≥ 0 and finite"},
+		{spec: "eps=+Inf", err: "eps must be ≥ 0 and finite"},
+		{spec: "eps=abc", err: "bad eps"},
+		{spec: "ratio=0.5", err: "ratio must be ≥ 1 and finite"},
+		{spec: "ratio=-2", err: "ratio must be ≥ 1 and finite"},
+		{spec: "ratio=Inf", err: "ratio must be ≥ 1 and finite"},
+		{spec: "ratio=xyz", err: "bad ratio"},
+		{spec: "eps=0.1,eps=0.2", err: "duplicate key"},
+		{spec: "eps=0.1,rate=0.2", err: "unknown key"},
+		{spec: "seed=1.5,eps=0.1", err: "bad seed"},
+	}
+	for _, tc := range cases {
+		got, err := ParseNearMetricSpec(tc.spec)
+		if tc.err != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.err) {
+				t.Errorf("ParseNearMetricSpec(%q) error = %v, want containing %q", tc.spec, err, tc.err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseNearMetricSpec(%q) unexpected error: %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseNearMetricSpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestParseNearMetricSpecErrorListsKnownKeys(t *testing.T) {
+	_, err := ParseNearMetricSpec("bogus=1")
+	if err == nil || !strings.Contains(err.Error(), "known: eps, ratio, seed") {
+		t.Fatalf("unknown-key error should list valid keys, got %v", err)
+	}
+	_, err = ParseSpec("bogus=1")
+	if err == nil || !strings.Contains(err.Error(), "known: seed, rate") {
+		t.Fatalf("ParseSpec unknown-key error should list valid keys, got %v", err)
+	}
+}

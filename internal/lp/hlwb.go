@@ -1,0 +1,159 @@
+package lp
+
+import (
+	"math"
+
+	"metricprox/internal/fcmp"
+)
+
+// This file implements the repair half of the near-metric story: given a
+// vector of cached pairwise distances that violate some triangle
+// inequalities, project it onto the polytope of metric-consistent values.
+//
+// The polytope is the intersection of the halfspaces
+//
+//	x_p − x_q − x_r ≤ 0
+//
+// for every orientation of every triangle, plus x ≥ 0. Rather than hand
+// the (potentially huge) system to the simplex solver in lp.go — which
+// answers feasibility, not nearness — we use the classical
+// Halpern–Lions–Wittmann–Bauschke (HLWB) scheme: cyclic projections onto
+// the individual halfspaces, anchored back toward the starting point with
+// a vanishing step α_k = 1/(k+2). HLWB converges to the projection of the
+// start onto the intersection, i.e. the *nearest* metric-consistent
+// distance set, but only at O(1/k); so after a short anchored warm-up we
+// switch to plain POCS (cyclic projections with no anchor), which
+// converges linearly to *a* point of the intersection near the warm-up
+// iterate. The result is approximately-nearest and exactly what a cache
+// calibration pass wants: small, targeted edits that remove the measured
+// violation margin.
+//
+// Projection onto one halfspace {x : x_p − x_q − x_r ≤ 0} with normal
+// a = (1, −1, −1), ‖a‖² = 3, moves a violating point by −(v/3)·a where
+// v = x_p − x_q − x_r is the violation:
+//
+//	x_p -= v/3,  x_q += v/3,  x_r += v/3.
+
+// ProjectResult reports the outcome of a ProjectTriangles run.
+type ProjectResult struct {
+	// Iterations is the number of full sweeps over the constraint set
+	// that were performed (anchored warm-up sweeps included).
+	Iterations int
+	// MaxViolation is the worst residual triangle margin
+	// max(0, x_p − x_q − x_r) over all orientations at exit. Zero (or
+	// ≤ tol) means the vector is metric-consistent.
+	MaxViolation float64
+}
+
+// hlwbWarmup is the number of anchored sweeps before switching to plain
+// POCS. The anchor's O(1/k) rate means more sweeps buy little extra
+// nearness, while the POCS tail converges linearly.
+const hlwbWarmup = 16
+
+// ProjectTriangles projects x in place onto the set of vectors satisfying
+// every triangle inequality listed in tris, plus x ≥ 0. Each triangle
+// {p, q, r} names three indices into x (the three pairwise distances of
+// one point triple); all three orientations of each triangle are
+// enforced. The method is HLWB-anchored cyclic projection (see the file
+// comment), so the fixed point is approximately the nearest
+// metric-consistent vector to the input.
+//
+// It stops when a full sweep leaves the worst violation ≤ tol, or after
+// maxIter sweeps. tol ≤ 0 defaults to 1e-9; maxIter ≤ 0 defaults to
+// 10000. Triangle indices out of range panic.
+func ProjectTriangles(x []float64, tris [][3]int, maxIter int, tol float64) ProjectResult {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+	for _, tr := range tris {
+		for _, p := range tr {
+			if p < 0 || p >= len(x) {
+				panic("lp: triangle index out of range")
+			}
+		}
+	}
+	x0 := make([]float64, len(x))
+	copy(x0, x)
+
+	res := ProjectResult{MaxViolation: MaxTriangleViolation(x, tris)}
+	if res.MaxViolation <= tol {
+		return res
+	}
+	for k := 0; k < maxIter; k++ {
+		sweep(x, tris)
+		if k < hlwbWarmup {
+			// Halpern anchor: blend back toward the start so the limit
+			// tracks the nearest feasible point rather than drifting.
+			alpha := 1.0 / float64(k+2)
+			for i := range x {
+				// Skip coordinates no projection has moved (a deliberate
+				// bit-exact check): blending them anyway would perturb
+				// them by FP rounding.
+				if !fcmp.ExactEq(x[i], x0[i]) {
+					x[i] = alpha*x0[i] + (1-alpha)*x[i]
+				}
+			}
+		}
+		res.Iterations = k + 1
+		res.MaxViolation = MaxTriangleViolation(x, tris)
+		if k >= hlwbWarmup && res.MaxViolation <= tol {
+			break
+		}
+	}
+	return res
+}
+
+// sweep performs one cyclic pass: for every triangle, project onto each
+// of its three orientation halfspaces in turn, then clamp to x ≥ 0.
+func sweep(x []float64, tris [][3]int) {
+	for _, tr := range tris {
+		projectOrientation(x, tr[0], tr[1], tr[2])
+		projectOrientation(x, tr[1], tr[0], tr[2])
+		projectOrientation(x, tr[2], tr[0], tr[1])
+	}
+	for i := range x {
+		if x[i] < 0 {
+			x[i] = 0
+		}
+	}
+}
+
+// projectOrientation projects x onto {x_p ≤ x_q + x_r} if violated.
+func projectOrientation(x []float64, p, q, r int) {
+	v := x[p] - x[q] - x[r]
+	if v <= 0 {
+		return
+	}
+	v /= 3
+	x[p] -= v
+	x[q] += v
+	x[r] += v
+}
+
+// MaxTriangleViolation returns the worst margin max(0, x_p − x_q − x_r)
+// over all orientations of all listed triangles — the additive ε̂ a
+// metric.Auditor would measure on the same values.
+func MaxTriangleViolation(x []float64, tris [][3]int) float64 {
+	worst := 0.0
+	for _, tr := range tris {
+		a, b, c := x[tr[0]], x[tr[1]], x[tr[2]]
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			// NaN poisons every comparison below (always false), so an
+			// unreadable value would silently report "no violation".
+			return math.Inf(1)
+		}
+		if v := a - b - c; v > worst {
+			worst = v
+		}
+		if v := b - a - c; v > worst {
+			worst = v
+		}
+		if v := c - a - b; v > worst {
+			worst = v
+		}
+	}
+	return worst
+}

@@ -1,0 +1,149 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// trianglesOverPairs builds the pair-index layout used by the tests: n
+// points, variable k(i,j) for each unordered pair, and every point triple
+// as a triangle of pair indices.
+func trianglesOverPairs(n int) (pairIdx func(i, j int) int, tris [][3]int, npairs int) {
+	idx := make(map[[2]int]int)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			idx[[2]int{i, j}] = len(idx)
+		}
+	}
+	pairIdx = func(i, j int) int {
+		if i > j {
+			i, j = j, i
+		}
+		return idx[[2]int{i, j}]
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				tris = append(tris, [3]int{pairIdx(i, j), pairIdx(i, k), pairIdx(k, j)})
+			}
+		}
+	}
+	return pairIdx, tris, len(idx)
+}
+
+func TestProjectTrianglesAlreadyMetric(t *testing.T) {
+	_, tris, np := trianglesOverPairs(5)
+	x := make([]float64, np)
+	for i := range x {
+		x[i] = 1 // uniform distances: a metric
+	}
+	before := append([]float64(nil), x...)
+	res := ProjectTriangles(x, tris, 0, 0)
+	if res.Iterations != 0 || res.MaxViolation != 0 {
+		t.Fatalf("metric input ran %d sweeps, residual %v", res.Iterations, res.MaxViolation)
+	}
+	for i := range x {
+		if x[i] != before[i] {
+			t.Fatal("metric input was modified")
+		}
+	}
+}
+
+func TestProjectTrianglesRepairsPlantedViolation(t *testing.T) {
+	pairIdx, tris, np := trianglesOverPairs(6)
+	x := make([]float64, np)
+	for i := range x {
+		x[i] = 0.5
+	}
+	x[pairIdx(1, 4)] = 2.0 // violates every triangle through (1,4) by 1.0
+	if v := MaxTriangleViolation(x, tris); v != 1.0 {
+		t.Fatalf("planted violation margin = %v, want 1.0", v)
+	}
+	res := ProjectTriangles(x, tris, 5000, 1e-10)
+	if res.MaxViolation > 1e-10 {
+		t.Fatalf("residual violation %v after %d sweeps", res.MaxViolation, res.Iterations)
+	}
+	if v := MaxTriangleViolation(x, tris); v > 1e-10 {
+		t.Fatalf("reported residual disagrees with recomputed %v", v)
+	}
+	for i := range x {
+		if x[i] < 0 {
+			t.Fatalf("negative distance x[%d] = %v", i, x[i])
+		}
+	}
+	// The repair should be targeted: untouched metric far from the planted
+	// pair stays near its original value.
+	if d := math.Abs(x[pairIdx(0, 5)] - 0.5); d > 0.2 {
+		t.Fatalf("distant pair moved by %v; repair is not targeted", d)
+	}
+}
+
+// TestProjectTrianglesMatchesFeasibility differentially checks the
+// projector against the simplex solver: the projected vector, asserted as
+// equalities, must form a feasible triangle system.
+func TestProjectTrianglesMatchesFeasibility(t *testing.T) {
+	const n = 5
+	_, tris, np := trianglesOverPairs(n)
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		x := make([]float64, np)
+		for i := range x {
+			x[i] = 0.2 + rng.Float64() // arbitrary, generally non-metric
+		}
+		res := ProjectTriangles(x, tris, 20000, 1e-9)
+		if res.MaxViolation > 1e-9 {
+			t.Fatalf("trial %d: residual %v", trial, res.MaxViolation)
+		}
+		// Encode x as equalities (with a small slack folded into the
+		// triangle rows to absorb the projector's tolerance) and ask the
+		// simplex for a verdict.
+		p := NewProblem(np)
+		for i := range x {
+			p.AddEQ(map[int]float64{i: 1}, x[i])
+		}
+		for _, tr := range tris {
+			p.AddLE(map[int]float64{tr[0]: 1, tr[1]: -1, tr[2]: -1}, 1e-8)
+			p.AddLE(map[int]float64{tr[1]: 1, tr[0]: -1, tr[2]: -1}, 1e-8)
+			p.AddLE(map[int]float64{tr[2]: 1, tr[0]: -1, tr[1]: -1}, 1e-8)
+		}
+		if !p.Feasible() {
+			t.Fatalf("trial %d: projected vector rejected by the simplex solver", trial)
+		}
+	}
+}
+
+func TestProjectTrianglesNearness(t *testing.T) {
+	// HLWB anchoring should keep the repaired vector close to the input:
+	// for a single violated triangle the exact nearest repair moves each
+	// coordinate by margin/3, total squared movement margin²/3.
+	x := []float64{1.9, 0.5, 0.5} // one triangle, margin 0.9
+	orig := append([]float64(nil), x...)
+	res := ProjectTriangles(x, [][3]int{{0, 1, 2}}, 10000, 1e-12)
+	if res.MaxViolation > 1e-12 {
+		t.Fatalf("residual %v", res.MaxViolation)
+	}
+	var move float64
+	for i := range x {
+		move += (x[i] - orig[i]) * (x[i] - orig[i])
+	}
+	exact := 0.9 * 0.9 / 3
+	if move > exact*1.01+1e-9 {
+		t.Fatalf("squared movement %v exceeds nearest-repair %v", move, exact)
+	}
+}
+
+func TestProjectTrianglesBadIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range triangle index did not panic")
+		}
+	}()
+	ProjectTriangles([]float64{1, 2}, [][3]int{{0, 1, 2}}, 10, 1e-9)
+}
+
+func TestMaxTriangleViolationNaN(t *testing.T) {
+	if v := MaxTriangleViolation([]float64{math.NaN(), 1, 1}, [][3]int{{0, 1, 2}}); !math.IsInf(v, 1) {
+		t.Fatalf("NaN input reported margin %v, want +Inf", v)
+	}
+}

@@ -1,0 +1,173 @@
+package metric
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"metricprox/internal/obs"
+)
+
+func TestAuditorValidTriangles(t *testing.T) {
+	a := NewAuditor(0)
+	if !a.CheckTriangle(0, 1, 2, 3, 4, 5) {
+		t.Fatal("valid triangle flagged as violation")
+	}
+	if !a.CheckTriangle(0, 1, 2, 2, 1, 1) { // exact equality: margin 0
+		t.Fatal("boundary triangle (equality within tol) flagged")
+	}
+	if got := a.Triangles(); got != 2 {
+		t.Fatalf("Triangles() = %d, want 2", got)
+	}
+	if got := a.Violations(); got != 0 {
+		t.Fatalf("Violations() = %d, want 0", got)
+	}
+	if got := a.Margin(); got != 0 {
+		t.Fatalf("Margin() = %v, want 0", got)
+	}
+	if r := a.Ratio(); !(r > 0 && r <= 1) {
+		t.Fatalf("Ratio() = %v, want in (0, 1] for metric triangles", r)
+	}
+	if a.Err() != nil {
+		t.Fatalf("Err() = %v, want nil", a.Err())
+	}
+}
+
+func TestAuditorDetectsEveryOrientation(t *testing.T) {
+	// One inflated side at a time; the other two are 1 each.
+	cases := []struct {
+		name          string
+		dij, dik, dkj float64
+		wantI, wantJ  int
+	}{
+		{"long-ij", 3, 1, 1, 0, 1},
+		{"long-ik", 1, 3, 1, 0, 2},
+		{"long-kj", 1, 1, 3, 2, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewAuditor(0)
+			if a.CheckTriangle(0, 1, 2, tc.dij, tc.dik, tc.dkj) {
+				t.Fatal("violation not detected")
+			}
+			if got := a.Margin(); got != 1 {
+				t.Fatalf("Margin() = %v, want 1", got)
+			}
+			if got := a.Ratio(); got != 1.5 {
+				t.Fatalf("Ratio() = %v, want 1.5", got)
+			}
+			var ve *ViolationError
+			if !errors.As(a.Err(), &ve) {
+				t.Fatalf("Err() = %v, want *ViolationError", a.Err())
+			}
+			if !errors.Is(a.Err(), ErrNonMetric) {
+				t.Fatal("violation does not wrap ErrNonMetric")
+			}
+			if ve.I != tc.wantI || ve.J != tc.wantJ {
+				t.Fatalf("violated pair = (%d,%d), want (%d,%d): %v",
+					ve.I, ve.J, tc.wantI, tc.wantJ, ve)
+			}
+			if ve.Margin != 1 {
+				t.Fatalf("ve.Margin = %v, want 1", ve.Margin)
+			}
+			if ve.DIJ != 3 || ve.DIK != 1 || ve.DKJ != 1 {
+				t.Fatalf("distances not in violated orientation: %+v", ve)
+			}
+		})
+	}
+}
+
+func TestAuditorLatchesFirstViolation(t *testing.T) {
+	a := NewAuditor(0)
+	a.CheckTriangle(0, 1, 2, 3, 1, 1)  // margin 1
+	a.CheckTriangle(4, 5, 6, 10, 1, 1) // margin 8, bigger but later
+	var ve *ViolationError
+	if !errors.As(a.Err(), &ve) || ve.I != 0 || ve.J != 1 {
+		t.Fatalf("Err() should latch the first violation, got %v", a.Err())
+	}
+	if got := a.Margin(); got != 8 {
+		t.Fatalf("Margin() should track the worst, got %v want 8", got)
+	}
+	if got := a.Violations(); got != 2 {
+		t.Fatalf("Violations() = %d, want 2", got)
+	}
+}
+
+func TestAuditorTolerance(t *testing.T) {
+	a := NewAuditor(0.5)
+	if !a.CheckTriangle(0, 1, 2, 2.4, 1, 1) { // margin 0.4 ≤ tol
+		t.Fatal("sub-tolerance margin flagged as violation")
+	}
+	if a.CheckTriangle(0, 1, 2, 2.6, 1, 1) { // margin 0.6 > tol
+		t.Fatal("above-tolerance margin not flagged")
+	}
+}
+
+func TestAuditorDegenerateTriangle(t *testing.T) {
+	a := NewAuditor(0)
+	// Zero legs with a positive long side: infinite ratio, margin = long.
+	if a.CheckTriangle(0, 1, 2, 1, 0, 0) {
+		t.Fatal("violation with zero legs not flagged")
+	}
+	if !math.IsInf(a.Ratio(), 1) {
+		t.Fatalf("Ratio() = %v, want +Inf", a.Ratio())
+	}
+	// All-zero triangle is fine (identical points).
+	if !a.CheckTriangle(3, 4, 5, 0, 0, 0) {
+		t.Fatal("all-zero triangle flagged")
+	}
+}
+
+func TestAuditorObserve(t *testing.T) {
+	a := NewAuditor(0)
+	a.CheckTriangle(0, 1, 2, 3, 1, 1) // pre-Observe violation
+	reg := obs.NewRegistry()
+	a.Observe(reg)
+	a.CheckTriangle(0, 1, 3, 2, 1, 1)  // valid
+	a.CheckTriangle(4, 5, 6, 10, 1, 1) // violation, margin 8
+
+	if got := reg.Counter(MetricViolationChecks).Value(); got != a.Triangles() {
+		t.Fatalf("checks counter = %d, want %d", got, a.Triangles())
+	}
+	if got := reg.Counter(MetricViolations).Value(); got != a.Violations() {
+		t.Fatalf("violations counter = %d, want %d", got, a.Violations())
+	}
+	if got := reg.Gauge(MetricViolationMargin).Value(); got != a.Margin() {
+		t.Fatalf("margin gauge = %v, want %v", got, a.Margin())
+	}
+	if got := reg.Gauge(MetricViolationRatio).Value(); got != a.Ratio() {
+		t.Fatalf("ratio gauge = %v, want %v", got, a.Ratio())
+	}
+}
+
+func TestAuditorConcurrent(t *testing.T) {
+	a := NewAuditor(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; n < 200; n++ {
+				if n%10 == 0 {
+					a.CheckTriangle(g, n, n+1, float64(n+3), 1, 1)
+				} else {
+					a.CheckTriangle(g, n, n+1, 1, 1, 1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := a.Triangles(); got != 8*200 {
+		t.Fatalf("Triangles() = %d, want %d", got, 8*200)
+	}
+	if got := a.Violations(); got != 8*20 {
+		t.Fatalf("Violations() = %d, want %d", got, 8*20)
+	}
+	if got := a.Margin(); got != 191 { // n=190: d=193, legs sum 2
+		t.Fatalf("Margin() = %v, want 191", got)
+	}
+	if a.Err() == nil {
+		t.Fatal("no violation latched")
+	}
+}

@@ -5,9 +5,16 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"metricprox/internal/fcmp"
+	"metricprox/internal/obs"
 )
+
+// MetricCheckedViolations counts every metric-axiom violation Checked
+// observes (not just the first latched one), recorded once Observe
+// attaches a registry. Full semantics live in docs/METRICS.md.
+const MetricCheckedViolations = "metric_checked_violations_total"
 
 // Checked wraps a Space with on-line metric-axiom validation. Every bound
 // scheme in this library is only sound if the oracle really is a metric;
@@ -22,8 +29,13 @@ import (
 //
 // Checks beyond the cheap per-call ones are sampled (Rate) so the wrapper
 // stays affordable even for expensive oracles. The first violation is
-// recorded and returned by Err; callers embed Checked during development
-// and drop it in production.
+// recorded and returned by Err, and every violation — including those
+// after the first — is counted (Violations, and the
+// MetricCheckedViolations series once Observe attaches a registry), so a
+// pervasively broken oracle is distinguishable from a single glitch.
+// Triangle violations are typed *ViolationError values wrapping
+// ErrNonMetric, naming the offending pair and the witness legs. Callers
+// embed Checked during development and drop it in production.
 type Checked struct {
 	space Space
 	rate  float64
@@ -33,6 +45,9 @@ type Checked struct {
 	sample  []sampled // retained (i, j, d) witnesses
 	maxKeep int
 	err     error
+
+	violations atomic.Int64
+	ins        atomic.Pointer[obs.Counter]
 }
 
 type sampled struct {
@@ -67,23 +82,45 @@ func (c *Checked) Err() error {
 	return c.err
 }
 
+// Violations returns the total number of metric-axiom violations observed,
+// including those after the first error latched.
+func (c *Checked) Violations() int64 { return c.violations.Load() }
+
+// Observe registers the violation counter in r and mirrors every future
+// violation into it, seeded with the violations already counted. Call at
+// most once per Checked. Observation never influences checking decisions.
+func (c *Checked) Observe(r *obs.Registry) {
+	ctr := r.Counter(MetricCheckedViolations)
+	ctr.Add(c.violations.Load())
+	c.ins.Store(ctr)
+}
+
+// note counts one violation and latches it as Err if it is the first.
+// Callers hold c.mu.
+func (c *Checked) note(err error) {
+	c.violations.Add(1)
+	if ctr := c.ins.Load(); ctr != nil {
+		ctr.Inc()
+	}
+	if c.err == nil {
+		c.err = err
+	}
+}
+
 // Distance returns the underlying distance after validation.
 func (c *Checked) Distance(i, j int) float64 {
 	d := c.space.Distance(i, j)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.err != nil {
-		return d
-	}
 	switch {
 	case math.IsNaN(d):
-		c.err = fmt.Errorf("metric: Distance(%d,%d) returned NaN", i, j)
+		c.note(fmt.Errorf("metric: Distance(%d,%d) returned NaN", i, j))
 		return d
 	case d < 0:
-		c.err = fmt.Errorf("metric: Distance(%d,%d) = %v is negative", i, j, d)
+		c.note(fmt.Errorf("metric: Distance(%d,%d) = %v is negative for pair (%d,%d)", i, j, d, i, j))
 		return d
 	case i == j && d != 0:
-		c.err = fmt.Errorf("metric: Distance(%d,%d) = %v on identical objects", i, j, d)
+		c.note(fmt.Errorf("metric: Distance(%d,%d) = %v on identical objects", i, j, d))
 		return d
 	}
 	if i == j || c.rng.Float64() > c.rate {
@@ -92,7 +129,7 @@ func (c *Checked) Distance(i, j int) float64 {
 	// Symmetry spot check.
 	//proxlint:allow lockheldoracle -- verification probe: Checked deliberately replays the wrapped space under its own mutex to keep err/sample state consistent; this is below the session layer, so no session lock can deadlock against it
 	if back := c.space.Distance(j, i); !fcmp.ExactEq(back, d) {
-		c.err = fmt.Errorf("metric: asymmetry d(%d,%d)=%v but d(%d,%d)=%v", i, j, d, j, i, back)
+		c.note(fmt.Errorf("metric: asymmetry on pair (%d,%d): d(%d,%d)=%v but d(%d,%d)=%v", i, j, i, j, d, j, i, back))
 		return d
 	}
 	// Triangle spot checks against retained witnesses.
@@ -105,8 +142,11 @@ func (c *Checked) Distance(i, j int) float64 {
 			dik := c.space.Distance(i, k) //proxlint:allow lockheldoracle -- triangle spot check under Checked's own mutex, below the session layer
 			dkj := c.space.Distance(k, j) //proxlint:allow lockheldoracle -- triangle spot check under Checked's own mutex, below the session layer
 			if d > dik+dkj+1e-9 {
-				c.err = fmt.Errorf("metric: triangle violation d(%d,%d)=%v > d(%d,%d)+d(%d,%d)=%v",
-					i, j, d, i, k, k, j, dik+dkj)
+				c.note(&ViolationError{
+					I: i, J: j, K: k,
+					DIJ: d, DIK: dik, DKJ: dkj,
+					Margin: d - (dik + dkj),
+				})
 				return d
 			}
 		}

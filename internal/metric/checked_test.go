@@ -1,8 +1,11 @@
 package metric
 
 import (
+	"errors"
 	"strings"
 	"testing"
+
+	"metricprox/internal/obs"
 )
 
 // evilSpace wraps a valid space and injects a specific violation.
@@ -96,5 +99,66 @@ func TestCheckedSelfDistance(t *testing.T) {
 	}
 	if c.Err() != nil {
 		t.Fatalf("unexpected error: %v", c.Err())
+	}
+}
+
+func TestCheckedCountsAllViolations(t *testing.T) {
+	c := NewChecked(evilSpace{Space: validBase(), mode: "asymmetric"}, 1, 2)
+	reg := obs.NewRegistry()
+	c.Observe(reg)
+	drive(c)
+	first := c.Err()
+	if first == nil {
+		t.Fatal("violation not caught")
+	}
+	// Keep driving past the first error: violations keep counting, the
+	// latched error stays the first one.
+	for i := 0; i < c.Len(); i++ {
+		for j := 0; j < c.Len(); j++ {
+			c.Distance(i, j)
+		}
+	}
+	if c.Err() != first {
+		t.Fatalf("Err() changed after more violations: %v vs %v", c.Err(), first)
+	}
+	if got := c.Violations(); got < 2 {
+		t.Fatalf("Violations() = %d, want ≥ 2 after full sweep", got)
+	}
+	if got := reg.Counter(MetricCheckedViolations).Value(); got != c.Violations() {
+		t.Fatalf("counter = %d, want %d", got, c.Violations())
+	}
+}
+
+func TestCheckedObserveSeedsExistingViolations(t *testing.T) {
+	c := NewChecked(evilSpace{Space: validBase(), mode: "negative"}, 1, 2)
+	drive(c)
+	if c.Violations() == 0 {
+		t.Fatal("no violations before Observe")
+	}
+	reg := obs.NewRegistry()
+	c.Observe(reg)
+	if got := reg.Counter(MetricCheckedViolations).Value(); got != c.Violations() {
+		t.Fatalf("seeded counter = %d, want %d", got, c.Violations())
+	}
+}
+
+func TestCheckedTriangleErrorIsTyped(t *testing.T) {
+	c := NewChecked(evilSpace{Space: validBase(), mode: "triangle"}, 1, 2)
+	drive(c)
+	// The inflated pair (2,5) must eventually surface as a typed
+	// triangle violation naming it; drive until the latch fires.
+	err := c.Err()
+	if err == nil {
+		t.Fatal("triangle violation not caught")
+	}
+	var ve *ViolationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("triangle error is %T, want *ViolationError: %v", err, err)
+	}
+	if !errors.Is(err, ErrNonMetric) {
+		t.Fatal("triangle error does not wrap ErrNonMetric")
+	}
+	if !strings.Contains(err.Error(), "pair (2,5)") && !strings.Contains(err.Error(), "pair (5,2)") {
+		t.Fatalf("error does not name the offending pair: %v", err)
 	}
 }

@@ -25,6 +25,13 @@ const (
 	// MetricOracleLatency is the latency histogram (nanoseconds) of
 	// oracle round-trips, recorded only when an Observer is attached.
 	MetricOracleLatency = "session_oracle_latency_ns"
+	// MetricSlackResolved counts comparisons settled from bound intervals
+	// widened by an active ε-slack policy (a subset of MetricSaved).
+	MetricSlackResolved = "session_slack_resolved_total"
+	// MetricSlackEps is a gauge holding the additive slack ε currently
+	// applied to derived intervals (grows under an Auto policy as the
+	// violation auditor observes larger margins).
+	MetricSlackEps = "session_slack_eps"
 )
 
 // Phase label values used on MetricOracleCalls.
@@ -60,6 +67,11 @@ type SessionInstruments struct {
 	DegradedAnswers *Counter
 	// StoreErrors mirrors Stats.StoreErrors (MetricStoreErrors).
 	StoreErrors *Counter
+	// SlackResolved mirrors Stats.SlackResolved (MetricSlackResolved).
+	SlackResolved *Counter
+	// SlackEps holds the session's current additive slack
+	// (MetricSlackEps); 0 while slack mode is off.
+	SlackEps *Gauge
 	// OracleLatency is the oracle round-trip latency histogram
 	// (MetricOracleLatency); populated only for observed sessions.
 	OracleLatency *Histogram
@@ -80,6 +92,8 @@ func NewSessionInstruments(r *Registry, scheme string) *SessionInstruments {
 		CacheHits:           r.Counter(MetricCacheHits, s),
 		DegradedAnswers:     r.Counter(MetricDegraded, s),
 		StoreErrors:         r.Counter(MetricStoreErrors, s),
+		SlackResolved:       r.Counter(MetricSlackResolved, s),
+		SlackEps:            r.Gauge(MetricSlackEps, s),
 		OracleLatency:       r.Histogram(MetricOracleLatency, s),
 	}
 }

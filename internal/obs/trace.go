@@ -40,6 +40,11 @@ const (
 	// OutcomeError: a needed resolution failed on an error-propagating
 	// method — no answer was produced, the caller got the error.
 	OutcomeError = "error"
+	// OutcomeSlack: settled from bound intervals that were widened by an
+	// active ε-slack policy (core.SlackPolicy) — exact under the declared
+	// near-metric contract, but distinguishable from OutcomeBounds so a
+	// trace shows which savings leaned on the relaxation (DESIGN.md §12).
+	OutcomeSlack = "slack"
 )
 
 // Event records how one comparison was settled. Events are emitted by

@@ -1,6 +1,7 @@
 package prox
 
 import (
+	"errors"
 	"os"
 	"reflect"
 	"strconv"
@@ -298,5 +299,103 @@ func TestChaosOutageDegradesGracefully(t *testing.T) {
 	// far fewer calls than the session asked for.
 	if pc := ro.Counters(); pc.FastFails == 0 {
 		t.Fatalf("breaker open but no fast-fails recorded: %+v", pc)
+	}
+}
+
+// nearMetricConfig is the chaos schedule for the near-metric tests: no
+// failures, only deterministic downward perturbations with additive
+// margin ≤ NearMetricEps. The perturbation is keyed on the pair alone, so
+// two injectors with the same seed serve the identical near-metric
+// regardless of call order — which is what lets a noop run over one
+// injector be the bit-exact reference for a slacked run over another.
+func nearMetricConfig(seed int64) faultmetric.Config {
+	return faultmetric.Config{Seed: seed, NearMetricEps: 0.25}
+}
+
+// TestChaosNearMetricSlackPreserve is the ε-slack preservation theorem,
+// end to end: over an oracle violating the triangle inequality with
+// margin ≤ ε, a session declaring SlackPolicy{Additive: ε} produces
+// kNN/MST/PAM output bit-identical to the no-bounds reference over the
+// same perturbed space. (Identity with the *clean* space is impossible by
+// construction — the perturbed values appear in the output — so the
+// reference is "what every comparison paid for exactly would conclude
+// about this near-metric".)
+func TestChaosNearMetricSlackPreserve(t *testing.T) {
+	seed := chaosSeed(t)
+	const n = 48
+	m := datasets.RandomMetric(n, 17)
+	cfg := nearMetricConfig(seed)
+
+	ref := runAlgorithms(core.NewFallibleSession(faultmetric.New(m, cfg), core.SchemeNoop))
+
+	aud := metric.NewAuditor(0)
+	inj := faultmetric.New(m, cfg)
+	s := core.NewFallibleSession(inj, core.SchemeTri,
+		core.WithSlack(core.SlackPolicy{Additive: cfg.MarginBound()}),
+		core.WithAuditor(aud))
+	got := runAlgorithms(s)
+	if err := s.OracleErr(); err != nil {
+		t.Fatalf("near-metric slack run did not complete: %v", err)
+	}
+	if !reflect.DeepEqual(ref.knn, got.knn) {
+		t.Error("kNN graph diverged under declared slack")
+	}
+	if ref.mst.Weight != got.mst.Weight || !sameEdges(ref.mst.Edges, got.mst.Edges) {
+		t.Errorf("MST diverged under declared slack (weight %v vs %v)", ref.mst.Weight, got.mst.Weight)
+	}
+	if !reflect.DeepEqual(ref.pam, got.pam) {
+		t.Error("PAM clustering diverged under declared slack")
+	}
+	// Non-vacuity: the schedule actually perturbed distances, the session
+	// actually settled comparisons from relaxed bounds, and the auditor
+	// actually saw violations on committed triangles.
+	if inj.Counters().Perturbations == 0 {
+		t.Error("near-metric schedule perturbed nothing — harness is vacuous")
+	}
+	st := s.Stats()
+	if st.SlackResolved == 0 {
+		t.Error("no comparison was resolved under slack — harness is vacuous")
+	}
+	if st.Violations == 0 {
+		t.Error("auditor observed no violations — harness is vacuous")
+	}
+	// And the injector kept its contract: observed margins never exceed
+	// the declared bound (otherwise the preservation above was luck).
+	if aud.Margin() > cfg.MarginBound()+1e-12 {
+		t.Errorf("observed margin %v exceeds the declared bound %v", aud.Margin(), cfg.MarginBound())
+	}
+}
+
+// TestChaosNearMetricStrictDetect runs the same perturbed oracle with an
+// auditor but NO slack declaration: strict mode must surface the typed
+// violation error, voiding the run's preservation guarantee instead of
+// silently returning wrong answers.
+func TestChaosNearMetricStrictDetect(t *testing.T) {
+	seed := chaosSeed(t)
+	const n = 48
+	m := datasets.RandomMetric(n, 17)
+	cfg := nearMetricConfig(seed)
+
+	aud := metric.NewAuditor(0)
+	s := core.NewFallibleSession(faultmetric.New(m, cfg), core.SchemeTri,
+		core.WithAuditor(aud))
+	runAlgorithms(s)
+
+	err := s.ViolationErr()
+	if err == nil {
+		t.Fatal("strict mode did not detect the injected violations")
+	}
+	if !errors.Is(err, metric.ErrNonMetric) {
+		t.Fatalf("ViolationErr %v does not wrap metric.ErrNonMetric", err)
+	}
+	var ve *metric.ViolationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("ViolationErr %T is not *metric.ViolationError", err)
+	}
+	if ve.Margin <= 0 || ve.Margin > cfg.MarginBound() {
+		t.Fatalf("latched margin %v outside (0, %v]", ve.Margin, cfg.MarginBound())
+	}
+	if st := s.Stats(); st.Violations == 0 {
+		t.Fatal("Stats.Violations is zero despite a latched violation")
 	}
 }

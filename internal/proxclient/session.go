@@ -24,6 +24,19 @@ type SessionOptions struct {
 	NoCache bool
 	// NoPrefetch makes PrefetchBounds a no-op; see NoCache.
 	NoPrefetch bool
+	// SlackEps declares the daemon's oracle a near-metric with additive
+	// margin ε (server-side core.SlackPolicy.Additive). Only
+	// single-triangle schemes accept it.
+	SlackEps float64
+	// SlackRatio declares a multiplicative factor ρ ≥ 1; 0 means none.
+	SlackRatio float64
+	// SlackAuto lets the server grow ε as its auditor observes larger
+	// margins; the mirror watches the served ε and drops cached intervals
+	// on escalation.
+	SlackAuto bool
+	// Audit attaches a server-side violation auditor without slack
+	// (strict mode).
+	Audit bool
 }
 
 // Session is a remote session hosted by metricproxd, shaped like an
@@ -53,6 +66,7 @@ type Session struct {
 	mu        sync.Mutex
 	known     map[uint64]float64
 	lb, ub    map[uint64]float64
+	eps       float64 // high-water slack ε observed in server responses
 	oracleErr error
 }
 
@@ -60,11 +74,15 @@ type Session struct {
 // and returns the client-side view of it.
 func CreateSession(ctx context.Context, c *Client, name, scheme string, opts SessionOptions) (*Session, error) {
 	req := api.CreateSessionRequest{
-		Name:      name,
-		Scheme:    scheme,
-		Landmarks: opts.Landmarks,
-		Seed:      opts.Seed,
-		Bootstrap: opts.Bootstrap,
+		Name:       name,
+		Scheme:     scheme,
+		Landmarks:  opts.Landmarks,
+		Seed:       opts.Seed,
+		Bootstrap:  opts.Bootstrap,
+		SlackEps:   api.WireFloat(opts.SlackEps),
+		SlackRatio: api.WireFloat(opts.SlackRatio),
+		SlackAuto:  opts.SlackAuto,
+		Audit:      opts.Audit,
 	}
 	var info api.SessionInfo
 	if err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &info); err != nil {
@@ -174,17 +192,31 @@ func (s *Session) noteLowerBound(i, j int, c float64) {
 }
 
 // noteBounds overwrites the mirror's interval with a fresh server
-// interval. Server bounds only tighten, so replacing the cached interval
-// wholesale is always sound. A collapsed interval is deliberately NOT
-// promoted to a known distance: bound arithmetic can sit one ulp away
-// from the resolved value, and the mirror's known map must hold exact
-// server resolutions only — bounds are for decisions, never for values
-// (the same discipline core.Session keeps).
-func (s *Session) noteBounds(i, j int, lb, ub float64) {
+// interval. At a fixed slack ε server bounds only tighten, so replacing
+// the cached interval wholesale is sound; under an auto slack policy ε
+// itself can grow, at which point older (narrower) cached intervals stop
+// being sound for the new contract — every bounds response therefore
+// carries the ε it was relaxed by, and the mirror drops all cached
+// intervals when it sees ε rise (resolved distances in known are exact
+// oracle values and survive the escalation). Detection is lazy — the
+// mirror learns of a rise on its next bounds round-trip — which is sound
+// for the same reason core's auto mode is: decisions already made used
+// the contract as declared at the time, and every later decision uses
+// intervals refreshed under the larger ε. A collapsed interval is
+// deliberately NOT promoted to a known distance: bound arithmetic can sit
+// one ulp away from the resolved value, and the mirror's known map must
+// hold exact server resolutions only — bounds are for decisions, never
+// for values (the same discipline core.Session keeps).
+func (s *Session) noteBounds(i, j int, lb, ub, eps float64) {
 	if s.noCache || i == j {
 		return
 	}
 	s.mu.Lock()
+	if eps > s.eps {
+		s.lb = make(map[uint64]float64)
+		s.ub = make(map[uint64]float64)
+		s.eps = eps
+	}
 	key := pairKey(i, j)
 	if _, ok := s.known[key]; !ok {
 		s.lb[key] = lb
@@ -250,8 +282,16 @@ func (s *Session) Bounds(i, j int) (lb, ub float64) {
 		// Bounds never fails in core; fall back to the trivial interval.
 		return 0, s.max
 	}
-	s.noteBounds(i, j, float64(resp.LB), float64(resp.UB))
+	s.noteBounds(i, j, float64(resp.LB), float64(resp.UB), float64(resp.Eps))
 	return float64(resp.LB), float64(resp.UB)
+}
+
+// SlackEps returns the highest additive slack ε the server has reported
+// in bounds responses so far — 0 for a strict session.
+func (s *Session) SlackEps() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eps
 }
 
 // DistErr resolves the exact distance, round-tripping only on a mirror
@@ -489,7 +529,7 @@ func (s *Session) PrefetchBounds(pairs []core.Pair) {
 			if res.Err != "" {
 				continue
 			}
-			s.noteBounds(pw[x].A, pw[x].B, float64(res.LB), float64(res.UB))
+			s.noteBounds(pw[x].A, pw[x].B, float64(res.LB), float64(res.UB), float64(res.Eps))
 		}
 	}
 }
@@ -515,6 +555,8 @@ func (s *Session) Stats() core.Stats {
 		BreakerOpens:        resp.BreakerOpens,
 		DegradedAnswers:     resp.DegradedAnswers,
 		StoreErrors:         resp.StoreErrors,
+		SlackResolved:       resp.SlackResolved,
+		Violations:          resp.Violations,
 	}
 }
 

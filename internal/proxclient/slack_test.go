@@ -1,0 +1,149 @@
+package proxclient
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"metricprox/internal/faultmetric"
+	"metricprox/internal/metric"
+	"metricprox/internal/service"
+	"metricprox/internal/service/api"
+)
+
+// slackTestSpace is a 1-D space with distances ≤ 0.01·n and one pair
+// inflated far enough to violate every triangle it closes — the wire
+// analogue of the core package's strict-mode fixture.
+type slackTestSpace struct {
+	metric.Space
+	i, j int
+	d    float64
+}
+
+func (v slackTestSpace) Distance(i, j int) float64 {
+	if (i == v.i && j == v.j) || (i == v.j && j == v.i) {
+		return v.d
+	}
+	return v.Space.Distance(i, j)
+}
+
+func lineSpace(n int) metric.Space {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{float64(i) * 0.01}
+	}
+	return metric.NewVectors(pts, 2, 1)
+}
+
+// TestSlackSessionOverWire declares an ε-slack session against a daemon
+// whose oracle is a seeded near-metric injector: every interval the
+// client sees must contain the value the daemon's oracle serves, and the
+// served ε must reach the mirror.
+func TestSlackSessionOverWire(t *testing.T) {
+	cfg := faultmetric.Config{Seed: 3, NearMetricEps: 0.2}
+	inj := faultmetric.New(testSpace(), cfg)
+	c, _ := newDaemon(t, service.Config{Oracle: inj})
+
+	sess, err := CreateSession(context.Background(), c, "slacked", "tri",
+		SessionOptions{Seed: testSeed, SlackEps: cfg.MarginBound()})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	for i := 1; i < 12; i++ {
+		if _, err := sess.DistErr(0, i); err != nil {
+			t.Fatalf("DistErr(0,%d): %v", i, err)
+		}
+	}
+	ctx := context.Background()
+	for i := 1; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			lb, ub := sess.Bounds(i, j)
+			d, err := inj.DistanceCtx(ctx, i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d < lb-1e-12 || d > ub+1e-12 {
+				t.Fatalf("interval [%v,%v] excludes served d(%d,%d)=%v", lb, ub, i, j, d)
+			}
+		}
+	}
+	if got := sess.SlackEps(); got != cfg.MarginBound() {
+		t.Fatalf("mirror SlackEps = %v, want the declared %v", got, cfg.MarginBound())
+	}
+
+	// Attaching with a different slack policy is a conflict, like any
+	// other creation-parameter mismatch.
+	_, err = CreateSession(context.Background(), c, "slacked", "tri",
+		SessionOptions{Seed: testSeed, SlackEps: 0.5})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeConflict {
+		t.Fatalf("re-create with different slack: got %v, want %s", err, api.CodeConflict)
+	}
+}
+
+// TestSlackSchemeRejectedOverWire maps the core constructor panic onto a
+// 400 instead of crashing the daemon.
+func TestSlackSchemeRejectedOverWire(t *testing.T) {
+	c, _ := newDaemon(t, service.Config{})
+	_, err := CreateSession(context.Background(), c, "bad", "splub",
+		SessionOptions{Seed: testSeed, SlackEps: 0.1})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeBadRequest {
+		t.Fatalf("slack on splub: got %v, want %s", err, api.CodeBadRequest)
+	}
+}
+
+// TestAutoSlackEscalationDropsMirror drives a server-side auto policy
+// past its escalation point and checks the client mirror reacts: cached
+// intervals from the ε=0 era are dropped and replaced with relaxed ones.
+func TestAutoSlackEscalationDropsMirror(t *testing.T) {
+	const n = 16
+	evil := slackTestSpace{Space: lineSpace(n), i: 2, j: 9, d: 0.9}
+	srv, err := service.New(service.Config{Oracle: metric.NewOracle(evil)})
+	if err != nil {
+		t.Fatalf("service.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	sess, err := CreateSession(context.Background(), New(ts.URL, fastOptions()),
+		"auto", "tri", SessionOptions{Seed: testSeed, SlackAuto: true})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+
+	// Era 1 (ε = 0): resolve a hub and cache one derived interval.
+	for i := 1; i < n; i++ {
+		if _, err := sess.DistErr(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lb1, ub1 := sess.Bounds(5, 12)
+	if sess.SlackEps() != 0 {
+		t.Fatalf("pre-escalation SlackEps = %v, want 0", sess.SlackEps())
+	}
+
+	// Escalate: resolving the planted pair closes violating triangles, so
+	// the server's auditor margin — and with it the auto ε — jumps.
+	if _, err := sess.DistErr(2, 9); err != nil {
+		t.Fatal(err)
+	}
+	// Detection is lazy: the mirror learns of the rise on its next bounds
+	// round-trip (a cached pair would answer locally), and that response's
+	// Eps drops every cached interval — including (5,12)'s.
+	sess.Bounds(6, 13)
+	lb2, ub2 := sess.Bounds(5, 12)
+	if sess.SlackEps() <= 0 {
+		t.Fatal("escalation not observed by the mirror")
+	}
+	if lb2 > lb1 || ub2 < ub1 || (lb2 == lb1 && ub2 == ub1) {
+		t.Fatalf("post-escalation interval [%v,%v] is not strictly wider than cached [%v,%v]; stale mirror interval survived the ε rise",
+			lb2, ub2, lb1, ub1)
+	}
+	if st := sess.Stats(); st.Violations == 0 {
+		t.Fatal("StatsResponse did not carry the auditor's violation count")
+	}
+}

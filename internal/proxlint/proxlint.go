@@ -16,6 +16,7 @@ import (
 	"metricprox/internal/proxlint/obspurity"
 	"metricprox/internal/proxlint/oracleescape"
 	"metricprox/internal/proxlint/rowescape"
+	"metricprox/internal/proxlint/slackescape"
 	"metricprox/internal/proxlint/wireinf"
 )
 
@@ -30,6 +31,7 @@ func Analyzers() []*analysis.Analyzer {
 		exporteddoc.Analyzer,
 		rowescape.Analyzer,
 		degradedtaint.Analyzer,
+		slackescape.Analyzer,
 		ctxflow.Analyzer,
 		wireinf.Analyzer,
 	}

@@ -1,0 +1,12 @@
+package slackescape_test
+
+import (
+	"testing"
+
+	"metricprox/internal/proxlint/analyzertest"
+	"metricprox/internal/proxlint/slackescape"
+)
+
+func TestSlackEscape(t *testing.T) {
+	analyzertest.Run(t, "testdata", slackescape.Analyzer, "a")
+}

@@ -1,0 +1,8 @@
+// Package pgraph is a minimal fake of the CSR adjacency store.
+package pgraph
+
+// Graph is the proximity graph.
+type Graph struct{ n int }
+
+// AddEdge commits an edge with an exact resolved weight.
+func (g *Graph) AddEdge(i, j int, w float64) {}

@@ -1,0 +1,10 @@
+// Package api is a minimal fake of the wire-type package.
+package api
+
+// WireFloat carries float64 values (±Inf included) across JSON.
+type WireFloat float64
+
+// DistResponse is the wire form of a distance answer.
+type DistResponse struct {
+	D WireFloat `json:"d"`
+}

@@ -109,6 +109,20 @@ type CreateSessionRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Bootstrap resolves all landmark rows up front when true.
 	Bootstrap bool `json:"bootstrap,omitempty"`
+	// SlackEps declares the oracle a near-metric with additive violation
+	// margin ε and activates ε-slack mode (core.SlackPolicy.Additive).
+	// Only single-triangle schemes (noop, tri, laesa, tlaesa) accept it.
+	SlackEps WireFloat `json:"slack_eps,omitempty"`
+	// SlackRatio declares a multiplicative violation factor ρ ≥ 1
+	// (core.SlackPolicy.Ratio); 0 means none. Limited to noop and tri.
+	SlackRatio WireFloat `json:"slack_ratio,omitempty"`
+	// SlackAuto grows the effective ε with the margins the session's
+	// auditor observes (core.SlackPolicy.Auto). Implies an auditor.
+	SlackAuto bool `json:"slack_auto,omitempty"`
+	// Audit attaches a triangle-violation auditor without any slack:
+	// strict mode, where a violation voids output preservation and is
+	// surfaced through StatsResponse.Violations.
+	Audit bool `json:"audit,omitempty"`
 }
 
 // SessionInfo describes one hosted session.
@@ -193,6 +207,12 @@ type BoundsResponse struct {
 	LB WireFloat `json:"lb"`
 	// UB is the upper bound.
 	UB WireFloat `json:"ub"`
+	// Eps is the additive slack the interval was relaxed by — 0 for a
+	// strict session. Under an auto slack policy this value can grow
+	// between responses; a client mirror that caches intervals must drop
+	// them when it sees Eps rise, because "server bounds only tighten"
+	// stops holding at the escalation point.
+	Eps WireFloat `json:"eps,omitempty"`
 }
 
 // BootstrapRequest resolves the given landmark rows up front.
@@ -253,6 +273,9 @@ type BatchResult struct {
 	// LB and UB are set for bounds ops.
 	LB WireFloat `json:"lb,omitempty"`
 	UB WireFloat `json:"ub,omitempty"`
+	// Eps is set for bounds ops: the additive slack applied to the
+	// interval (see BoundsResponse.Eps).
+	Eps WireFloat `json:"eps,omitempty"`
 	// Err is an error code (Code* constant) when this op failed; ops are
 	// independent, so one failure does not poison the batch.
 	Err string `json:"err,omitempty"`
@@ -343,6 +366,11 @@ type StatsResponse struct {
 	DegradedAnswers int64 `json:"degraded_answers"`
 	// StoreErrors — see core.Stats.
 	StoreErrors int64 `json:"store_errors"`
+	// SlackResolved — see core.Stats.
+	SlackResolved int64 `json:"slack_resolved,omitempty"`
+	// Violations — see core.Stats. Non-zero on a strict (audited,
+	// slack-free) session means output preservation is void.
+	Violations int64 `json:"violations,omitempty"`
 }
 
 // SessionList is the GET /v1/sessions response.

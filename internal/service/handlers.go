@@ -7,6 +7,7 @@ import (
 
 	"metricprox/internal/cachestore"
 	"metricprox/internal/core"
+	"metricprox/internal/metric"
 	"metricprox/internal/prox"
 	"metricprox/internal/service/api"
 )
@@ -40,9 +41,21 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	lmCount := s.landmarkCount(req.Landmarks)
+	slack := core.SlackPolicy{
+		Additive: float64(req.SlackEps),
+		Ratio:    float64(req.SlackRatio),
+		Auto:     req.SlackAuto,
+	}
+	// Validate the slack/scheme combination up front: the core options
+	// panic on bad combinations, and a client mistake must be a 400, not a
+	// daemon crash.
+	if err := core.SlackSupported(slack, scheme); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
 
 	entry, created, err := s.reg.GetOrCreate(req.Name, func() (*core.SharedSession, any, error) {
-		return s.buildSession(req.Name, scheme, lmCount, req.Seed, req.Bootstrap)
+		return s.buildSession(req.Name, scheme, lmCount, req.Seed, req.Bootstrap, slack, req.Audit)
 	})
 	switch {
 	case errors.Is(err, core.ErrTooManySessions):
@@ -53,9 +66,11 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := entry.Data.(*sessionState)
-	if !created && (st.scheme != scheme || st.landmarks != lmCount || st.seed != req.Seed) {
+	if !created && (st.scheme != scheme || st.landmarks != lmCount || st.seed != req.Seed ||
+		st.slack != slack || st.audit != req.Audit) {
 		writeError(w, http.StatusConflict, api.CodeConflict,
-			fmt.Sprintf("session %q exists with scheme=%v landmarks=%d seed=%d", entry.Name, st.scheme, st.landmarks, st.seed))
+			fmt.Sprintf("session %q exists with scheme=%v landmarks=%d seed=%d slack=%+v audit=%v",
+				entry.Name, st.scheme, st.landmarks, st.seed, st.slack, st.audit))
 		return
 	}
 	s.met.sessions.Set(float64(s.reg.Len()))
@@ -71,10 +86,16 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 // buildSession is the registry build callback: session, optional
 // persistent cache (replayed for warm starts), optional bootstrap, then
 // the shared concurrent wrapper.
-func (s *Server) buildSession(name string, scheme core.Scheme, lmCount int, seed int64, bootstrap bool) (*core.SharedSession, any, error) {
+func (s *Server) buildSession(name string, scheme core.Scheme, lmCount int, seed int64, bootstrap bool, slack core.SlackPolicy, audit bool) (*core.SharedSession, any, error) {
 	var opts []core.Option
 	if s.cfg.MaxDistance > 0 {
 		opts = append(opts, core.WithMaxDistance(s.cfg.MaxDistance))
+	}
+	if slack.Active() {
+		opts = append(opts, core.WithSlack(slack))
+	}
+	if audit && !slack.Auto { // Auto already attaches its own auditor
+		opts = append(opts, core.WithAuditor(metric.NewAuditor(0)))
 	}
 	lms := core.PickLandmarks(s.n, lmCount, seed)
 	sess := core.NewFallibleSessionWithLandmarks(s.cfg.Oracle, scheme, lms, opts...)
@@ -84,6 +105,8 @@ func (s *Server) buildSession(name string, scheme core.Scheme, lmCount int, seed
 		scheme:    scheme,
 		landmarks: lmCount,
 		seed:      seed,
+		slack:     slack,
+		audit:     audit,
 	}
 	if path := s.cachePath(name); path != "" {
 		store, err := cachestore.OpenOrCreate(path, s.n)
@@ -131,6 +154,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BreakerOpens:        st.BreakerOpens,
 		DegradedAnswers:     st.DegradedAnswers,
 		StoreErrors:         st.StoreErrors,
+		SlackResolved:       st.SlackResolved,
+		Violations:          st.Violations,
 	})
 }
 
@@ -248,7 +273,11 @@ func (s *Server) handleDistIfLess(w http.ResponseWriter, r *http.Request, entry 
 	}
 	resp := api.DistIfLessResponse{Less: less}
 	if less {
-		resp.D = api.WireFloat(d)
+		// d is exact whenever less is true: the relaxed-bounds decision
+		// path returns less=false, so a shipped D is always a cache hit or
+		// an oracle resolution. The taint is decideDistIfLess's gap metric
+		// sharing the function-level fact.
+		resp.D = api.WireFloat(d) //proxlint:allow slackescape -- D ships only on the exact (cache/oracle) path; the bounds-decided path never sets less
 	}
 	writeJSON(w, resp)
 }
@@ -267,7 +296,14 @@ func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request, entry *cor
 		return
 	}
 	lb, ub := entry.Session.Bounds(req.I, req.J)
-	writeJSON(w, api.BoundsResponse{LB: api.WireFloat(lb), UB: api.WireFloat(ub)})
+	// Eps is read after Bounds so it is ≥ the slack actually applied (an
+	// auto policy can only grow it); the client's escalation detection
+	// needs that ordering, not exactness.
+	writeJSON(w, api.BoundsResponse{
+		LB:  api.WireFloat(lb),
+		UB:  api.WireFloat(ub),
+		Eps: api.WireFloat(entry.Session.SlackEps()),
+	})
 }
 
 // handleBootstrap resolves landmark rows up front.
@@ -360,7 +396,7 @@ func (s *Server) handleDistBatch(w http.ResponseWriter, r *http.Request, entry *
 			}
 			res.Less = less
 			if less {
-				res.D = api.WireFloat(d)
+				res.D = api.WireFloat(d) //proxlint:allow slackescape -- D ships only on the exact (cache/oracle) path; the bounds-decided path never sets less
 			}
 		default:
 			res.Err = api.CodeBadRequest
@@ -392,8 +428,10 @@ func (s *Server) serveBoundsRun(sess *core.SharedSession, ops []api.BatchOp, res
 	lb := make([]float64, len(is))
 	ub := make([]float64, len(is))
 	sess.BoundsBatch(is, js, lb, ub)
+	eps := api.WireFloat(sess.SlackEps()) // after the batch; see handleBounds
 	for q, x := range slots {
 		results[x].LB, results[x].UB = api.WireFloat(lb[q]), api.WireFloat(ub[q])
+		results[x].Eps = eps
 	}
 }
 

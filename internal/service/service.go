@@ -71,6 +71,8 @@ type sessionState struct {
 	scheme    core.Scheme
 	landmarks int
 	seed      int64
+	slack     core.SlackPolicy
+	audit     bool
 }
 
 // Server hosts the registry and implements the HTTP API. Create with New,
