@@ -69,6 +69,44 @@ func BenchmarkExt8(b *testing.B)   { benchExperiment(b, "ext8") }
 func BenchmarkExt9(b *testing.B)   { benchExperiment(b, "ext9") }
 func BenchmarkExt10(b *testing.B)  { benchExperiment(b, "ext10") }
 func BenchmarkExt12(b *testing.B)  { benchExperiment(b, "ext12") }
+func BenchmarkExt13(b *testing.B)  { benchExperiment(b, "ext13") }
+
+// BenchmarkSearchGraphBuildIF / BenchmarkSearchGraphBuildNaive are the
+// ext13 gate pair: the same NSW construction over the planar SF
+// surrogate, IF-driven (Tri session, landmark-seeded beams, bootstrap
+// included) versus naive (raw oracle, textbook single entry). Each
+// reports its deterministic oracle-call count as the ns/op metric, so
+// the benchgate "speedup" — naive calls ÷ IF calls — is an exact call
+// ratio, independent of machine and scheduler; CI's bench-smoke job
+// enforces ≥1.5× via:
+//
+//	go test -run '^$' -bench 'SearchGraphBuild' -benchtime 1x . | benchgate \
+//	    -subject BenchmarkSearchGraphBuildIF \
+//	    -base BenchmarkSearchGraphBuildNaive \
+//	    -min 1.5 -out BENCH_searchgraph.json
+func BenchmarkSearchGraphBuildIF(b *testing.B) {
+	var calls int64
+	for i := 0; i < b.N; i++ {
+		calls = experiments.SearchGraphIFBuildCalls(searchGraphN, searchGraphSeed)
+	}
+	b.ReportMetric(float64(calls), "ns/op")
+}
+
+func BenchmarkSearchGraphBuildNaive(b *testing.B) {
+	var calls int64
+	for i := 0; i < b.N; i++ {
+		calls = experiments.SearchGraphNaiveBuildCalls(searchGraphN, searchGraphSeed)
+	}
+	b.ReportMetric(float64(calls), "ns/op")
+}
+
+// The gated workload's scale: large enough that the one-time landmark
+// bootstrap (≈ 9·n calls at this size) is amortised, small enough to
+// run in CI per push.
+const (
+	searchGraphN    = 400
+	searchGraphSeed = 1
+)
 
 // --- micro-benchmarks of the core primitives ---
 

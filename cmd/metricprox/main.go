@@ -6,6 +6,7 @@
 //
 //	metricprox -in points.csv -algo mst                     # Prim + Tri
 //	metricprox -in points.csv -algo knn -k 10 -scheme splub
+//	metricprox -demo 500 -algo search -k 10 -m 8 -ef 32     # approx kNN (NSW)
 //	metricprox -in points.csv -algo pam -l 8 -scheme noop   # unmodified
 //	metricprox -in points.csv -algo kcenter -l 5 -cache d.cache
 //	metricprox -demo 500 -algo tsp                          # synthetic demo
@@ -59,6 +60,7 @@ import (
 	"metricprox/internal/datasets"
 	"metricprox/internal/faultmetric"
 	"metricprox/internal/metric"
+	"metricprox/internal/nsw"
 	"metricprox/internal/obs"
 	"metricprox/internal/obs/obshttp"
 	"metricprox/internal/prox"
@@ -67,15 +69,17 @@ import (
 
 // algoNames lists the -algo values runAlgo accepts, for up-front
 // validation.
-var algoNames = []string{"mst", "kruskal", "boruvka", "knn", "pam", "clarans", "kcenter", "tsp", "linkage"}
+var algoNames = []string{"mst", "kruskal", "boruvka", "knn", "search", "pam", "clarans", "kcenter", "tsp", "linkage"}
 
 func main() {
 	var (
 		inFlag      = flag.String("in", "", "CSV point file (one point per line)")
 		demoFlag    = flag.Int("demo", 0, "use a synthetic road-network dataset of this size instead of -in")
-		algoFlag    = flag.String("algo", "mst", "algorithm: mst | kruskal | boruvka | knn | pam | clarans | kcenter | tsp | linkage")
+		algoFlag    = flag.String("algo", "mst", "algorithm: mst | kruskal | boruvka | knn | search | pam | clarans | kcenter | tsp | linkage")
 		schemeFlag  = flag.String("scheme", "tri", "bound scheme: noop | tri | splub | adm | laesa | tlaesa | hybrid")
-		kFlag       = flag.Int("k", 5, "neighbours for -algo knn")
+		kFlag       = flag.Int("k", 5, "neighbours for -algo knn and -algo search")
+		mFlag       = flag.Int("m", 0, "links per node for -algo search (0 = default)")
+		efFlag      = flag.Int("ef", 0, "beam width for -algo search, build and query (0 = default)")
 		lFlag       = flag.Int("l", 8, "clusters/centers for pam, clarans, kcenter")
 		pFlag       = flag.Float64("p", 2, "Minkowski norm for CSV input")
 		landmarks   = flag.Int("landmarks", 0, "bootstrap landmarks (0 = log2 n)")
@@ -243,7 +247,7 @@ func main() {
 	}
 
 	start := time.Now()
-	summary, err := runAlgo(s, *algoFlag, *kFlag, *lFlag, *seedFlag)
+	summary, err := runAlgo(s, *algoFlag, *kFlag, *lFlag, *seedFlag, lms, *mFlag, *efFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "metricprox:", err)
 		os.Exit(2)
@@ -350,7 +354,7 @@ func loadSpace(in string, demo int, p float64, seed int64) (metric.Space, error)
 	}
 }
 
-func runAlgo(s *core.Session, algo string, k, l int, seed int64) (string, error) {
+func runAlgo(s *core.Session, algo string, k, l int, seed int64, lms []int, m, ef int) (string, error) {
 	switch algo {
 	case "mst":
 		m := prox.PrimMST(s)
@@ -370,6 +374,33 @@ func runAlgo(s *core.Session, algo string, k, l int, seed int64) (string, error)
 			}
 		}
 		return fmt.Sprintf("%d-NN graph: mean neighbour distance %.6f", k, sum/float64(len(g)*k)), nil
+	case "search":
+		// The approximate counterpart of -algo knn: build a navigable
+		// search graph (beams seeded from the session's bootstrapped
+		// landmarks, every comparison through the IF) and answer a k-NN
+		// query for every object over it.
+		g, err := nsw.Build(s, nsw.Params{M: m, EfConstruction: ef, Seed: seed, Landmarks: lms})
+		if err != nil {
+			return "", fmt.Errorf("search graph build: %w", err)
+		}
+		efs := ef
+		if efs <= 0 {
+			efs = nsw.DefaultEfConstruction
+		}
+		sum, cnt := 0.0, 0
+		for q := 0; q < g.N(); q++ {
+			res, err := g.Search(s, q, k, efs)
+			if err != nil {
+				return "", fmt.Errorf("search query %d: %w", q, err)
+			}
+			for _, nb := range res {
+				sum += nb.Dist
+				cnt++
+			}
+		}
+		p := g.Params()
+		return fmt.Sprintf("search graph (nsw m=%d efc=%d): %d nodes, %d edges; approx %d-NN mean neighbour distance %.6f",
+			p.M, p.EfConstruction, g.Inserted(), g.Edges(), k, sum/float64(cnt)), nil
 	case "pam":
 		c := prox.PAM(s, l, seed)
 		return fmt.Sprintf("PAM: %d medoids %v, cost %.6f", l, c.Medoids, c.Cost), nil

@@ -41,10 +41,11 @@ func TestRunAlgoAll(t *testing.T) {
 		"kcenter": "k-center:",
 		"tsp":     "TSP",
 		"linkage": "single-linkage",
+		"search":  "search graph (nsw",
 	}
 	for algo, want := range wants {
 		s := testSession(t)
-		out, err := runAlgo(s, algo, 3, 4, 1)
+		out, err := runAlgo(s, algo, 3, 4, 1, nil, 0, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -52,7 +53,7 @@ func TestRunAlgoAll(t *testing.T) {
 			t.Fatalf("%s: summary %q missing %q", algo, out, want)
 		}
 	}
-	if _, err := runAlgo(testSession(t), "bogus", 3, 4, 1); err == nil {
+	if _, err := runAlgo(testSession(t), "bogus", 3, 4, 1, nil, 0, 0); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }

@@ -1,0 +1,174 @@
+// Searchgraph builds the navigable-small-world search graph (internal/nsw)
+// and prints it in its canonical diffable Dump form, either in-process
+// (-local) or by driving a running metricproxd daemon through the
+// proxclient Session (-addr). Both modes run the identical builder —
+// every beam comparison goes through the IF, so the graph is a pure
+// function of the distances — and the CI server-smoke job diffs the two
+// outputs byte for byte to prove it.
+//
+//	metricproxd -demo 200 -planar -seed 1 -listen 127.0.0.1:7600 &
+//	go run ./examples/searchgraph -addr http://127.0.0.1:7600 > remote.txt
+//	go run ./examples/searchgraph -local -n 200 -seed 1        > local.txt
+//	diff remote.txt local.txt
+//
+// With -search the example instead queries the daemon's /search endpoint
+// for every object and reports recall@k against an exact in-process
+// reference, failing (exit 1) below -min-recall — the CI search-smoke
+// job's quality gate.
+//
+//	go run ./examples/searchgraph -addr http://127.0.0.1:7600 -search \
+//	    -n 200 -seed 1 -k 10 -min-recall 0.9
+//
+// -local (and -search's reference) must be given the same -n/-seed the
+// daemon was started with; the graph is then built exactly like the
+// daemon builds it (planar SF surrogate, Tri scheme, log2 n landmarks
+// seeding every beam), so any byte of difference is a real equivalence
+// bug.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"metricprox/internal/core"
+	"metricprox/internal/datasets"
+	"metricprox/internal/metric"
+	"metricprox/internal/nsw"
+	"metricprox/internal/prox"
+	"metricprox/internal/proxclient"
+)
+
+func main() {
+	var (
+		addrFlag   = flag.String("addr", "", "metricproxd base URL (e.g. http://127.0.0.1:7600)")
+		localFlag  = flag.Bool("local", false, "build in-process instead of against a daemon")
+		searchFlag = flag.Bool("search", false, "with -addr: query /search for every object and gate recall@k")
+		nFlag      = flag.Int("n", 200, "dataset size (match the daemon's -demo)")
+		seedFlag   = flag.Int64("seed", 1, "dataset and landmark seed (match the daemon's -seed)")
+		kFlag      = flag.Int("k", 10, "neighbours per query for -search")
+		minRecall  = flag.Float64("min-recall", 0.9, "recall@k floor for -search (exit 1 below it)")
+		nameFlag   = flag.String("session", "searchgraph", "session name on the daemon")
+	)
+	flag.Parse()
+	if (*addrFlag == "") == !*localFlag {
+		fmt.Fprintln(os.Stderr, "searchgraph: pick exactly one of -addr or -local (see -h)")
+		os.Exit(2)
+	}
+	if *searchFlag && *addrFlag == "" {
+		fmt.Fprintln(os.Stderr, "searchgraph: -search needs -addr (see -h)")
+		os.Exit(2)
+	}
+
+	switch {
+	case *localFlag:
+		g := localBuild(*nFlag, *seedFlag)
+		if err := g.Dump(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "searchgraph:", err)
+			os.Exit(1)
+		}
+	case *searchFlag:
+		if err := searchGate(*addrFlag, *nameFlag, *nFlag, *seedFlag, *kFlag, *minRecall); err != nil {
+			fmt.Fprintln(os.Stderr, "searchgraph:", err)
+			os.Exit(1)
+		}
+	default:
+		g, err := remoteBuild(*addrFlag, *nameFlag, *seedFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "searchgraph:", err)
+			os.Exit(1)
+		}
+		if err := g.Dump(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "searchgraph:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// params mirrors the daemon's /search defaults: zero M/EfConstruction
+// (WithDefaults fills them), the session seed, and the session's own
+// landmarks seeding every beam.
+func params(n int, seed int64) nsw.Params {
+	lmCount := 0
+	for v := n; v > 1; v /= 2 {
+		lmCount++
+	}
+	return nsw.Params{Seed: seed, Landmarks: core.PickLandmarks(n, lmCount, seed)}
+}
+
+// localBuild constructs the graph over the session metricproxd's
+// buildSession would host: planar surrogate, Tri scheme, bootstrapped
+// log2-n landmarks.
+func localBuild(n int, seed int64) *nsw.Graph {
+	p := params(n, seed)
+	s := core.NewFallibleSessionWithLandmarks(
+		metric.NewOracle(datasets.SFPOIPlanar(n, seed)), core.SchemeTri, p.Landmarks)
+	if _, err := s.BootstrapErr(p.Landmarks); err != nil {
+		fmt.Fprintln(os.Stderr, "searchgraph: bootstrap degraded, continuing:", err)
+	}
+	g, err := nsw.Build(s, p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "searchgraph: build aborted, dumping committed prefix:", err)
+	}
+	return g
+}
+
+// remoteBuild runs the identical builder against the remote client
+// Session: every beam decision crosses the wire (or is settled by the
+// client's sound local mirror), and the resulting dump must equal the
+// local one byte for byte.
+func remoteBuild(addr, name string, seed int64) (*nsw.Graph, error) {
+	c := proxclient.New(addr, proxclient.Options{})
+	sess, err := proxclient.CreateSession(context.Background(), c, name, "tri",
+		proxclient.SessionOptions{Seed: seed, Bootstrap: true})
+	if err != nil {
+		return nil, err
+	}
+	g, err := nsw.Build(sess, params(sess.N(), seed))
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "searchgraph: %d nodes over %d HTTP round-trips\n", g.N(), c.Requests())
+	return g, nil
+}
+
+// searchGate queries the daemon's /search endpoint for every object and
+// measures recall@k against the exact kNN of an in-process reference
+// over the same space, erroring below the floor.
+func searchGate(addr, name string, n int, seed int64, k int, floor float64) error {
+	c := proxclient.New(addr, proxclient.Options{})
+	sess, err := proxclient.CreateSession(context.Background(), c, name, "tri",
+		proxclient.SessionOptions{Seed: seed, Bootstrap: true})
+	if err != nil {
+		return err
+	}
+	if sess.N() != n {
+		return fmt.Errorf("daemon hosts %d objects, -n says %d; pass the daemon's -demo size", sess.N(), n)
+	}
+	exact := core.NewSession(metric.NewOracle(datasets.SFPOIPlanar(n, seed)), core.SchemeNoop)
+	ctx := context.Background()
+	hits, total := 0, 0
+	for q := 0; q < n; q++ {
+		got, _, err := sess.RemoteSearch(ctx, q, k, proxclient.SearchParams{})
+		if err != nil {
+			return fmt.Errorf("search %d: %w", q, err)
+		}
+		truth := make(map[int]bool, k)
+		for _, nb := range prox.KNNRow(exact, q, k) {
+			truth[nb.ID] = true
+		}
+		for _, nb := range got {
+			if truth[nb.ID] {
+				hits++
+			}
+		}
+		total += k
+	}
+	recall := float64(hits) / float64(total)
+	fmt.Printf("recall@%d over %d queries: %.4f (floor %.2f)\n", k, n, recall, floor)
+	if recall < floor {
+		return fmt.Errorf("recall@%d = %.4f below the %.2f floor", k, recall, floor)
+	}
+	return nil
+}

@@ -1,23 +1,3 @@
-// Package bounds implements the paper's bound-computation schemes — the
-// machinery that lets a proximity algorithm resolve a distance-comparing IF
-// statement without calling the distance oracle.
-//
-// All schemes answer the BOUNDS PROBLEM (Problem 1): given the partial
-// graph of resolved distances, produce a lower and an upper bound for an
-// unknown edge that no metric completion can violate. They differ in
-// tightness and cost:
-//
-//   - SPLUB (Section 4.1): the *tightest* bounds, via two Dijkstra runs and
-//     a scan of the known edges. O(m + n log n) per query, O(1) update.
-//   - Tri Scheme (Section 4.2): bounds from triangles incident to the
-//     queried pair only. Expected O(m/n) per query, O(log n) update.
-//   - ADM (Shasha–Wang baseline): tightest bounds from all-pairs bound
-//     matrices; O(n²) incremental update.
-//   - LAESA / TLAESA (landmark baselines): static pivot-table bounds.
-//   - DFT (Section 2.2): not a bound scheme but a *comparator* — it decides
-//     a comparison outright by LP feasibility; see Comparator.
-//   - Noop: the trivial (0, maxDist) bounds, which recovers the unmodified
-//     proximity algorithm.
 package bounds
 
 // Bounder produces lower and upper bounds on unknown distances from the

@@ -73,7 +73,7 @@ var paperOrder = []string{
 	"fig8a", "fig8b", "fig8c", "fig8d",
 	"fig9a", "fig9b", "fig9c", "fig9d",
 	"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext9",
-	"ext10", "ext11", "ext12",
+	"ext10", "ext11", "ext12", "ext13",
 }
 
 // All returns every registered experiment in paper order; experiments

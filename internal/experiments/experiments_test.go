@@ -21,7 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig8a", "fig8b", "fig8c", "fig8d",
 		"fig9a", "fig9b", "fig9c", "fig9d",
 		"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext9",
-		"ext10", "ext11", "ext12",
+		"ext10", "ext11", "ext12", "ext13",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -74,6 +74,25 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 		t.Run(r.ID, func(t *testing.T) {
 			runAndCheck(t, r.ID)
 		})
+	}
+}
+
+// TestSearchGraphGateRatio pins the quantity CI's bench-smoke job gates
+// through BenchmarkSearchGraphBuild{IF,Naive}: at the gated workload's
+// own scale and seed, the IF-driven NSW build must cost at most 1/1.5 of
+// the naive one's oracle calls. Failing here means the benchgate step
+// would fail too — fix the regression, don't lower the floor.
+func TestSearchGraphGateRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gated-workload ratio check skipped in -short mode")
+	}
+	const n, seed = 400, 1 // keep in lockstep with bench_test.go's searchGraphN/searchGraphSeed
+	naive := SearchGraphNaiveBuildCalls(n, seed)
+	ifd := SearchGraphIFBuildCalls(n, seed)
+	ratio := float64(naive) / float64(ifd)
+	t.Logf("gated build ratio: naive %d / if %d = %.2f", naive, ifd, ratio)
+	if ratio < 1.5 {
+		t.Fatalf("gated build ratio %.2f below the 1.5 floor (naive %d, if %d)", ratio, naive, ifd)
 	}
 }
 

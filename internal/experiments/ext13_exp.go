@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"metricprox/internal/bktree"
+	"metricprox/internal/core"
+	"metricprox/internal/datasets"
+	"metricprox/internal/gnat"
+	"metricprox/internal/metric"
+	"metricprox/internal/mtree"
+	"metricprox/internal/nsw"
+	"metricprox/internal/prox"
+	"metricprox/internal/stats"
+	"metricprox/internal/vptree"
+)
+
+func init() {
+	register("ext13", "Navigable search graph: IF-driven NSW vs naive NSW and classic metric indexes (build + all-queries kNN, recall@10)", ext13)
+}
+
+// ext13Workload fixes the navigable-graph workload shared by the table
+// and the root BenchmarkSearchGraphBuild{IF,Naive} pair that cmd/benchgate
+// gates: build a search graph over the planar SF surrogate and answer a
+// k-NN query for every object. One definition, one source of truth for
+// the gated ratio.
+const (
+	ext13K        = 10
+	ext13EfSearch = 64
+)
+
+// ext13Params is the NSW build configuration of the gated workload.
+func ext13Params(seed int64) nsw.Params {
+	return nsw.Params{M: 8, EfConstruction: 32, Seed: seed}
+}
+
+// SearchGraphNaiveBuildCalls runs the naive (raw-oracle, unseeded) NSW
+// build of the ext13 workload over the planar SF surrogate and returns
+// its oracle-call count. Exported for the root
+// BenchmarkSearchGraphBuildNaive, which reports this deterministic count
+// as the quantity cmd/benchgate ratios against the IF build.
+func SearchGraphNaiveBuildCalls(n int, seed int64) int64 {
+	_, calls := ext13NaiveBuild(datasets.SFPOIPlanar(n, seed), seed)
+	return calls
+}
+
+// SearchGraphIFBuildCalls runs the IF-driven (Tri, landmark-seeded) NSW
+// build of the ext13 workload and returns its oracle-call count,
+// bootstrap included — the subject side of the benchgate ratio.
+func SearchGraphIFBuildCalls(n int, seed int64) int64 {
+	_, _, calls := ext13IFBuild(datasets.SFPOIPlanar(n, seed), seed)
+	return calls
+}
+
+// ext13NaiveBuild runs the unseeded NSW build against a bare noop
+// session — the textbook algorithm paying the raw oracle for every
+// comparison — and returns the graph with its call count.
+func ext13NaiveBuild(space metric.Space, seed int64) (*nsw.Graph, int64) {
+	s := core.NewSession(metric.NewOracle(space), core.SchemeNoop)
+	g, err := nsw.Build(s, ext13Params(seed))
+	if err != nil {
+		panic(fmt.Sprintf("ext13: naive build over in-memory oracle failed: %v", err))
+	}
+	return g, s.Stats().OracleCalls
+}
+
+// ext13IFBuild runs the landmark-seeded NSW build against a bootstrapped
+// Tri session — every comparison through DistIfLess, every beam seeded
+// from the cached landmark rows — and returns the graph, the session
+// (reused for queries: accumulated knowledge is the framework's point),
+// and the build call count including bootstrap.
+func ext13IFBuild(space metric.Space, seed int64) (*nsw.Graph, *core.Session, int64) {
+	n := space.Len()
+	lms := core.PickLandmarks(n, logLandmarks(n), seed)
+	s := core.NewSessionWithLandmarks(metric.NewOracle(space), core.SchemeTri, lms)
+	s.Bootstrap(lms)
+	p := ext13Params(seed)
+	p.Landmarks = lms
+	g, err := nsw.Build(s, p)
+	if err != nil {
+		panic(fmt.Sprintf("ext13: IF build over in-memory oracle failed: %v", err))
+	}
+	return g, s, s.Stats().OracleCalls
+}
+
+// ext13 pits the IF-driven navigable-small-world searcher against the
+// naive NSW build and four classic metric indexes on the approximate-kNN
+// workload: construct an index over the space, then answer recall@10
+// queries for every object. Cost is total oracle calls (construction
+// plus queries, bootstrap included for the session). The IF build routes
+// every beam comparison through DistIfLess — bounds prune uncompetitive
+// candidates — and seeds every beam from the session's bootstrapped
+// landmark rows, which the IF answers from cache; naive NSW runs the
+// same algorithm shape against the raw oracle, where seeding would cost
+// a full landmark scan per insert and is therefore left out (the
+// textbook single-entry form).
+func ext13(cfg Config) *stats.Table {
+	n := 400
+	if cfg.Quick {
+		n = 150
+	}
+	if cfg.Full {
+		n = 800
+	}
+	const k = ext13K
+	space := datasets.SFPOIPlanar(n, cfg.Seed)
+
+	// Ground truth for recall, over a session that is charged to nobody.
+	exact := core.NewSession(metric.NewOracle(space), core.SchemeNoop)
+	truth := make([]map[int]bool, n)
+	for q := 0; q < n; q++ {
+		truth[q] = make(map[int]bool, k)
+		for _, nb := range prox.KNNRow(exact, q, k) {
+			truth[q][nb.ID] = true
+		}
+	}
+	recall := func(hits int) string { return fmt.Sprintf("%.3f", float64(hits)/float64(n*k)) }
+
+	t := &stats.Table{
+		ID:      "ext13",
+		Title:   fmt.Sprintf("Approximate %d-NN for all %d objects, planar SF surrogate: build + query oracle calls", k, n),
+		Columns: []string{"Method", "Build calls", "Query calls", "Total", "Recall@10", "Naive NSW / method"},
+	}
+
+	var naiveTotal int64
+	addRow := func(name string, build, query int64, hits int) {
+		total := build + query
+		ratio := "1.00"
+		if naiveTotal == 0 {
+			naiveTotal = total // first row is the naive baseline
+		} else {
+			ratio = fmt.Sprintf("%.2f", float64(naiveTotal)/float64(total))
+		}
+		t.AddRow(name, stats.Int(build), stats.Int(query), stats.Int(total), recall(hits), ratio)
+	}
+
+	{ // Naive NSW: raw oracle for build and queries alike.
+		g, build := ext13NaiveBuild(space, cfg.Seed)
+		qs := core.NewSession(metric.NewOracle(space), core.SchemeNoop)
+		hits := 0
+		for q := 0; q < n; q++ {
+			res, err := g.Search(qs, q, k, ext13EfSearch)
+			if err != nil {
+				panic(fmt.Sprintf("ext13: naive search: %v", err))
+			}
+			for _, nb := range res {
+				if truth[q][nb.ID] {
+					hits++
+				}
+			}
+		}
+		addRow("naive nsw", build, qs.Stats().OracleCalls, hits)
+	}
+	{ // IF-driven NSW: one Tri session across bootstrap, build and queries.
+		g, s, build := ext13IFBuild(space, cfg.Seed)
+		hits := 0
+		for q := 0; q < n; q++ {
+			res, err := g.Search(s, q, k, ext13EfSearch)
+			if err != nil {
+				panic(fmt.Sprintf("ext13: IF search: %v", err))
+			}
+			for _, nb := range res {
+				if truth[q][nb.ID] {
+					hits++
+				}
+			}
+		}
+		addRow("if nsw (tri, seeded)", build, s.Stats().OracleCalls-build, hits)
+	}
+	{ // VP-tree: exact index, caller-controlled query accounting.
+		tree := vptree.Build(space, cfg.Seed)
+		var qcalls int64
+		hits := 0
+		for q := 0; q < n; q++ {
+			res, c := tree.NN(q, k, func(x int) float64 { return space.Distance(q, x) }) //proxlint:allow oracleescape -- baseline query hook: the index does its own call accounting (c), outside the session framework by design
+			qcalls += c
+			for _, r := range res {
+				if truth[q][r.ID] {
+					hits++
+				}
+			}
+		}
+		addRow("vp-tree", tree.ConstructionCalls(), qcalls, hits)
+	}
+	{ // GNAT: same contract as the VP-tree.
+		tree := gnat.Build(space, cfg.Seed)
+		var qcalls int64
+		hits := 0
+		for q := 0; q < n; q++ {
+			res, c := tree.NN(q, k, func(x int) float64 { return space.Distance(q, x) }) //proxlint:allow oracleescape -- baseline query hook: the index does its own call accounting (c), outside the session framework by design
+			qcalls += c
+			for _, r := range res {
+				if truth[q][r.ID] {
+					hits++
+				}
+			}
+		}
+		addRow("gnat", tree.ConstructionCalls(), qcalls, hits)
+	}
+	{ // M-tree: internal accounting covers build and queries.
+		tree := mtree.Build(space)
+		build := tree.Calls()
+		hits := 0
+		for q := 0; q < n; q++ {
+			for _, r := range tree.NN(q, k) {
+				if truth[q][r.ID] {
+					hits++
+				}
+			}
+		}
+		addRow("m-tree", build, tree.Calls()-build, hits)
+	}
+	{ // BK-tree needs integer distances: quantise to 1e-4 of a unit.
+		var calls int64
+		intDist := func(i, j int) int {
+			calls++
+			return int(math.Round(space.Distance(i, j) * 1e4)) //proxlint:allow oracleescape -- baseline distance hook: the BK-tree counts its own calls, outside the session framework by design
+		}
+		tree := bktree.Build(n, intDist)
+		build := calls
+		hits := 0
+		for q := 0; q < n; q++ {
+			for _, r := range tree.NN(q, k) {
+				if truth[q][r.ID] {
+					hits++
+				}
+			}
+		}
+		addRow("bk-tree (d·1e4)", build, calls-build, hits)
+	}
+
+	t.Note("All methods answer the same all-objects kNN workload; the exact indexes have recall 1 by construction (the BK-tree up to 1e-4 quantisation ties). The IF row's build column includes the landmark bootstrap — the seeding's entire price — and still undercuts the naive build because every beam starts next to its query on cached landmark rows and the Tri bounds prune the frontier. The last column is the headline the root BenchmarkSearchGraphBuild{IF,Naive} pair gates at ≥1.5× via cmd/benchgate.")
+	return t
+}

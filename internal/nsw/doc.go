@@ -1,0 +1,33 @@
+// Package nsw builds and queries a navigable-small-world proximity
+// graph (Malkov et al., the single-layer ancestor of HNSW) whose every
+// distance comparison flows through the paper's re-authored IF plug-in,
+// so any core bound scheme (Tri, SPLUB, ADM, …) prunes construction and
+// query comparisons without changing the structure that gets built.
+//
+// The builder inserts objects in a seeded deterministic order; each
+// insert runs a greedy beam search (width Params.EfConstruction) over
+// the graph built so far and links the new node to its Params.M closest
+// discoveries. Queries reuse the same beam search at width efSearch.
+// The per-candidate IF — "is dist(q, x) smaller than the current worst
+// of the beam?" — is exactly the paper's canonical comparison,
+// re-authored as core.View.DistIfLess: when the session's bounds prove
+// the candidate cannot enter the beam, no oracle call is paid.
+//
+// Three contracts matter to callers (docs/SEARCH.md is the prose
+// reference, DESIGN.md §13 the design rationale):
+//
+//   - Determinism. Build is a pure function of (view's distances,
+//     Params). The same seed produces the byte-identical graph on every
+//     run, every bound scheme, and both sides of the service wire —
+//     remote builds through internal/proxclient dump byte-for-byte equal
+//     to in-process builds (CI's server-smoke job diffs them).
+//   - Output identity across schemes. Bound schemes change which
+//     comparisons are paid for, never how they resolve, so the graph —
+//     an approximate structure — is still identical between a raw
+//     (Noop) build and a bound-pruned build. The ext13 experiment
+//     measures the saved oracle calls at this pinned output.
+//   - Committed prefix under failure. When the oracle becomes
+//     unavailable mid-build, Build returns the graph holding exactly the
+//     nodes whose inserts fully committed, plus a *BuildError wrapping
+//     the cause; a partially linked node is never visible.
+package nsw

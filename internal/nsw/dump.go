@@ -1,0 +1,47 @@
+package nsw
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Dump writes the graph in its canonical diffable text form: a header
+// line carrying the build parameters and committed size, then one line
+// per object in id order — "u<tab>id:dist …" with distances in
+// strconv's shortest exact round-trip form. Two graphs are equal iff
+// their dumps are byte-identical, which is how the CI server-smoke job
+// proves remote (proxclient-driven) builds equal in-process ones.
+func (g *Graph) Dump(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("nsw m=" + strconv.Itoa(g.params.M) +
+		" efc=" + strconv.Itoa(g.params.EfConstruction) +
+		" seed=" + strconv.FormatInt(g.params.Seed, 10) +
+		" lm=")
+	if len(g.params.Landmarks) == 0 {
+		bw.WriteByte('-')
+	}
+	for x, l := range g.params.Landmarks {
+		if x > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(strconv.Itoa(l))
+	}
+	bw.WriteString(" n=" + strconv.Itoa(g.n) +
+		" inserted=" + strconv.Itoa(g.inserted) +
+		" entry=" + strconv.Itoa(g.entry) + "\n")
+	for u, row := range g.adj {
+		bw.WriteString(strconv.Itoa(u))
+		bw.WriteByte('\t')
+		for x, nb := range row {
+			if x > 0 {
+				bw.WriteByte(' ')
+			}
+			bw.WriteString(strconv.Itoa(nb.ID))
+			bw.WriteByte(':')
+			bw.WriteString(strconv.FormatFloat(nb.Dist, 'g', -1, 64))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

@@ -1,16 +1,3 @@
-// Package pgraph implements the partial distance graph of Section 3.1 of
-// the paper: a weighted complete graph over n objects in which only a
-// subset of the edges (the distances resolved so far by the oracle) are
-// known. It is the shared data model of every bound-computation scheme.
-//
-// Each node's adjacency is a sorted run inside a CSR-style flat store
-// (see csr.go): sorted neighbour/weight slabs with epoch-based growth and
-// amortized compaction, serving the Tri Scheme's merge intersection and
-// SPLUB's Dijkstra relaxation allocation-free. Edge weights are
-// additionally indexed by a packed (i,j) key for O(1) exact lookup, and
-// the append-only edge list serves SPLUB's "scan all known edges" step.
-// (The original red–black-tree-per-node layout survives in
-// internal/rbtree as the differential-test reference.)
 package pgraph
 
 import (

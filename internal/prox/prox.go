@@ -28,3 +28,10 @@ func sortNeighbors(ns []Neighbor) {
 		return fcmp.TieLess(ns[a].Dist, ns[a].ID, ns[b].Dist, ns[b].ID)
 	})
 }
+
+// SortNeighbors orders a neighbour list by the canonical (distance, id)
+// rule every builder in this repository resolves ties with. Exported for
+// the packages that share Neighbor as their result type — the nsw
+// search-graph builder keeps its adjacency in this order so traversal is
+// deterministic.
+func SortNeighbors(ns []Neighbor) { sortNeighbors(ns) }

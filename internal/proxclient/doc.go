@@ -1,0 +1,21 @@
+// Package proxclient is the Go client of the metricproxd session service.
+// Its Session speaks the same core-shaped comparison interface (core.View
+// / core.FallibleView) as an in-process session, so the prox algorithms
+// run unmodified against a remote daemon — with bit-identical output,
+// because every decision is either made server-side by the real session
+// or made locally from cached bounds that are sound by construction
+// (bounds only tighten; a stale bound is a looser bound, and loose bounds
+// can delay but never change a decision).
+//
+// The transport reuses internal/resilient: deterministic retry/backoff
+// for transient failures, Retry-After honoured on load-shed responses,
+// and a circuit breaker so a dead daemon fails fast instead of eating the
+// full retry budget on every call.
+//
+// Two search paths exist: Session.RemoteSearch queries the daemon's
+// /search endpoint (server-built graph, one round-trip per query, the
+// returned neighbour distances are committed into the local mirror), and
+// running nsw.Build/nsw.Search directly over the Session rebuilds the
+// byte-identical graph client-side, batching bound prefetches along each
+// beam frontier to cut round-trips.
+package proxclient

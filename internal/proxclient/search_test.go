@@ -1,0 +1,134 @@
+package proxclient
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"metricprox/internal/core"
+	"metricprox/internal/fcmp"
+	"metricprox/internal/nsw"
+	"metricprox/internal/service"
+)
+
+// testLandmarks mirrors the daemon's log2-n default landmark derivation
+// (see referenceSession): the server seeds its /search graph from these,
+// and a client-side build that wants the byte-identical graph passes the
+// same list.
+func testLandmarks() []int {
+	k := 0
+	for v := testN; v > 1; v /= 2 {
+		k++
+	}
+	return core.PickLandmarks(testN, k, testSeed)
+}
+
+// TestClientSideSearchGraphMatchesInProcess is the PR's determinism
+// centrepiece in miniature: the nsw builder run against the remote
+// client view must produce the byte-identical graph to the same builder
+// run against an in-process session — every beam decision flows through
+// DistIfLess, whose answers don't depend on which side of the wire
+// resolves them. The CI server-smoke job repeats this across real
+// processes via examples/searchgraph.
+func TestClientSideSearchGraphMatchesInProcess(t *testing.T) {
+	c, _ := newDaemon(t, service.Config{})
+	sess := remoteSession(t, c, "graph-diff")
+	p := nsw.Params{M: 6, EfConstruction: 24, Seed: testSeed, Landmarks: testLandmarks()}
+
+	remote, err := nsw.Build(sess, p)
+	if err != nil {
+		t.Fatalf("remote build: %v", err)
+	}
+	local, err := nsw.Build(referenceSession(t), p)
+	if err != nil {
+		t.Fatalf("local build: %v", err)
+	}
+	var rb, lb bytes.Buffer
+	if err := remote.Dump(&rb); err != nil {
+		t.Fatalf("remote dump: %v", err)
+	}
+	if err := local.Dump(&lb); err != nil {
+		t.Fatalf("local dump: %v", err)
+	}
+	if !bytes.Equal(rb.Bytes(), lb.Bytes()) {
+		t.Fatalf("remote and local graphs differ:\n%s\nvs\n%s", rb.String(), lb.String())
+	}
+
+	// Queries over the two graphs agree as well (same argument: the beam
+	// is a pure function of the distances).
+	for q := 0; q < testN; q += 7 {
+		rres, err := remote.Search(sess, q, 5, 24)
+		if err != nil {
+			t.Fatalf("remote search %d: %v", q, err)
+		}
+		lres, err := local.Search(referenceSession(t), q, 5, 24)
+		if err != nil {
+			t.Fatalf("local search %d: %v", q, err)
+		}
+		if len(rres) != len(lres) {
+			t.Fatalf("search %d: %d vs %d results", q, len(rres), len(lres))
+		}
+		for x := range rres {
+			if rres[x].ID != lres[x].ID || !fcmp.ExactEq(rres[x].Dist, lres[x].Dist) {
+				t.Fatalf("search %d result %d: remote %+v, local %+v", q, x, rres[x], lres[x])
+			}
+		}
+	}
+}
+
+// TestRemoteSearch exercises the one-round-trip form: the server builds
+// and queries its own graph, and the answers match a local build over
+// the reference session. Returned distances are committed to the mirror,
+// so re-touching those pairs costs no further round-trips.
+func TestRemoteSearch(t *testing.T) {
+	c, _ := newDaemon(t, service.Config{})
+	sess := remoteSession(t, c, "remote-search")
+	ctx := context.Background()
+
+	ref := referenceSession(t)
+	g, err := nsw.Build(ref, nsw.Params{Seed: testSeed, Landmarks: testLandmarks()})
+	if err != nil {
+		t.Fatalf("reference build: %v", err)
+	}
+
+	ns, built, err := sess.RemoteSearch(ctx, 2, 5, SearchParams{})
+	if err != nil {
+		t.Fatalf("RemoteSearch: %v", err)
+	}
+	if !built {
+		t.Error("first RemoteSearch did not report building")
+	}
+	want, err := g.Search(ref, 2, 5, nsw.DefaultEfConstruction)
+	if err != nil {
+		t.Fatalf("reference search: %v", err)
+	}
+	if len(ns) != len(want) {
+		t.Fatalf("RemoteSearch returned %d results, want %d", len(ns), len(want))
+	}
+	for x := range ns {
+		if ns[x].ID != want[x].ID || !fcmp.ExactEq(ns[x].Dist, want[x].Dist) {
+			t.Fatalf("result %d: got %+v, want %+v", x, ns[x], want[x])
+		}
+	}
+
+	if _, built, err = sess.RemoteSearch(ctx, 3, 5, SearchParams{}); err != nil {
+		t.Fatalf("second RemoteSearch: %v", err)
+	} else if built {
+		t.Error("second RemoteSearch rebuilt the graph")
+	}
+
+	// Mirror discipline: the neighbours' distances are now local facts.
+	before := c.Requests()
+	for _, nb := range ns {
+		d, err := sess.DistErr(2, nb.ID)
+		if err != nil {
+			t.Fatalf("DistErr(2,%d): %v", nb.ID, err)
+		}
+		if !fcmp.ExactEq(d, nb.Dist) {
+			t.Fatalf("mirrored distance (2,%d) = %v, want %v", nb.ID, d, nb.Dist)
+		}
+	}
+	if got := c.Requests(); got != before {
+		t.Errorf("mirrored distances still round-tripped: %d extra requests", got-before)
+	}
+}

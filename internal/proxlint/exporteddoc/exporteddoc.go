@@ -27,7 +27,8 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "exporteddoc",
 	Doc: "require a doc comment on every exported identifier in the documented API " +
-		"packages (internal/core, internal/metric, internal/resilient, internal/faultmetric, internal/obs)",
+		"packages (internal/core, internal/metric, internal/resilient, internal/faultmetric, " +
+		"internal/obs, internal/pgraph, internal/bounds, internal/nsw, internal/service, internal/proxclient)",
 	Run: run,
 }
 
@@ -41,6 +42,12 @@ var documentedSuffixes = []string{
 	"internal/faultmetric",
 	"internal/obs",
 	"internal/obs/obshttp",
+	"internal/pgraph",
+	"internal/bounds",
+	"internal/nsw",
+	"internal/service",
+	"internal/service/api",
+	"internal/proxclient",
 }
 
 func run(pass *analysis.Pass) error {

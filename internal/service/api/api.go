@@ -307,6 +307,52 @@ type KNNResponse struct {
 	Rows [][]WireNeighbor `json:"rows"`
 }
 
+// SearchRequest answers an approximate k-nearest-neighbour query over
+// the session's navigable search graph (internal/nsw). The first search
+// on a session builds the graph — every construction comparison routed
+// through the session's IF surface, so the hosted bounds prune it — and
+// caches it; later searches reuse it. Graph parameters are fixed at that
+// first build: a later request naming different ones is a 409/conflict,
+// exactly like a contradictory session re-create.
+//
+// GET form: the same fields as URL query parameters (q, k, ef_search,
+// m, ef_construction, seed).
+type SearchRequest struct {
+	// Q is the query object index in [0, n). The query is part of the
+	// universe; it is traversed but never reported as its own neighbour.
+	Q int `json:"q"`
+	// K is the number of neighbours wanted.
+	K int `json:"k"`
+	// EfSearch is the query beam width; larger is more accurate and more
+	// expensive. 0 means the server default (nsw.DefaultEfConstruction);
+	// values below K are clamped up to K.
+	EfSearch int `json:"ef_search,omitempty"`
+	// M is the graph's links-per-node parameter; 0 means nsw.DefaultM.
+	// Only consulted by the build; conflicting with the built graph is a
+	// 409.
+	M int `json:"m,omitempty"`
+	// EfConstruction is the insertion beam width; 0 means
+	// nsw.DefaultEfConstruction. Build-only, conflict rules as M.
+	EfConstruction int `json:"ef_construction,omitempty"`
+	// Seed drives the insertion order; 0 means the session's create seed.
+	// Build-only, conflict rules as M.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// SearchResponse carries an approximate-kNN answer. Audited Dist*
+// endpoint: neighbour distances are raw oracle values by design.
+type SearchResponse struct {
+	// Neighbors are the K approximate nearest neighbours in canonical
+	// (distance, id) order with exact distances.
+	Neighbors []WireNeighbor `json:"neighbors"`
+	// EfSearch is the beam width actually used (after defaulting and
+	// clamping).
+	EfSearch int `json:"ef_search"`
+	// Built reports whether this request paid for the graph construction
+	// (true exactly once per session graph).
+	Built bool `json:"built"`
+}
+
 // WireEdge is one MST edge with U < V.
 type WireEdge struct {
 	// U and V are the endpoint object indices, U < V.

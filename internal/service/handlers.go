@@ -104,6 +104,7 @@ func (s *Server) buildSession(name string, scheme core.Scheme, lmCount int, seed
 		sem:       make(chan struct{}, s.queue),
 		scheme:    scheme,
 		landmarks: lmCount,
+		lms:       lms,
 		seed:      seed,
 		slack:     slack,
 		audit:     audit,

@@ -27,16 +27,29 @@ const (
 	// MetricEvictions counts sessions evicted (DELETE, TTL sweep, or
 	// shutdown drain).
 	MetricEvictions = "service_evictions_total"
+	// MetricSearchBuilds counts navigable-graph constructions triggered by
+	// the /search endpoint (at most one successful build per session).
+	MetricSearchBuilds = "service_search_builds_total"
+	// MetricSearchQueries counts answered /search queries (builds
+	// excluded: a request that builds and then answers counts once here
+	// and once in MetricSearchBuilds).
+	MetricSearchQueries = "service_search_queries_total"
+	// MetricSearchBuildLatency is the histogram of /search graph
+	// construction times in nanoseconds.
+	MetricSearchBuildLatency = "service_search_build_latency_ns"
 )
 
 // metrics bundles the service instruments. A nil registry yields a
 // registry-of-convenience so handler code never branches on observability
 // being off.
 type metrics struct {
-	reg        *obs.Registry
-	queueDepth *obs.Gauge
-	sessions   *obs.Gauge
-	evictions  *obs.Counter
+	reg           *obs.Registry
+	queueDepth    *obs.Gauge
+	sessions      *obs.Gauge
+	evictions     *obs.Counter
+	searchBuilds  *obs.Counter
+	searchQueries *obs.Counter
+	searchBuild   *obs.Histogram
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -44,10 +57,13 @@ func newMetrics(reg *obs.Registry) *metrics {
 		reg = obs.NewRegistry()
 	}
 	return &metrics{
-		reg:        reg,
-		queueDepth: reg.Gauge(MetricQueueDepth),
-		sessions:   reg.Gauge(MetricSessions),
-		evictions:  reg.Counter(MetricEvictions),
+		reg:           reg,
+		queueDepth:    reg.Gauge(MetricQueueDepth),
+		sessions:      reg.Gauge(MetricSessions),
+		evictions:     reg.Counter(MetricEvictions),
+		searchBuilds:  reg.Counter(MetricSearchBuilds),
+		searchQueries: reg.Counter(MetricSearchQueries),
+		searchBuild:   reg.Histogram(MetricSearchBuildLatency),
 	}
 }
 

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"metricprox/internal/core"
+	"metricprox/internal/datasets"
+	"metricprox/internal/fcmp"
+	"metricprox/internal/metric"
+	"metricprox/internal/nsw"
+	"metricprox/internal/obs"
+	"metricprox/internal/service/api"
+)
+
+// planarOracle gives the search suite a history-free oracle (see the
+// proxclient suite for why bit-identity comparisons want the planar
+// surrogate rather than the road network).
+func planarOracle() *metric.Oracle {
+	return metric.NewOracle(datasets.SFPOIPlanar(testN, testSeed))
+}
+
+// planarLandmarks is the landmark set buildSession derives for a
+// created-with-defaults session over the planar test space: log2-n
+// landmarks from the session seed. The server seeds its search graph
+// from these, so reference builds must pass the same list.
+func planarLandmarks() []int {
+	k := 0
+	for v := testN; v > 1; v /= 2 {
+		k++
+	}
+	return core.PickLandmarks(testN, k, testSeed)
+}
+
+// planarReference is the in-process session a server-side search-graph
+// build must match: same space, scheme, landmarks, seed as buildSession.
+func planarReference(t *testing.T) *core.Session {
+	t.Helper()
+	lms := planarLandmarks()
+	s := core.NewFallibleSessionWithLandmarks(planarOracle(), core.SchemeTri, lms)
+	if _, err := s.BootstrapErr(lms); err != nil {
+		t.Fatalf("reference bootstrap: %v", err)
+	}
+	return s
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts, _ := newTestServer(t, Config{Oracle: planarOracle(), Registry: reg})
+	createSession(t, ts.URL, "srch", "tri", true)
+	base := ts.URL + "/v1/sessions/srch"
+
+	// The server's first search builds the graph; its answers must equal
+	// the in-process build over an identical session.
+	ref := planarReference(t)
+	wantGraph, err := nsw.Build(ref, nsw.Params{Seed: testSeed, Landmarks: planarLandmarks()})
+	if err != nil {
+		t.Fatalf("reference build: %v", err)
+	}
+
+	var first api.SearchResponse
+	post(t, base+"/search", api.SearchRequest{Q: 0, K: 5}, &first, http.StatusOK)
+	if !first.Built {
+		t.Error("first search did not report building the graph")
+	}
+	if len(first.Neighbors) != 5 {
+		t.Fatalf("first search returned %d neighbours, want 5", len(first.Neighbors))
+	}
+
+	for q := 0; q < testN; q++ {
+		var resp api.SearchResponse
+		post(t, base+"/search", api.SearchRequest{Q: q, K: 5}, &resp, http.StatusOK)
+		if resp.Built {
+			t.Fatalf("search %d rebuilt the graph", q)
+		}
+		want, err := wantGraph.Search(ref, q, 5, nsw.DefaultEfConstruction)
+		if err != nil {
+			t.Fatalf("reference search %d: %v", q, err)
+		}
+		if len(resp.Neighbors) != len(want) {
+			t.Fatalf("search %d: %d neighbours, want %d", q, len(resp.Neighbors), len(want))
+		}
+		for x, wn := range resp.Neighbors {
+			if wn.ID != want[x].ID || !fcmp.ExactEq(float64(wn.D), want[x].Dist) {
+				t.Fatalf("search %d result %d: got (%d, %v), want (%d, %v)",
+					q, x, wn.ID, float64(wn.D), want[x].ID, want[x].Dist)
+			}
+		}
+	}
+
+	// GET form answers identically to the POST form.
+	var getResp api.SearchResponse
+	httpGetJSON(t, fmt.Sprintf("%s/search?q=3&k=5", base), &getResp, http.StatusOK)
+	var postResp api.SearchResponse
+	post(t, base+"/search", api.SearchRequest{Q: 3, K: 5}, &postResp, http.StatusOK)
+	if len(getResp.Neighbors) != len(postResp.Neighbors) {
+		t.Fatalf("GET and POST disagree: %d vs %d neighbours", len(getResp.Neighbors), len(postResp.Neighbors))
+	}
+	for x := range getResp.Neighbors {
+		if getResp.Neighbors[x] != postResp.Neighbors[x] {
+			t.Fatalf("GET and POST disagree at %d: %+v vs %+v", x, getResp.Neighbors[x], postResp.Neighbors[x])
+		}
+	}
+
+	// The service_search_* series must be live after traffic — the CI
+	// search-smoke job asserts the same thing from outside.
+	if got := reg.Counter(MetricSearchBuilds).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricSearchBuilds, got)
+	}
+	if got := reg.Counter(MetricSearchQueries).Value(); got < int64(testN) {
+		t.Errorf("%s = %d, want >= %d", MetricSearchQueries, got, testN)
+	}
+	if got := reg.Histogram(MetricSearchBuildLatency).Count(); got != 1 {
+		t.Errorf("%s count = %d, want 1", MetricSearchBuildLatency, got)
+	}
+}
+
+func TestSearchEndpointErrors(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{Oracle: planarOracle()})
+	createSession(t, ts.URL, "srcherr", "tri", true)
+	base := ts.URL + "/v1/sessions/srcherr"
+
+	post(t, base+"/search", api.SearchRequest{Q: -1, K: 5}, nil, http.StatusBadRequest)
+	post(t, base+"/search", api.SearchRequest{Q: testN, K: 5}, nil, http.StatusBadRequest)
+	post(t, base+"/search", api.SearchRequest{Q: 0, K: 0}, nil, http.StatusBadRequest)
+	httpGetJSON(t, base+"/search?q=zero&k=5", nil, http.StatusBadRequest)
+
+	// First successful search fixes the graph parameters...
+	var resp api.SearchResponse
+	post(t, base+"/search", api.SearchRequest{Q: 0, K: 3, M: 4}, &resp, http.StatusOK)
+	if !resp.Built {
+		t.Fatal("first search did not build")
+	}
+	// ...so a later request naming different build knobs is a conflict,
+	// while one naming the same (or defaulted query-only) knobs is served.
+	post(t, base+"/search", api.SearchRequest{Q: 0, K: 3, M: 6}, nil, http.StatusConflict)
+	post(t, base+"/search", api.SearchRequest{Q: 1, K: 3, M: 4, EfSearch: 32}, &resp, http.StatusOK)
+
+	// Unknown session is a 404 from the admission wrapper.
+	post(t, ts.URL+"/v1/sessions/ghost/search", api.SearchRequest{Q: 0, K: 3}, nil, http.StatusNotFound)
+}
+
+// httpGetJSON GETs a URL and decodes the JSON response, failing on any
+// status other than want.
+func httpGetJSON(t *testing.T, url string, out any, want int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, want)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode GET %s: %v", url, err)
+		}
+	}
+}

@@ -1,15 +1,3 @@
-// Package service implements the metricproxd daemon: a long-running HTTP
-// server hosting named multi-tenant core.SharedSessions over one metric
-// space, so many clients can amortise a single shared partial graph of
-// resolved distances and bounds instead of each re-paying the oracle.
-//
-// The layer split: core.SessionRegistry owns session lifecycle (single-
-// flight creation, max-sessions cap, TTL eviction); this package owns
-// transport (the HTTP/JSON API of internal/service/api), admission
-// control (bounded per-session work slots with Retry-After load
-// shedding), observability (per-endpoint latency histograms, queue-depth
-// gauge, shed counter in internal/obs), persistence (one cachestore file
-// per session for warm restarts), and graceful drain. See DESIGN.md §10.
 package service
 
 import (
@@ -26,6 +14,7 @@ import (
 	"metricprox/internal/cachestore"
 	"metricprox/internal/core"
 	"metricprox/internal/metric"
+	"metricprox/internal/nsw"
 	"metricprox/internal/obs"
 	"metricprox/internal/service/api"
 )
@@ -70,9 +59,19 @@ type sessionState struct {
 	store     *cachestore.Store
 	scheme    core.Scheme
 	landmarks int
+	lms       []int // the landmark IDs the session bootstrapped on
 	seed      int64
 	slack     core.SlackPolicy
 	audit     bool
+
+	// The session's navigable search graph (internal/nsw), built lazily by
+	// the first successful /search and immutable afterwards; graphParams
+	// records what it was built with so conflicting requests can be
+	// refused. searchMu serialises the build — concurrent first searches
+	// must not each pay for construction.
+	searchMu    sync.Mutex
+	graph       *nsw.Graph
+	graphParams nsw.Params
 }
 
 // Server hosts the registry and implements the HTTP API. Create with New,
@@ -211,6 +210,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/sessions/{name}/bootstrap", work("bootstrap", s.handleBootstrap))
 	s.mux.HandleFunc("POST /v1/sessions/{name}/batch", work("batch", s.handleDistBatch))
 	s.mux.HandleFunc("POST /v1/sessions/{name}/knn", work("knn", s.handleKNN))
+	s.mux.HandleFunc("GET /v1/sessions/{name}/search", work("search", s.handleSearch))
+	s.mux.HandleFunc("POST /v1/sessions/{name}/search", work("search", s.handleSearch))
 	s.mux.HandleFunc("POST /v1/sessions/{name}/mst", work("mst", s.handleMST))
 	s.mux.HandleFunc("POST /v1/sessions/{name}/medoid", work("medoid", s.handleMedoid))
 }
