@@ -108,6 +108,42 @@ const (
 	searchGraphSeed = 1
 )
 
+// BenchmarkClusterWarmReplay / BenchmarkClusterColdSession are the
+// cluster-failover gate pair: the same server-side kNN build on a node
+// that inherited replicated bound state from a dead primary versus a
+// node starting from nothing. Each reports its deterministic oracle-call
+// count as the ns/op metric, so the benchgate "speedup" — cold calls ÷
+// warm calls — is an exact call ratio; CI's bench-smoke job enforces
+// ≥1.5× via:
+//
+//	go test -run '^$' -bench 'Cluster(WarmReplay|ColdSession)' -benchtime 1x . | benchgate \
+//	    -subject BenchmarkClusterWarmReplay \
+//	    -base BenchmarkClusterColdSession \
+//	    -min 1.5 -out BENCH_cluster.json
+func BenchmarkClusterWarmReplay(b *testing.B) {
+	var calls int64
+	for i := 0; i < b.N; i++ {
+		calls = experiments.ClusterWarmReplayCalls(clusterBenchN, clusterBenchSeed)
+	}
+	b.ReportMetric(float64(calls), "ns/op")
+}
+
+func BenchmarkClusterColdSession(b *testing.B) {
+	var calls int64
+	for i := 0; i < b.N; i++ {
+		calls = experiments.ClusterColdSessionCalls(clusterBenchN, clusterBenchSeed)
+	}
+	b.ReportMetric(float64(calls), "ns/op")
+}
+
+// The cluster gate's scale: big enough that the kNN build resolves far
+// more pairs than the pre-kill workload covers (so the warm number is
+// honest work, not zero), small enough for per-push CI.
+const (
+	clusterBenchN    = 200
+	clusterBenchSeed = 1
+)
+
 // --- micro-benchmarks of the core primitives ---
 
 func BenchmarkSessionLessTri(b *testing.B) { benchSessionLess(b, core.SchemeTri) }

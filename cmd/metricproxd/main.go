@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"metricprox/internal/buildinfo"
+	"metricprox/internal/cluster"
 	"metricprox/internal/datasets"
 	"metricprox/internal/faultmetric"
 	"metricprox/internal/metric"
@@ -66,6 +67,10 @@ func main() {
 		sessionTTL  = flag.Duration("session-ttl", 0, "evict sessions idle for this long (0 = never)")
 		queueFlag   = flag.Int("queue", service.DefaultQueue, "per-session admission queue depth")
 		drainFlag   = flag.Duration("drain", 10*time.Second, "shutdown drain budget for in-flight requests")
+		clusterFlag = flag.String("cluster", "", "cluster member list as name=url,... (enables cluster mode; requires -node and -cache-dir)")
+		nodeFlag    = flag.String("node", "", "this node's name in the -cluster list")
+		replFlag    = flag.Int("replicas", 0, "replica owners per session beyond the primary (0 = default)")
+		ringSeed    = flag.Int64("ring-seed", 0, "consistent-hash ring seed; must agree across the cluster")
 		versionFlag = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -110,6 +115,32 @@ func main() {
 		}
 	}
 
+	var topo *cluster.Topology
+	if *clusterFlag != "" {
+		if *nodeFlag == "" || *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "metricproxd: -cluster requires -node (this node's name) and -cache-dir (replica state lives on disk)")
+			os.Exit(2)
+		}
+		nodes, err := cluster.ParseNodes(*clusterFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricproxd: -cluster: %v\n", err)
+			os.Exit(2)
+		}
+		topo, err = cluster.NewTopology(cluster.Config{
+			Self:     *nodeFlag,
+			Nodes:    nodes,
+			Replicas: *replFlag,
+			Seed:     *ringSeed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricproxd: -cluster: %v\n", err)
+			os.Exit(2)
+		}
+	} else if *nodeFlag != "" {
+		fmt.Fprintln(os.Stderr, "metricproxd: -node without -cluster")
+		os.Exit(2)
+	}
+
 	space, err := loadSpace(*inFlag, *demoFlag, *planarFlag, *pFlag, *seedFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "metricproxd:", err)
@@ -131,6 +162,17 @@ func main() {
 		}
 	}
 
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "metricproxd: "+format+"\n", args...)
+	}
+	var repl *cluster.Replicator
+	if topo != nil {
+		repl = cluster.NewReplicator(cluster.ReplicatorConfig{
+			Topology: topo,
+			Registry: reg,
+			Logf:     logf,
+		})
+	}
 	srv, err := service.New(service.Config{
 		Oracle:      oracle,
 		MaxSessions: *maxSessions,
@@ -138,13 +180,29 @@ func main() {
 		Queue:       *queueFlag,
 		CacheDir:    *cacheDir,
 		Registry:    reg,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "metricproxd: "+format+"\n", args...)
-		},
+		Cluster:     topo,
+		Replicator:  repl,
+		Logf:        logf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "metricproxd:", err)
 		os.Exit(1)
+	}
+	if repl != nil {
+		repl.Start()
+		// Join/restart story: push any session state already on disk to the
+		// sessions' current owners, in the background — peers may still be
+		// starting, and a missed push only costs the next primary a colder
+		// start, never correctness.
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
+			if n, err := cluster.Rebalance(ctx, *cacheDir, topo, nil, 0, logf); err != nil {
+				logf("rebalance: %v", err)
+			} else if n > 0 {
+				logf("rebalance: pushed %d session logs to their owners", n)
+			}
+		}()
 	}
 
 	// One listener for everything: the service API plus the obs
@@ -174,7 +232,17 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "metricproxd: forced shutdown with requests in flight:", err)
 	}
+	if repl != nil {
+		// Handoff: every committed edge reaches the replicas before the
+		// stores close, so a drained node's successors start fully warm.
+		if err := repl.Flush(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "metricproxd: replication handoff incomplete:", err)
+		}
+	}
 	srv.Close()
+	if repl != nil {
+		repl.Close()
+	}
 	fmt.Fprintln(os.Stderr, "metricproxd: drained, bye")
 }
 

@@ -35,6 +35,11 @@ const (
 // is damaged. Torn trailing records are repaired silently, not errored.
 var ErrCorrupt = errors.New("cachestore: corrupt store")
 
+// ErrSeqGap is returned by AppendFrom when the supplied batch starts past
+// the end of the store: applying it would leave a hole in the replicated
+// log, so the caller must rewind to LastSeq and resend.
+var ErrSeqGap = errors.New("cachestore: sequence gap")
+
 // Store is an append-only distance log bound to one file.
 type Store struct {
 	f *os.File
@@ -226,6 +231,82 @@ func (s *Store) Len() (int, error) {
 		return 0, err
 	}
 	return int((st.Size() - headerSize) / recordSize), nil
+}
+
+// LastSeq returns the store's replication cursor: the sequence number of
+// the next record to be appended, equal to the number of complete records
+// in the file. Replication is resumable because this is derivable from the
+// file alone — after a crash truncates a torn tail, LastSeq names exactly
+// the prefix that survived, and the peer resends from there.
+func (s *Store) LastSeq() (int64, error) {
+	n, err := s.Len()
+	return int64(n), err
+}
+
+// ReadFrom returns up to max records starting at sequence number seq,
+// reading with pread so it is safe to call while another goroutine
+// appends — the primary's replicator tails a live session's store this
+// way. A record that fails its checksum (a concurrent half-written tail,
+// or damage) ends the batch early; the caller simply retries from the
+// same cursor once the writer has finished the record. seq past the end
+// returns an empty slice, not an error.
+func (s *Store) ReadFrom(seq int64, max int) ([]Record, error) {
+	if seq < 0 || max <= 0 {
+		return nil, fmt.Errorf("cachestore: invalid ReadFrom(seq=%d, max=%d)", seq, max)
+	}
+	var out []Record
+	buf := make([]byte, recordSize)
+	for len(out) < max {
+		off := headerSize + (seq+int64(len(out)))*recordSize
+		_, err := s.f.ReadAt(buf, off)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return out, nil // end of complete records (or torn tail)
+		}
+		if err != nil {
+			return out, err
+		}
+		if binary.LittleEndian.Uint32(buf[16:]) != checksum(buf[:16]) {
+			return out, nil // half-written or damaged: stop, retry later
+		}
+		r := Record{
+			I:    int(binary.LittleEndian.Uint32(buf[0:])),
+			J:    int(binary.LittleEndian.Uint32(buf[4:])),
+			Dist: math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+		}
+		if r.I >= s.n || r.J >= s.n || r.I == r.J || r.Dist < 0 || math.IsNaN(r.Dist) {
+			return out, nil // damaged payload that slipped past the checksum
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// AppendFrom applies a replicated batch whose first record carries
+// sequence number seq, and returns the store's new LastSeq. The append is
+// idempotent: records the store already holds (seq below the current
+// cursor) are skipped rather than re-applied, so overlapping retries from
+// a primary that never saw an ack are harmless. A batch starting beyond
+// the cursor is refused with ErrSeqGap — the replica's file must stay a
+// gap-free prefix of the primary's log for promotion to be sound.
+func (s *Store) AppendFrom(seq int64, recs []Record) (int64, error) {
+	cur, err := s.LastSeq()
+	if err != nil {
+		return 0, err
+	}
+	if seq > cur {
+		return cur, fmt.Errorf("%w: batch starts at %d, store has %d records", ErrSeqGap, seq, cur)
+	}
+	skip := cur - seq
+	if skip >= int64(len(recs)) {
+		return cur, nil // entire batch already present
+	}
+	for _, r := range recs[skip:] {
+		if err := s.Append(r.I, r.J, r.Dist); err != nil {
+			return cur, err
+		}
+		cur++
+	}
+	return cur, nil
 }
 
 // checksum is a small avalanche mix over the record body; it exists to

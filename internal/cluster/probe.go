@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"metricprox/internal/obs"
+)
+
+// DefaultProbeInterval is the health-probe period when ProberConfig.
+// Interval is 0.
+const DefaultProbeInterval = 500 * time.Millisecond
+
+// DefaultProbeTimeout bounds one probe request when ProberConfig.Timeout
+// is 0.
+const DefaultProbeTimeout = 2 * time.Second
+
+// MetricNodeUp is the per-node liveness gauge (1 up, 0 down), labelled by
+// node, exported by the Prober. Documented in docs/METRICS.md.
+const MetricNodeUp = "cluster_node_up"
+
+// ProberConfig parameterises a Prober.
+type ProberConfig struct {
+	// Topology supplies the members to probe.
+	Topology *Topology
+	// HTTPClient issues the probes; nil means a client with
+	// DefaultProbeTimeout.
+	HTTPClient *http.Client
+	// Interval is the probe period; 0 means DefaultProbeInterval.
+	Interval time.Duration
+	// Timeout bounds one probe; 0 means DefaultProbeTimeout.
+	Timeout time.Duration
+	// Registry receives the cluster_node_up gauges when non-nil.
+	Registry *obs.Registry
+	// Logf receives up/down transition log lines when non-nil.
+	Logf func(format string, args ...any)
+}
+
+// Prober polls every member's /healthz and maintains an up/down view the
+// router consults to skip known-dead nodes without paying a connection
+// timeout per request. The view is advisory: a node marked down is tried
+// last, not never — probes and traffic can disagree for one interval, and
+// correctness never depends on the prober (the router's per-request
+// failover is the actual liveness mechanism).
+type Prober struct {
+	cfg  ProberConfig
+	hc   *http.Client
+	mu   sync.Mutex
+	up   map[string]bool
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewProber builds a Prober over the topology's members. Every node
+// starts presumed up; call Start to begin polling.
+func NewProber(cfg ProberConfig) *Prober {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultProbeInterval
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultProbeTimeout
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: cfg.Timeout}
+	}
+	p := &Prober{
+		cfg:  cfg,
+		hc:   hc,
+		up:   make(map[string]bool),
+		stop: make(chan struct{}),
+	}
+	for _, n := range cfg.Topology.Nodes() {
+		p.up[n.Name] = true
+		p.gauge(n.Name, true)
+	}
+	return p
+}
+
+// Start begins the background polling loop.
+func (p *Prober) Start() {
+	p.wg.Add(1)
+	go p.loop()
+}
+
+// Stop ends the polling loop and waits for it to exit.
+func (p *Prober) Stop() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	p.wg.Wait()
+}
+
+// Up reports the last probe's verdict for the named node; unknown names
+// report up (fail open — the router's failover is the safety net).
+func (p *Prober) Up(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	up, ok := p.up[name]
+	return !ok || up
+}
+
+// Snapshot returns the current up/down view keyed by node name.
+func (p *Prober) Snapshot() map[string]bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]bool, len(p.up))
+	for k, v := range p.up {
+		out[k] = v
+	}
+	return out
+}
+
+// MarkDown records an observed failure for the named node without waiting
+// for the next probe cycle — the router calls this when a request to the
+// node fails at the transport, so the very next request skips it.
+func (p *Prober) MarkDown(name string) { p.set(name, false) }
+
+// loop polls every member each interval.
+func (p *Prober) loop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.cfg.Interval)
+	defer t.Stop()
+	for {
+		// Probe immediately on start, then on each tick.
+		for _, n := range p.cfg.Topology.Nodes() {
+			p.set(n.Name, p.probe(n))
+		}
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probe performs one /healthz round-trip. Any 2xx counts as up — a
+// draining node still answers healthz (status "draining"), and the router
+// learns about draining from the request path's 503 body, not from here.
+func (p *Prober) probe(n Node) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.URL+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// set records a verdict, logging transitions.
+func (p *Prober) set(name string, up bool) {
+	p.mu.Lock()
+	prev, known := p.up[name]
+	p.up[name] = up
+	p.mu.Unlock()
+	if known && prev != up && p.cfg.Logf != nil {
+		state := "down"
+		if up {
+			state = "up"
+		}
+		p.cfg.Logf("cluster: node %s is %s", name, state)
+	}
+	if prev != up || !known {
+		p.gauge(name, up)
+	}
+}
+
+// gauge publishes the node's liveness gauge.
+func (p *Prober) gauge(name string, up bool) {
+	if p.cfg.Registry == nil {
+		return
+	}
+	v := 0.0
+	if up {
+		v = 1.0
+	}
+	p.cfg.Registry.Gauge(MetricNodeUp, obs.Label{Key: "node", Value: name}).Set(v)
+}

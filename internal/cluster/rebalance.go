@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"metricprox/internal/cachestore"
+	"metricprox/internal/service/api"
+)
+
+// MetaPath returns the meta-sidecar path for a session's cache store:
+// <dir>/<name>.meta.json. The sidecar carries the api.ReplMeta needed to
+// rebuild the session from the store alone — written by the service next
+// to every store it creates or replicates in cluster mode, read by
+// promotion and rebalance.
+func MetaPath(dir, name string) string {
+	return filepath.Join(dir, name+".meta.json")
+}
+
+// SaveMeta atomically writes the session's meta sidecar (write to a temp
+// file in dir, then rename).
+func SaveMeta(dir, name string, meta api.ReplMeta) error {
+	buf, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	tmp := MetaPath(dir, name) + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, MetaPath(dir, name))
+}
+
+// LoadMeta reads the session's meta sidecar; ok is false when the sidecar
+// does not exist (a pre-cluster store — replicable only once the session
+// is re-created and its parameters are known again).
+func LoadMeta(dir, name string) (meta api.ReplMeta, ok bool, err error) {
+	buf, err := os.ReadFile(MetaPath(dir, name))
+	if os.IsNotExist(err) {
+		return api.ReplMeta{}, false, nil
+	}
+	if err != nil {
+		return api.ReplMeta{}, false, err
+	}
+	if err := json.Unmarshal(buf, &meta); err != nil {
+		return api.ReplMeta{}, false, fmt.Errorf("cluster: meta sidecar for %q: %w", name, err)
+	}
+	return meta, true, nil
+}
+
+// Rebalance pushes every session store under dir to the session's
+// current owner set — the join/leave story for static membership: after a
+// config change, each restarted node offers what it holds to whoever the
+// new ring says should hold it. Push-only and idempotent (appends are
+// sequence-checked and overlap-skipped), so any subset of nodes
+// rebalancing in any order converges. Sessions without a meta sidecar are
+// skipped with a log line; peers that refuse or are down are skipped too
+// (the background replicator catches them up once the session goes live).
+// Returns the number of sessions offered to at least one peer.
+func Rebalance(ctx context.Context, dir string, topo *Topology, hc *http.Client, batch int, logf func(string, ...any)) (int, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	if batch <= 0 {
+		batch = DefaultReplBatch
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	pushed := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".cache") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".cache")
+		meta, ok, err := LoadMeta(dir, name)
+		if err != nil {
+			logf("cluster: rebalance %q: %v", name, err)
+			continue
+		}
+		if !ok {
+			logf("cluster: rebalance %q: no meta sidecar, skipping (pre-cluster store)", name)
+			continue
+		}
+		store, err := cachestore.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			logf("cluster: rebalance %q: opening store: %v", name, err)
+			continue
+		}
+		any := false
+		for _, peer := range topo.Peers(name) {
+			if err := pushStore(ctx, store, name, meta, peer, topo.SelfName(), hc, batch); err != nil {
+				logf("cluster: rebalance %q -> %s: %v", name, peer.Name, err)
+				continue
+			}
+			any = true
+		}
+		store.Close()
+		if any {
+			pushed++
+		}
+		if ctx.Err() != nil {
+			return pushed, ctx.Err()
+		}
+	}
+	return pushed, nil
+}
+
+// pushStore streams one full store to one peer, honouring the peer's
+// cursor (an empty first batch probes it, so a peer already caught up
+// costs one round-trip).
+func pushStore(ctx context.Context, store *cachestore.Store, name string, meta api.ReplMeta, peer Node, self string, hc *http.Client, batch int) error {
+	cursor, err := probeCursor(ctx, name, meta, peer, self, hc)
+	if err != nil {
+		return err
+	}
+	if cursor < 0 {
+		return nil // peer hosts the session live; it needs nothing from us
+	}
+	head, err := store.LastSeq()
+	if err != nil {
+		return err
+	}
+	for cursor < head {
+		recs, err := store.ReadFrom(cursor, batch)
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			return nil // damaged tail: the prefix is all there is
+		}
+		ack, err := appendBatch(ctx, name, meta, peer, self, cursor, recs, hc)
+		if err != nil {
+			return err
+		}
+		if ack < 0 {
+			return nil // promoted mid-push: stop, it is the live host now
+		}
+		if ack <= cursor {
+			return fmt.Errorf("no progress at cursor %d (peer acked %d)", cursor, ack)
+		}
+		cursor = ack
+	}
+	return nil
+}
+
+// probeCursor asks the peer where its replica log stands via an empty
+// append; -1 means the peer hosts the session live.
+func probeCursor(ctx context.Context, name string, meta api.ReplMeta, peer Node, self string, hc *http.Client) (int64, error) {
+	return appendBatch(ctx, name, meta, peer, self, 0, nil, hc)
+}
+
+// appendBatch is the rebalance-side twin of the Replicator's sendBatch,
+// kept separate because rebalance runs before any Replicator exists.
+func appendBatch(ctx context.Context, name string, meta api.ReplMeta, peer Node, self string, from int64, recs []cachestore.Record, hc *http.Client) (int64, error) {
+	body := api.ReplAppendRequest{Node: self, Meta: meta, From: from}
+	for _, r := range recs {
+		body.Records = append(body.Records, api.ReplRecord{I: r.I, J: r.J, D: api.WireFloat(r.Dist)})
+	}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer.URL+"/v1/repl/"+name, strings.NewReader(string(buf)))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		return -1, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("peer answered %d", resp.StatusCode)
+	}
+	var ack api.ReplAppendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return 0, err
+	}
+	return ack.Seq, nil
+}

@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"metricprox/internal/cachestore"
+	"metricprox/internal/service/api"
+)
+
+// fakePeer is a minimal /v1/repl receiver: it applies batches to its own
+// store with AppendFrom exactly as the service does, and can be switched
+// into failure modes to exercise the sender's retry and conflict paths.
+type fakePeer struct {
+	t     *testing.T
+	store *cachestore.Store
+	mu    sync.Mutex
+	mode  string // "", "down", "conflict"
+	metas []api.ReplMeta
+	srv   *httptest.Server
+}
+
+func newFakePeer(t *testing.T, n int) *fakePeer {
+	t.Helper()
+	store, err := cachestore.Create(filepath.Join(t.TempDir(), "peer.cache"), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	p := &fakePeer{t: t, store: store}
+	p.srv = httptest.NewServer(http.HandlerFunc(p.handle))
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+func (p *fakePeer) setMode(mode string) {
+	p.mu.Lock()
+	p.mode = mode
+	p.mu.Unlock()
+}
+
+func (p *fakePeer) handle(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch p.mode {
+	case "down":
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	case "conflict":
+		w.WriteHeader(http.StatusConflict)
+		json.NewEncoder(w).Encode(api.ErrorBody{Code: api.CodeReplConflict, Message: "hosted here"})
+		return
+	}
+	var req api.ReplAppendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		p.t.Errorf("peer: bad body: %v", err)
+		w.WriteHeader(http.StatusBadRequest)
+		return
+	}
+	p.metas = append(p.metas, req.Meta)
+	recs := make([]cachestore.Record, len(req.Records))
+	for i, rr := range req.Records {
+		recs[i] = cachestore.Record{I: rr.I, J: rr.J, Dist: float64(rr.D)}
+	}
+	seq, err := p.store.AppendFrom(req.From, recs)
+	if err != nil && seq == 0 {
+		p.t.Errorf("peer: AppendFrom: %v", err)
+	}
+	json.NewEncoder(w).Encode(api.ReplAppendResponse{Seq: seq})
+}
+
+func (p *fakePeer) seq() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, _ := p.store.LastSeq()
+	return s
+}
+
+// replTopo builds a two-node topology: self plus the fake peer.
+func replTopo(t *testing.T, peerURL string) *Topology {
+	t.Helper()
+	topo, err := NewTopology(Config{
+		Self: "self",
+		Nodes: []Node{
+			{Name: "self", URL: "http://invalid.localhost:1"},
+			{Name: "peer", URL: peerURL},
+		},
+		Replicas: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func testMeta(n int) api.ReplMeta {
+	return api.ReplMeta{Scheme: "tri", Landmarks: 3, Seed: 7, N: n}
+}
+
+func TestReplicatorStreamsAndResumes(t *testing.T) {
+	const n = 64
+	peer := newFakePeer(t, n)
+	topo := replTopo(t, peer.srv.URL)
+
+	src, err := cachestore.Create(filepath.Join(t.TempDir(), "src.cache"), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for k := 0; k < 10; k++ {
+		if err := src.Append(k, k+1, float64(k+1)/8); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := NewReplicator(ReplicatorConfig{Topology: topo, Interval: 5 * time.Millisecond, Batch: 4})
+	defer r.Close()
+	r.Track("sess", src, testMeta(n))
+
+	// Flush synchronously rather than racing the ticker.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := r.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := peer.seq(); got != 10 {
+		t.Fatalf("peer has %d records after flush, want 10", got)
+	}
+
+	// More appends, peer briefly down: the cursor must hold and resume.
+	peer.setMode("down")
+	for k := 10; k < 16; k++ {
+		src.Append(k, k+1, float64(k)/8)
+	}
+	shortCtx, shortCancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	_ = r.Flush(shortCtx) // expected to time out: peer refuses everything
+	shortCancel()
+	if got := peer.seq(); got != 10 {
+		t.Fatalf("peer advanced to %d while down, want 10", got)
+	}
+	peer.setMode("")
+	if err := r.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := peer.seq(); got != 16 {
+		t.Fatalf("peer has %d records after recovery, want 16", got)
+	}
+
+	// Every batch carried the session meta.
+	peer.mu.Lock()
+	defer peer.mu.Unlock()
+	for _, m := range peer.metas {
+		if m != testMeta(n) {
+			t.Fatalf("batch carried meta %+v, want %+v", m, testMeta(n))
+		}
+	}
+}
+
+func TestReplicatorRewindsAfterPeerTruncation(t *testing.T) {
+	const n = 32
+	peer := newFakePeer(t, n)
+	topo := replTopo(t, peer.srv.URL)
+	src, err := cachestore.Create(filepath.Join(t.TempDir(), "src.cache"), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for k := 0; k < 8; k++ {
+		src.Append(k, k+1, float64(k+1)/4)
+	}
+	r := NewReplicator(ReplicatorConfig{Topology: topo, Interval: time.Hour})
+	defer r.Close()
+	r.Track("sess", src, testMeta(n))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := r.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the replica losing its tail: swap in a fresh shorter store.
+	peer.mu.Lock()
+	peer.store.Close()
+	st, err := cachestore.Create(filepath.Join(t.TempDir(), "peer2.cache"), n)
+	if err != nil {
+		peer.mu.Unlock()
+		t.Fatal(err)
+	}
+	recs, _ := src.ReadFrom(0, 3)
+	st.AppendFrom(0, recs)
+	peer.store = st
+	peer.mu.Unlock()
+	t.Cleanup(func() { st.Close() })
+
+	// New records: the sender believes the peer is at 8, sends from 8, the
+	// peer acks 3 (gap), the sender rewinds and re-converges.
+	for k := 8; k < 12; k++ {
+		src.Append(k, k+1, float64(k)/4)
+	}
+	if err := r.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := peer.seq(); got != 12 {
+		t.Fatalf("peer has %d records after rewind, want 12", got)
+	}
+}
+
+func TestReplicatorHaltsOnConflict(t *testing.T) {
+	const n = 32
+	peer := newFakePeer(t, n)
+	topo := replTopo(t, peer.srv.URL)
+	src, err := cachestore.Create(filepath.Join(t.TempDir(), "src.cache"), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	src.Append(0, 1, 0.5)
+	peer.setMode("conflict")
+	r := NewReplicator(ReplicatorConfig{Topology: topo, Interval: time.Hour})
+	defer r.Close()
+	r.Track("sess", src, testMeta(n))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// A conflicted stream is dead, not lagging: Flush converges instantly.
+	if err := r.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := peer.seq(); got != 0 {
+		t.Fatalf("conflicted peer applied %d records, want 0", got)
+	}
+	// Later appends never reach it either.
+	src.Append(1, 2, 0.25)
+	if err := r.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := peer.seq(); got != 0 {
+		t.Fatalf("halted stream pushed records after conflict: peer at %d", got)
+	}
+}
+
+func TestReplicatorUntrackStopsStream(t *testing.T) {
+	const n = 32
+	peer := newFakePeer(t, n)
+	topo := replTopo(t, peer.srv.URL)
+	src, err := cachestore.Create(filepath.Join(t.TempDir(), "src.cache"), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Append(0, 1, 0.5)
+	r := NewReplicator(ReplicatorConfig{Topology: topo, Interval: time.Hour})
+	defer r.Close()
+	r.Track("sess", src, testMeta(n))
+	r.Untrack("sess")
+	// After Untrack the store may be closed; a flush must not touch it.
+	src.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := r.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := peer.seq(); got != 0 {
+		t.Fatalf("untracked session replicated %d records", got)
+	}
+}
+
+func TestReplicatorNoPeersIsNoop(t *testing.T) {
+	topo, err := NewTopology(Config{
+		Self:  "solo",
+		Nodes: []Node{{Name: "solo", URL: "http://x:1"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := cachestore.Create(filepath.Join(t.TempDir(), "src.cache"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	r := NewReplicator(ReplicatorConfig{Topology: topo})
+	defer r.Close()
+	r.Track("sess", src, testMeta(8))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := r.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossConstruction(t *testing.T) {
+	// The whole membership design rests on this: every participant
+	// computes ownership locally, so the same (names, vnodes, seed) triple
+	// must give identical owners regardless of input order or process.
+	a, err := NewRing([]string{"n1", "n2", "n3"}, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3", "n1", "n2"}, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 200; k++ {
+		key := fmt.Sprintf("session-%d", k)
+		ga, gb := a.Owners(key, 2), b.Owners(key, 2)
+		if len(ga) != 2 || len(gb) != 2 || ga[0] != gb[0] || ga[1] != gb[1] {
+			t.Fatalf("key %q: owners differ across construction order: %v vs %v", key, ga, gb)
+		}
+	}
+}
+
+func TestRingSeedChangesPlacement(t *testing.T) {
+	a, _ := NewRing([]string{"n1", "n2", "n3"}, 64, 1)
+	b, _ := NewRing([]string{"n1", "n2", "n3"}, 64, 2)
+	moved := 0
+	for k := 0; k < 300; k++ {
+		key := fmt.Sprintf("s%d", k)
+		if a.Primary(key) != b.Primary(key) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("different seeds produced identical placement for 300 keys")
+	}
+}
+
+func TestRingOwnersDistinctAndPrimaryFirst(t *testing.T) {
+	r, _ := NewRing([]string{"a", "b", "c", "d"}, 64, 7)
+	for k := 0; k < 100; k++ {
+		key := fmt.Sprintf("x%d", k)
+		owners := r.Owners(key, 3)
+		if len(owners) != 3 {
+			t.Fatalf("key %q: got %d owners, want 3", key, len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %q: duplicate owner %q in %v", key, o, owners)
+			}
+			seen[o] = true
+		}
+		if owners[0] != r.Primary(key) {
+			t.Fatalf("key %q: Owners[0]=%q != Primary=%q", key, owners[0], r.Primary(key))
+		}
+	}
+	// Asking for more owners than nodes returns all nodes.
+	if got := r.Owners("y", 10); len(got) != 4 {
+		t.Fatalf("Owners(k>nodes) returned %d, want 4", len(got))
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	// With 64 vnodes per node, primary ownership over many keys should be
+	// roughly uniform; a >3x skew would mean the hash mixes badly.
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r, _ := NewRing(nodes, 64, 99)
+	counts := map[string]int{}
+	const keys = 5000
+	for k := 0; k < keys; k++ {
+		counts[r.Primary(fmt.Sprintf("sess-%d", k))]++
+	}
+	want := keys / len(nodes)
+	for _, n := range nodes {
+		c := counts[n]
+		if c < want/3 || c > want*3 {
+			t.Fatalf("node %s owns %d of %d keys (fair share %d): unacceptable skew %v", n, c, keys, want, counts)
+		}
+	}
+}
+
+func TestRingJoinMovesBoundedShare(t *testing.T) {
+	// Consistent hashing's defining property: adding one node moves only
+	// about 1/(n+1) of the keys, and never between two old nodes — a key's
+	// primary either stays or becomes the newcomer. Rebalance relies on
+	// this so a join costs one node's worth of state transfer, not a
+	// reshuffle.
+	before, _ := NewRing([]string{"a", "b", "c"}, 64, 5)
+	after, _ := NewRing([]string{"a", "b", "c", "d"}, 64, 5)
+	const keys = 4000
+	moved, movedElsewhere := 0, 0
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("s%d", k)
+		pb, pa := before.Primary(key), after.Primary(key)
+		if pb != pa {
+			moved++
+			if pa != "d" {
+				movedElsewhere++
+			}
+		}
+	}
+	if movedElsewhere != 0 {
+		t.Fatalf("%d keys moved between pre-existing nodes on join; consistent hashing must only move keys to the newcomer", movedElsewhere)
+	}
+	// Expected share ~ keys/4 = 1000; allow generous slack for vnode noise.
+	if moved < keys/8 || moved > keys/2 {
+		t.Fatalf("join moved %d of %d keys, want roughly %d", moved, keys, keys/4)
+	}
+}
+
+func TestParseNodes(t *testing.T) {
+	nodes, err := ParseNodes("a=http://h1:7060, b=http://h2:7060 ,c=http://h3:7060")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 || nodes[1].Name != "b" || nodes[1].URL != "http://h2:7060" {
+		t.Fatalf("ParseNodes = %+v", nodes)
+	}
+	for _, bad := range []string{"", "nourl", "=http://x", ","} {
+		if _, err := ParseNodes(bad); err == nil {
+			t.Fatalf("ParseNodes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTopologyOwnersAndPeers(t *testing.T) {
+	topo, err := NewTopology(Config{
+		Self: "b",
+		Nodes: []Node{
+			{Name: "a", URL: "http://h1:1"},
+			{Name: "b", URL: "http://h2:1"},
+			{Name: "c", URL: "http://h3:1"},
+		},
+		Replicas: 1,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 50; k++ {
+		key := fmt.Sprintf("sess%d", k)
+		owners := topo.Owners(key)
+		if len(owners) != 2 {
+			t.Fatalf("key %q: %d owners, want 2 (primary + 1 replica)", key, len(owners))
+		}
+		peers := topo.Peers(key)
+		for _, p := range peers {
+			if p.Name == "b" {
+				t.Fatalf("key %q: Peers contains self", key)
+			}
+		}
+		selfOwns := owners[0].Name == "b" || owners[1].Name == "b"
+		if topo.IsOwner(key) != selfOwns {
+			t.Fatalf("key %q: IsOwner=%v but owners=%v", key, topo.IsOwner(key), owners)
+		}
+		if selfOwns && len(peers) != 1 {
+			t.Fatalf("key %q: self owns but %d peers (want 1)", key, len(peers))
+		}
+		if !selfOwns && len(peers) != 2 {
+			t.Fatalf("key %q: self not owner but %d peers (want 2)", key, len(peers))
+		}
+	}
+	// Replicas clamped to cluster size.
+	small, err := NewTopology(Config{Nodes: []Node{{Name: "solo", URL: "http://x:1"}}, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := small.Owners("any"); len(got) != 1 {
+		t.Fatalf("single-node topology returned %d owners", len(got))
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	cases := []Config{
+		{},
+		{Nodes: []Node{{Name: "", URL: "http://x:1"}}},
+		{Nodes: []Node{{Name: "a", URL: "::bad::"}}},
+		{Nodes: []Node{{Name: "a", URL: "http://x:1"}, {Name: "a", URL: "http://y:1"}}},
+		{Self: "ghost", Nodes: []Node{{Name: "a", URL: "http://x:1"}}},
+	}
+	for i, cfg := range cases {
+		if _, err := NewTopology(cfg); err == nil {
+			t.Fatalf("case %d: NewTopology(%+v) accepted", i, cfg)
+		}
+	}
+}

@@ -25,15 +25,24 @@ type SessionEntry struct {
 	// Data is the owner's payload, set by the build callback and carried
 	// untouched; nil if the builder did not provide one.
 	Data any
+
+	// re backlinks to the registry bookkeeping so Release can find the
+	// exact generation that was acquired even after the name has been
+	// evicted and re-created.
+	re *regEntry
 }
 
 // regEntry wraps a SessionEntry with the registry's bookkeeping: the
-// single-flight ready latch and the idle clock for TTL eviction.
+// single-flight ready latch, the idle clock for TTL eviction, and the
+// in-use generation that keeps an entry's resources alive while handlers
+// hold it.
 type regEntry struct {
 	entry    *SessionEntry
 	err      error         // build failure, set before ready closes
 	ready    chan struct{} // closed once the build callback returns
 	lastUsed time.Time     // guarded by the registry mutex
+	active   int           // handlers currently holding the entry (Acquire/Release)
+	removed  bool          // evicted while active; onEvict deferred to last Release
 }
 
 // SessionRegistry hosts named SharedSessions with single-flight creation,
@@ -99,7 +108,7 @@ func (r *SessionRegistry) GetOrCreate(name string, build func() (*SharedSession,
 		delete(r.entries, name) // failed builds are not cached
 		re.err = err
 	} else {
-		re.entry = &SessionEntry{Name: name, Session: s, Data: data}
+		re.entry = &SessionEntry{Name: name, Session: s, Data: data, re: re}
 		re.lastUsed = r.now()
 	}
 	close(re.ready)
@@ -138,10 +147,57 @@ func (r *SessionRegistry) Get(name string) *SessionEntry {
 	return re.entry
 }
 
+// Acquire returns the entry registered under name with its in-use
+// generation taken, or nil when absent. While held, the entry is immune
+// to the TTL sweeper and its onEvict hook (which closes cache stores) is
+// deferred past the hold — the fix for the sweeper-vs-handler race where
+// a drain-era request could have its session's store closed underfoot.
+// Every successful Acquire must be paired with exactly one Release.
+func (r *SessionRegistry) Acquire(name string) *SessionEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	re, ok := r.entries[name]
+	if !ok || re.entry == nil {
+		return nil
+	}
+	re.lastUsed = r.now()
+	re.active++
+	return re.entry
+}
+
+// Release returns an entry taken with Acquire. It touches the idle clock
+// (the handler just finished using the session, so it was not idle) and,
+// when the entry was evicted while held, runs the deferred onEvict hook —
+// outside the lock, exactly once, after the last holder lets go. The
+// entry pointer, not the name, identifies the generation: releasing after
+// the name was evicted and re-created under a fresh session never touches
+// the newcomer.
+func (r *SessionRegistry) Release(e *SessionEntry) {
+	if e == nil || e.re == nil {
+		return
+	}
+	r.mu.Lock()
+	re := e.re
+	if re.active <= 0 {
+		r.mu.Unlock()
+		return
+	}
+	re.active--
+	re.lastUsed = r.now()
+	evict := re.active == 0 && re.removed
+	r.mu.Unlock()
+	if evict && r.onEvict != nil {
+		r.onEvict(re.entry)
+	}
+}
+
 // Evict removes name from the registry, running the onEvict hook outside
 // the lock, and reports whether an entry was removed. Evicting a name
 // whose build is still in flight is refused (reported as false) — the
-// builder would resurrect a zombie entry.
+// builder would resurrect a zombie entry. Evicting an entry a handler
+// currently holds (Acquire without Release yet) removes it from the
+// registry immediately but defers the onEvict hook to the final Release,
+// so the holder's session and store stay usable until it finishes.
 func (r *SessionRegistry) Evict(name string) bool {
 	r.mu.Lock()
 	re, ok := r.entries[name]
@@ -150,6 +206,11 @@ func (r *SessionRegistry) Evict(name string) bool {
 		return false
 	}
 	delete(r.entries, name)
+	if re.active > 0 {
+		re.removed = true
+		r.mu.Unlock()
+		return true
+	}
 	r.mu.Unlock()
 	if r.onEvict != nil {
 		r.onEvict(re.entry)
@@ -160,6 +221,13 @@ func (r *SessionRegistry) Evict(name string) bool {
 // Sweep evicts every entry idle longer than the registry TTL and returns
 // the evicted entries' names. A zero TTL makes Sweep a no-op. The service
 // daemon calls this periodically; tests call it with an injected clock.
+//
+// An entry currently held by a handler (Acquire without Release) is never
+// swept: "in use right now" is the strongest possible proof of not being
+// idle, and sweeping it would close the session's cache store underneath
+// the handler. The idle clock, the in-use count, and the map removal are
+// all read and written under the one registry lock, so there is no window
+// in which a handler can acquire an entry the sweeper has already chosen.
 func (r *SessionRegistry) Sweep() []string {
 	if r.ttl <= 0 {
 		return nil
@@ -168,7 +236,7 @@ func (r *SessionRegistry) Sweep() []string {
 	cutoff := r.now().Add(-r.ttl)
 	var victims []*regEntry
 	for name, re := range r.entries {
-		if re.entry != nil && re.lastUsed.Before(cutoff) {
+		if re.entry != nil && re.active == 0 && re.lastUsed.Before(cutoff) {
 			delete(r.entries, name)
 			victims = append(victims, re)
 		}
@@ -190,9 +258,17 @@ func (r *SessionRegistry) Sweep() []string {
 func (r *SessionRegistry) Clear() int {
 	r.mu.Lock()
 	var victims []*regEntry
+	n := 0
 	for name, re := range r.entries {
 		if re.entry != nil {
 			delete(r.entries, name)
+			n++
+			if re.active > 0 {
+				// A handler still holds it (shutdown with a straggling
+				// request): defer the hook to its final Release.
+				re.removed = true
+				continue
+			}
 			victims = append(victims, re)
 		}
 	}
@@ -202,7 +278,7 @@ func (r *SessionRegistry) Clear() int {
 			r.onEvict(re.entry)
 		}
 	}
-	return len(victims)
+	return n
 }
 
 // Names returns the ready sessions' names in no particular order.

@@ -199,3 +199,117 @@ func TestRegistryGetDoesNotBlockOnPendingBuild(t *testing.T) {
 		t.Fatal("Get = nil after build completed")
 	}
 }
+
+func TestRegistryAcquireBlocksSweep(t *testing.T) {
+	// Regression test for the TTL-sweeper vs drain-era handler race: a
+	// handler that acquired a session must keep it alive — and its onEvict
+	// hook unrun — no matter how stale its idle clock looks to the sweeper.
+	clock := time.Unix(9000, 0)
+	var evicted []string
+	r := NewSessionRegistry(0, time.Minute, func(e *SessionEntry) { evicted = append(evicted, e.Name) })
+	r.now = func() time.Time { return clock }
+
+	if _, _, err := r.GetOrCreate("held", buildShared); err != nil {
+		t.Fatal(err)
+	}
+	e := r.Acquire("held")
+	if e == nil {
+		t.Fatal("Acquire(held) = nil")
+	}
+	// Way past the TTL while the handler still holds the entry.
+	clock = clock.Add(time.Hour)
+	if names := r.Sweep(); len(names) != 0 {
+		t.Fatalf("sweep evicted in-use session %v", names)
+	}
+	if len(evicted) != 0 {
+		t.Fatalf("onEvict ran for in-use session: %v", evicted)
+	}
+	// Release touches the idle clock, so the session is fresh again.
+	r.Release(e)
+	if names := r.Sweep(); len(names) != 0 {
+		t.Fatalf("sweep evicted freshly-released session %v", names)
+	}
+	// Only once it has truly idled out does the sweeper take it.
+	clock = clock.Add(2 * time.Minute)
+	if names := r.Sweep(); len(names) != 1 || names[0] != "held" {
+		t.Fatalf("sweep after release = %v, want [held]", names)
+	}
+	if len(evicted) != 1 {
+		t.Fatalf("onEvict ran %d times, want 1", len(evicted))
+	}
+}
+
+func TestRegistryEvictWhileHeldDefersHook(t *testing.T) {
+	var evicted []string
+	r := NewSessionRegistry(0, 0, func(e *SessionEntry) { evicted = append(evicted, e.Name) })
+	if _, _, err := r.GetOrCreate("s", buildShared); err != nil {
+		t.Fatal(err)
+	}
+	e1 := r.Acquire("s")
+	e2 := r.Acquire("s")
+	if e1 == nil || e2 == nil {
+		t.Fatal("Acquire returned nil")
+	}
+	// Explicit DELETE while two handlers are in flight: the name leaves
+	// the registry at once, the hook waits for the last holder.
+	if !r.Evict("s") {
+		t.Fatal("Evict(s) = false")
+	}
+	if r.Get("s") != nil {
+		t.Fatal("evicted session still visible")
+	}
+	if len(evicted) != 0 {
+		t.Fatalf("onEvict ran with holders in flight: %v", evicted)
+	}
+	r.Release(e1)
+	if len(evicted) != 0 {
+		t.Fatalf("onEvict ran before last release: %v", evicted)
+	}
+	r.Release(e2)
+	if len(evicted) != 1 || evicted[0] != "s" {
+		t.Fatalf("onEvict after last release = %v, want [s]", evicted)
+	}
+	// The name is free for a new generation; releasing the old entry again
+	// must not touch the newcomer.
+	if _, _, err := r.GetOrCreate("s", buildShared); err != nil {
+		t.Fatal(err)
+	}
+	r.Release(e1) // stale release of the dead generation: no-op
+	if r.Get("s") == nil {
+		t.Fatal("stale Release damaged the new generation")
+	}
+	if len(evicted) != 1 {
+		t.Fatalf("stale Release re-ran onEvict: %v", evicted)
+	}
+}
+
+func TestRegistryClearDefersHookForHeldEntries(t *testing.T) {
+	var mu sync.Mutex
+	var evicted []string
+	r := NewSessionRegistry(0, 0, func(e *SessionEntry) {
+		mu.Lock()
+		evicted = append(evicted, e.Name)
+		mu.Unlock()
+	})
+	for _, name := range []string{"a", "b"} {
+		if _, _, err := r.GetOrCreate(name, buildShared); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := r.Acquire("a")
+	if got := r.Clear(); got != 2 {
+		t.Fatalf("Clear = %d, want 2", got)
+	}
+	mu.Lock()
+	n := len(evicted)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("onEvict ran %d times during Clear with one entry held, want 1", n)
+	}
+	r.Release(e)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(evicted) != 2 {
+		t.Fatalf("onEvict total after release = %d, want 2", len(evicted))
+	}
+}

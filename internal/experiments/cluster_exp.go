@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"metricprox/internal/cluster"
+	"metricprox/internal/datasets"
+	"metricprox/internal/metric"
+	"metricprox/internal/proxclient"
+	"metricprox/internal/service"
+)
+
+// This file measures the cluster failover call economy — the number the
+// replication design exists to improve. ClusterWarmReplayCalls runs the
+// full two-node story in-process (primary resolves a workload, the
+// replicator streams it, the primary dies, the replica promotes) and
+// counts the oracle calls the promoted replica pays to finish a kNN
+// build; ClusterColdSessionCalls counts the same build from nothing.
+// CI's bench-smoke job gates cold/warm through cmd/benchgate
+// (BENCH_cluster.json): a promoted replica must pay strictly fewer calls
+// than a cold rebuild, or replication is dead weight.
+
+// clusterBenchPairs is the deterministic dist workload the primary
+// resolves before dying: the part of the session's life that replication
+// preserves.
+func clusterBenchPairs(n int) [][2]int {
+	pairs := make([][2]int, 0, 3*n)
+	for k := 0; k < 3*n; k++ {
+		i := (k*7 + 3) % n
+		j := (k*13 + 11) % n
+		if i == j {
+			j = (j + 1) % n
+		}
+		pairs = append(pairs, [2]int{i, j})
+	}
+	return pairs
+}
+
+// serveOn serves h on a pre-bound listener, so topologies can carry the
+// URL before the server handling it exists.
+func serveOn(l net.Listener, h http.Handler) *http.Server {
+	hs := &http.Server{Handler: h}
+	go hs.Serve(l)
+	return hs
+}
+
+// ClusterWarmReplayCalls returns the oracle calls a promoted replica pays
+// to serve a k=5 kNN build after the primary — which had resolved the
+// bench workload and replicated it — dies.
+func ClusterWarmReplayCalls(n int, seed int64) int64 {
+	calls, err := clusterWarmReplay(n, seed)
+	if err != nil {
+		panic(fmt.Sprintf("cluster warm-replay bench: %v", err))
+	}
+	return calls
+}
+
+func clusterWarmReplay(n int, seed int64) (int64, error) {
+	space := datasets.SFPOIPlanar(n, seed)
+	oracleB := metric.NewOracle(space)
+
+	lA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer lA.Close()
+	lB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer lB.Close()
+	nodes := []cluster.Node{
+		{Name: "a", URL: "http://" + lA.Addr().String()},
+		{Name: "b", URL: "http://" + lB.Addr().String()},
+	}
+	topoA, err := cluster.NewTopology(cluster.Config{Self: "a", Nodes: nodes, Replicas: 1})
+	if err != nil {
+		return 0, err
+	}
+	topoB, err := cluster.NewTopology(cluster.Config{Self: "b", Nodes: nodes, Replicas: 1})
+	if err != nil {
+		return 0, err
+	}
+	dirA, err := os.MkdirTemp("", "cluster-bench-a")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dirA)
+	dirB, err := os.MkdirTemp("", "cluster-bench-b")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dirB)
+
+	repl := cluster.NewReplicator(cluster.ReplicatorConfig{Topology: topoA, Interval: time.Millisecond})
+	defer repl.Close()
+	srvA, err := service.New(service.Config{
+		Oracle: metric.NewOracle(space), CacheDir: dirA, Cluster: topoA, Replicator: repl,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer srvA.Close()
+	srvB, err := service.New(service.Config{
+		Oracle: oracleB, CacheDir: dirB, Cluster: topoB,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer srvB.Close()
+	hsA := serveOn(lA, srvA.Handler())
+	defer hsA.Close()
+	hsB := serveOn(lB, srvB.Handler())
+	defer hsB.Close()
+
+	// The primary's life: create, resolve the workload, replicate it.
+	ctx := context.Background()
+	cA := proxclient.New(nodes[0].URL, proxclient.Options{})
+	sess, err := proxclient.CreateSession(ctx, cA, "clusterbench", "tri",
+		proxclient.SessionOptions{Seed: seed, Bootstrap: true})
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range clusterBenchPairs(n) {
+		if _, err := sess.DistErr(p[0], p[1]); err != nil {
+			return 0, err
+		}
+	}
+	fctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := repl.Flush(fctx); err != nil {
+		return 0, err
+	}
+	hsA.Close() // the primary dies
+
+	// The replica's life: the same create adopts the replicated store
+	// (promotion), and the kNN build pays only for what replication missed.
+	cB := proxclient.New(nodes[1].URL, proxclient.Options{})
+	sessB, err := proxclient.CreateSession(ctx, cB, "clusterbench", "tri",
+		proxclient.SessionOptions{Seed: seed, Bootstrap: true})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := sessB.RemoteKNN(ctx, 5); err != nil {
+		return 0, err
+	}
+	return oracleB.Calls(), nil
+}
+
+// ClusterColdSessionCalls returns the oracle calls the identical kNN
+// build costs on a node with no replicated state: full bootstrap plus
+// every resolution.
+func ClusterColdSessionCalls(n int, seed int64) int64 {
+	oracle := metric.NewOracle(datasets.SFPOIPlanar(n, seed))
+	srv, err := service.New(service.Config{Oracle: oracle})
+	if err != nil {
+		panic(fmt.Sprintf("cluster cold bench: %v", err))
+	}
+	defer srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("cluster cold bench: %v", err))
+	}
+	defer l.Close()
+	hs := serveOn(l, srv.Handler())
+	defer hs.Close()
+
+	ctx := context.Background()
+	c := proxclient.New("http://"+l.Addr().String(), proxclient.Options{})
+	sess, err := proxclient.CreateSession(ctx, c, "clusterbench", "tri",
+		proxclient.SessionOptions{Seed: seed, Bootstrap: true})
+	if err != nil {
+		panic(fmt.Sprintf("cluster cold bench: %v", err))
+	}
+	if _, err := sess.RemoteKNN(ctx, 5); err != nil {
+		panic(fmt.Sprintf("cluster cold bench: %v", err))
+	}
+	return oracle.Calls()
+}

@@ -1,0 +1,288 @@
+package proxclient
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"metricprox/internal/cluster"
+	"metricprox/internal/metric"
+	"metricprox/internal/service"
+	"metricprox/internal/service/api"
+)
+
+// testCluster is a three-node in-process cluster: full service.Servers
+// over httptest listeners, each replicating to its ring peers.
+type testCluster struct {
+	topo  *cluster.Topology // non-member view, as the smart client sees it
+	srvs  map[string]*service.Server
+	ts    map[string]*httptest.Server
+	repls map[string]*cluster.Replicator
+}
+
+func newTestCluster(t *testing.T, names ...string) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		srvs:  make(map[string]*service.Server),
+		ts:    make(map[string]*httptest.Server),
+		repls: make(map[string]*cluster.Replicator),
+	}
+	var nodes []cluster.Node
+	for _, name := range names {
+		ts := httptest.NewServer(nil)
+		t.Cleanup(ts.Close)
+		tc.ts[name] = ts
+		nodes = append(nodes, cluster.Node{Name: name, URL: ts.URL})
+	}
+	for _, name := range names {
+		topo, err := cluster.NewTopology(cluster.Config{Self: name, Nodes: nodes, Replicas: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		repl := cluster.NewReplicator(cluster.ReplicatorConfig{
+			Topology: topo,
+			Interval: 2 * time.Millisecond,
+		})
+		t.Cleanup(repl.Close)
+		repl.Start()
+		srv, err := service.New(service.Config{
+			Oracle:     metric.NewOracle(testSpace()),
+			CacheDir:   t.TempDir(),
+			Cluster:    topo,
+			Replicator: repl,
+			Logf:       t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		tc.srvs[name] = srv
+		tc.repls[name] = repl
+		tc.ts[name].Config.Handler = srv.Handler()
+	}
+	var err error
+	tc.topo, err = cluster.NewTopology(cluster.Config{Nodes: nodes, Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tc
+}
+
+// kill closes a node's listener so further requests are transport errors,
+// then flushes and stops its replicator — an orderly approximation of a
+// crash; the hard SIGKILL variant lives in the e2e suite.
+func (tc *testCluster) kill(name string) {
+	tc.ts[name].Close()
+	tc.repls[name].Close()
+}
+
+func TestClusterClientRoutesBySession(t *testing.T) {
+	tc := newTestCluster(t, "a", "b", "c")
+	cc := NewCluster(tc.topo, fastOptions())
+
+	sess, err := CreateSession(context.Background(), cc, "route-me", "tri",
+		SessionOptions{Seed: testSeed, Bootstrap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sess.Dist(3, 17); d <= 0 {
+		t.Fatalf("Dist = %v, want > 0", d)
+	}
+	// The session must live only on its ring owners.
+	owners := map[string]bool{}
+	for _, n := range tc.topo.Owners("route-me") {
+		owners[n.Name] = true
+	}
+	for name, srv := range tc.srvs {
+		_ = srv
+		var list api.SessionList
+		resp, err := http.Get(tc.ts[name].URL + "/v1/sessions")
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeBody(t, resp, &list)
+		hosts := len(list.Sessions) > 0
+		if hosts && !owners[name] {
+			t.Fatalf("non-owner %s hosts %v", name, list.Sessions)
+		}
+		if !hosts && name == tc.topo.Owners("route-me")[0].Name {
+			t.Fatalf("primary %s hosts nothing", name)
+		}
+	}
+}
+
+func TestClusterClientFailsOverToPromotedReplica(t *testing.T) {
+	tc := newTestCluster(t, "a", "b", "c")
+	cc := NewCluster(tc.topo, fastOptions())
+	const name = "failover-smart"
+
+	sess, err := CreateSession(context.Background(), cc, name, "tri",
+		SessionOptions{Seed: testSeed, Bootstrap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resolve a workload on the primary and remember the answers — but
+	// through a second, mirror-free session handle, so the post-failover
+	// reads below must round-trip instead of answering from local state.
+	probe, err := CreateSession(context.Background(), cc, name, "tri",
+		SessionOptions{Seed: testSeed, Bootstrap: true, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct{ i, j int }
+	pairs := []pair{{0, 1}, {4, 9}, {12, 33}, {7, 48}, {21, 55}, {3, 40}}
+	want := map[pair]float64{}
+	for _, p := range pairs {
+		d, err := sess.DistErr(p.i, p.j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[p] = d
+	}
+
+	// Let replication drain, then kill the primary.
+	primary := tc.topo.Owners(name)[0].Name
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := tc.repls[primary].Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tc.kill(primary)
+
+	// The mirror-free handle re-reads every pair: the smart client must
+	// fall back to the replica, which promotes and answers identically
+	// with zero new oracle calls.
+	for _, p := range pairs {
+		d, err := probe.DistErr(p.i, p.j)
+		if err != nil {
+			t.Fatalf("post-failover Dist(%d,%d): %v", p.i, p.j, err)
+		}
+		if d != want[p] {
+			t.Fatalf("pair %v: failover answered %v, primary answered %v", p, d, want[p])
+		}
+	}
+	st := probe.Stats()
+	if st.OracleCalls != 0 {
+		t.Fatalf("promoted replica paid %d oracle calls for replicated pairs, want 0", st.OracleCalls)
+	}
+
+	// Stickiness: the failed-over node stays first in the candidate order.
+	if got := cc.candidates(name)[0]; got == primary {
+		t.Fatalf("candidates still lead with dead primary %s", got)
+	}
+}
+
+func TestClusterClientRecreatesOnStatelessFallback(t *testing.T) {
+	// Kill the primary before replication is configured to have delivered
+	// anything useful: here, before the session even exists on a replica
+	// (created with replication pumps closed). The smart client must
+	// re-issue its remembered create on the fallback node — a cold session
+	// is slower, never wrong.
+	tc := newTestCluster(t, "a", "b", "c")
+	const name = "cold-fallback"
+	primary := tc.topo.Owners(name)[0].Name
+	tc.repls[primary].Close() // nothing will replicate
+
+	cc := NewCluster(tc.topo, fastOptions())
+	sess, err := CreateSession(context.Background(), cc, name, "tri",
+		SessionOptions{Seed: testSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := sess.DistErr(5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.ts[primary].Close()
+
+	probe, err := CreateSession(context.Background(), cc, name, "tri",
+		SessionOptions{Seed: testSeed, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := probe.DistErr(5, 11)
+	if err != nil {
+		t.Fatalf("post-failover resolve: %v", err)
+	}
+	if d1 != d2 {
+		t.Fatalf("cold fallback answered %v, original %v", d2, d1)
+	}
+}
+
+func TestClusterClientDeleteEvictsAllOwners(t *testing.T) {
+	tc := newTestCluster(t, "a", "b")
+	cc := NewCluster(tc.topo, fastOptions())
+	const name = "del-me"
+	sess, err := CreateSession(context.Background(), cc, name, "tri", SessionOptions{Seed: testSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.DistErr(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Delete(context.Background(), name); err != nil {
+		t.Fatal(err)
+	}
+	names, err := cc.Sessions(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("sessions after delete: %v", names)
+	}
+}
+
+func TestSessionFromCall(t *testing.T) {
+	cases := []struct {
+		path string
+		in   any
+		want string
+	}{
+		{"/v1/sessions/foo/dist", nil, "foo"},
+		{"/v1/sessions/foo", nil, "foo"},
+		{"/v1/sessions", api.CreateSessionRequest{Name: "bar"}, "bar"},
+		{"/v1/sessions", nil, ""},
+		{"/healthz", nil, ""},
+	}
+	for _, c := range cases {
+		if got := sessionFromCall(c.path, c.in); got != c.want {
+			t.Fatalf("sessionFromCall(%q) = %q, want %q", c.path, got, c.want)
+		}
+	}
+}
+
+func TestFailoverable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{fmt.Errorf("dial tcp: connection refused"), true},
+		{&APIError{Status: 503, Code: api.CodeDraining}, true},
+		{&APIError{Status: 503, Code: api.CodeOverloaded}, false},
+		{&APIError{Status: 502, Code: api.CodeOracleUnavailable}, false},
+		{&APIError{Status: 502, Code: api.CodeInternal}, true},
+		{&APIError{Status: 504, Code: api.CodeInternal}, true},
+		{&APIError{Status: 404, Code: api.CodeNotFound}, false},
+		{&APIError{Status: 400, Code: api.CodeBadRequest}, false},
+		{fmt.Errorf("wrapped: %w", &APIError{Status: 503, Code: api.CodeDraining}), true},
+	}
+	for i, c := range cases {
+		if got := failoverable(c.err); got != c.want {
+			t.Fatalf("case %d (%v): failoverable = %v, want %v", i, c.err, got, c.want)
+		}
+	}
+}
+
+// decodeBody decodes a JSON response body and closes it.
+func decodeBody(t *testing.T, resp *http.Response, out any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -55,7 +55,7 @@ type SessionOptions struct {
 // The mutex guards only the mirror maps and is never held across an HTTP
 // round-trip.
 type Session struct {
-	c    *Client
+	c    Caller
 	name string
 	n    int
 	max  float64
@@ -72,7 +72,7 @@ type Session struct {
 
 // CreateSession creates (or attaches to) the named session on the daemon
 // and returns the client-side view of it.
-func CreateSession(ctx context.Context, c *Client, name, scheme string, opts SessionOptions) (*Session, error) {
+func CreateSession(ctx context.Context, c Caller, name, scheme string, opts SessionOptions) (*Session, error) {
 	req := api.CreateSessionRequest{
 		Name:       name,
 		Scheme:     scheme,
@@ -105,7 +105,7 @@ func CreateSession(ctx context.Context, c *Client, name, scheme string, opts Ses
 func (s *Session) Name() string { return s.name }
 
 // Client returns the transport the session rides on.
-func (s *Session) Client() *Client { return s.c }
+func (s *Session) Client() Caller { return s.c }
 
 // pairKey normalises (i, j) to i < j and packs it into one map key.
 func pairKey(i, j int) uint64 {
@@ -574,7 +574,7 @@ func (s *Session) Bootstrap(ctx context.Context, landmarks []int) (int64, error)
 // Delete evicts the session server-side. The local mirror stays valid for
 // reads but further round-trips will 404.
 func (s *Session) Delete(ctx context.Context) error {
-	return s.c.Delete(ctx, s.name)
+	return s.c.do(ctx, http.MethodDelete, "/v1/sessions/"+s.name, nil, nil)
 }
 
 var (

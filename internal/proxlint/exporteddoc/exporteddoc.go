@@ -28,7 +28,8 @@ var Analyzer = &analysis.Analyzer{
 	Name: "exporteddoc",
 	Doc: "require a doc comment on every exported identifier in the documented API " +
 		"packages (internal/core, internal/metric, internal/resilient, internal/faultmetric, " +
-		"internal/obs, internal/pgraph, internal/bounds, internal/nsw, internal/service, internal/proxclient)",
+		"internal/obs, internal/pgraph, internal/bounds, internal/nsw, internal/service, " +
+		"internal/proxclient, internal/cluster)",
 	Run: run,
 }
 
@@ -48,6 +49,7 @@ var documentedSuffixes = []string{
 	"internal/service",
 	"internal/service/api",
 	"internal/proxclient",
+	"internal/cluster",
 }
 
 func run(pass *analysis.Pass) error {

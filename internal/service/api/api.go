@@ -35,6 +35,14 @@ const (
 	// resilient policy exhausted its retries; the answer was NOT degraded
 	// to an estimate server-side.
 	CodeOracleUnavailable = "oracle_unavailable"
+	// CodeReplConflict marks a replication append refused because the
+	// receiving node hosts the session itself (it was promoted, or the
+	// ring disagrees about ownership). The sender must stop replicating
+	// this session here: two live writers would fork the log.
+	CodeReplConflict = "repl_conflict"
+	// CodeUnavailable marks a request the router could not place on any
+	// owner of the session — every candidate node was down or draining.
+	CodeUnavailable = "unavailable"
 	// CodeInternal marks any other server-side failure.
 	CodeInternal = "internal"
 )
@@ -423,6 +431,95 @@ type StatsResponse struct {
 type SessionList struct {
 	// Sessions are the live session names, sorted.
 	Sessions []string `json:"sessions"`
+}
+
+// ReplMeta carries a session's creation parameters alongside its
+// replicated bound state, so a replica can rebuild the session — same
+// scheme, same landmarks, same slack policy — without ever having seen
+// the client's CreateSessionRequest. It travels with every append batch;
+// senders keep it constant for a session's lifetime (create parameters
+// are immutable after the first build).
+type ReplMeta struct {
+	// Scheme is the bound scheme name as accepted by core.ParseScheme.
+	Scheme string `json:"scheme"`
+	// Landmarks is the resolved landmark count (after the log2-n default —
+	// replicas must not re-derive it against a different universe).
+	Landmarks int `json:"landmarks"`
+	// Seed drives the deterministic landmark choice.
+	Seed int64 `json:"seed"`
+	// Bootstrap mirrors CreateSessionRequest.Bootstrap. A promoted replica
+	// honours it so the rebuilt session has the same landmark rows resolved
+	// — mostly already free, replayed from the replicated log.
+	Bootstrap bool `json:"bootstrap,omitempty"`
+	// SlackEps mirrors CreateSessionRequest.SlackEps.
+	SlackEps WireFloat `json:"slack_eps,omitempty"`
+	// SlackRatio mirrors CreateSessionRequest.SlackRatio.
+	SlackRatio WireFloat `json:"slack_ratio,omitempty"`
+	// SlackAuto mirrors CreateSessionRequest.SlackAuto.
+	SlackAuto bool `json:"slack_auto,omitempty"`
+	// Audit mirrors CreateSessionRequest.Audit.
+	Audit bool `json:"audit,omitempty"`
+	// N is the sender's universe size; a mismatch with the receiver's
+	// space is a configuration error and refuses the stream (replaying
+	// distances onto wrong indices would be silent corruption).
+	N int `json:"n"`
+}
+
+// ReplRecord is one replicated exact-distance resolution.
+type ReplRecord struct {
+	// I and J are the object indices, I < J (cachestore normalised).
+	I int `json:"i"`
+	J int `json:"j"`
+	// D is the exact distance.
+	D WireFloat `json:"d"`
+}
+
+// ReplAppendRequest is the POST /v1/repl/{name} body: a sequence-numbered
+// batch of committed resolutions from the session's hosting node. From is
+// the sequence number of Records[0] in the sender's log; the receiver
+// applies idempotently (overlap skipped) and answers with its own cursor,
+// which the sender adopts — including rewinding when the replica lost a
+// suffix to a crash.
+type ReplAppendRequest struct {
+	// Node is the sending node's cluster name (diagnostics and conflict
+	// messages; the ring, not this field, decides legitimacy).
+	Node string `json:"node"`
+	// Meta carries the session's creation parameters (see ReplMeta).
+	Meta ReplMeta `json:"meta"`
+	// From is the sequence number of the first record in Records.
+	From int64 `json:"from"`
+	// Records are consecutive log records starting at From. An empty batch
+	// is a cursor probe: the response still reports the replica's seq.
+	Records []ReplRecord `json:"records,omitempty"`
+}
+
+// ReplAppendResponse acknowledges an append batch.
+type ReplAppendResponse struct {
+	// Seq is the replica's log length after the append — the cursor the
+	// sender should send next. Seq below the request's From+len(Records)
+	// means the replica rejected a gap (or tore its tail); the sender
+	// rewinds and resends from Seq.
+	Seq int64 `json:"seq"`
+}
+
+// ReplStatusResponse is the GET /v1/repl/{name} answer: the replica's
+// view of one replicated session. Used by handoff verification and the
+// cluster smoke tests; never on the hot path.
+type ReplStatusResponse struct {
+	// Seq is the replica's current log length for the session.
+	Seq int64 `json:"seq"`
+	// Promoted reports that this node now hosts the session live (the
+	// replica state was adopted by a promotion or a client create).
+	Promoted bool `json:"promoted"`
+}
+
+// ClusterHealthz is the router's GET /healthz response: the router's own
+// liveness plus its current view of each node from the health prober.
+type ClusterHealthz struct {
+	// Status is "ok" while the router serves.
+	Status string `json:"status"`
+	// Nodes maps node name to "up" or "down".
+	Nodes map[string]string `json:"nodes"`
 }
 
 // Healthz is the GET /healthz response.

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"metricprox/internal/cachestore"
+	"metricprox/internal/cluster"
 	"metricprox/internal/core"
 	"metricprox/internal/metric"
 	"metricprox/internal/prox"
@@ -110,12 +111,23 @@ func (s *Server) buildSession(name string, scheme core.Scheme, lmCount int, seed
 		audit:     audit,
 	}
 	if path := s.cachePath(name); path != "" {
-		store, err := cachestore.OpenOrCreate(path, s.n)
-		if err != nil {
-			return nil, nil, fmt.Errorf("open session cache: %w", err)
+		// In cluster mode, prefer adopting this node's replica store over
+		// re-opening the path: the replica stream may still be appending
+		// through that handle, and adoption atomically halts it (further
+		// repl appends answer 409) before the session takes ownership.
+		store := s.repl.adopt(name)
+		if store == nil {
+			var err error
+			store, err = cachestore.OpenOrCreate(path, s.n)
+			if err != nil {
+				return nil, nil, fmt.Errorf("open session cache: %w", err)
+			}
+		} else {
+			s.met.replSessions.Set(float64(s.repl.count()))
 		}
 		if err := sess.AttachStore(store); err != nil {
 			store.Close()
+			s.repl.forget(name) // a failed adoption must not leave a tombstone
 			return nil, nil, fmt.Errorf("replay session cache: %w", err)
 		}
 		st.store = store
@@ -127,6 +139,15 @@ func (s *Server) buildSession(name string, scheme core.Scheme, lmCount int, seed
 			s.logf("service: session %q bootstrap aborted, continuing with partial bounds: %v", name, err)
 		}
 	}
+	if s.clusterEnabled() && st.store != nil {
+		meta := s.replMeta(scheme, lmCount, seed, bootstrap, slack, audit)
+		if err := cluster.SaveMeta(s.cfg.CacheDir, name, meta); err != nil {
+			s.logf("service: session %q: writing meta sidecar: %v", name, err)
+		}
+		if s.cfg.Replicator != nil {
+			s.cfg.Replicator.Track(name, st.store, meta)
+		}
+	}
 	return core.Share(sess), st, nil
 }
 
@@ -135,13 +156,19 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, api.SessionList{Sessions: s.sortedNames()})
 }
 
-// handleStats snapshots one session's core.Stats.
+// handleStats snapshots one session's core.Stats. Like the work
+// endpoints it promotes a replicated session on a miss, so any request —
+// including a bare stats probe — brings a failed-over session up.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	entry := s.reg.Get(r.PathValue("name"))
+	entry := s.reg.Acquire(r.PathValue("name"))
+	if entry == nil {
+		entry = s.promote(r.PathValue("name"))
+	}
 	if entry == nil {
 		writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Sprintf("no session %q", r.PathValue("name")))
 		return
 	}
+	defer s.reg.Release(entry)
 	st := entry.Session.Stats()
 	writeJSON(w, api.StatsResponse{
 		OracleCalls:         st.OracleCalls,

@@ -37,6 +37,15 @@ const (
 	// MetricSearchBuildLatency is the histogram of /search graph
 	// construction times in nanoseconds.
 	MetricSearchBuildLatency = "service_search_build_latency_ns"
+	// MetricPromotions counts replica-to-live session promotions — each is
+	// one failover this node absorbed for a dead (or drained) primary.
+	MetricPromotions = "cluster_promotions_total"
+	// MetricReplReceived counts replicated records applied to this node's
+	// replica stores via POST /v1/repl/{name}.
+	MetricReplReceived = "cluster_repl_received_records_total"
+	// MetricReplSessions gauges the replica (un-promoted) session stores
+	// this node currently holds.
+	MetricReplSessions = "cluster_repl_sessions"
 )
 
 // metrics bundles the service instruments. A nil registry yields a
@@ -50,6 +59,9 @@ type metrics struct {
 	searchBuilds  *obs.Counter
 	searchQueries *obs.Counter
 	searchBuild   *obs.Histogram
+	promotions    *obs.Counter
+	replReceived  *obs.Counter
+	replSessions  *obs.Gauge
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -64,6 +76,9 @@ func newMetrics(reg *obs.Registry) *metrics {
 		searchBuilds:  reg.Counter(MetricSearchBuilds),
 		searchQueries: reg.Counter(MetricSearchQueries),
 		searchBuild:   reg.Histogram(MetricSearchBuildLatency),
+		promotions:    reg.Counter(MetricPromotions),
+		replReceived:  reg.Counter(MetricReplReceived),
+		replSessions:  reg.Gauge(MetricReplSessions),
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"metricprox/internal/cachestore"
+	"metricprox/internal/cluster"
 	"metricprox/internal/core"
 	"metricprox/internal/metric"
 	"metricprox/internal/nsw"
@@ -41,6 +42,17 @@ type Config struct {
 	// they happen and replayed on the next create of the same name, so a
 	// daemon restart warm-starts instead of re-paying the oracle.
 	CacheDir string
+	// Cluster, when non-nil, makes this server a cluster member: it
+	// accepts replicated bound state on /v1/repl/{name}, promotes replicas
+	// to live sessions when requests for them arrive (failover), and
+	// writes meta sidecars next to every store. Requires CacheDir — the
+	// store file is the replication medium.
+	Cluster *cluster.Topology
+	// Replicator, when non-nil, streams every hosted session's store to
+	// its replica owners: sessions are Tracked on build and Untracked on
+	// eviction. The server does not own its lifecycle (the daemon starts,
+	// flushes, and closes it around the HTTP drain).
+	Replicator *cluster.Replicator
 	// Registry receives the service metrics when non-nil.
 	Registry *obs.Registry
 	// Logf, when non-nil, receives operational log lines.
@@ -85,6 +97,7 @@ type Server struct {
 	reg      *core.SessionRegistry
 	mux      *http.ServeMux
 	met      *metrics
+	repl     replManager
 	inflight atomic.Int64
 	draining atomic.Bool
 	sweep    chan struct{} // closed by Close to stop the sweeper
@@ -101,11 +114,15 @@ func New(cfg Config) (*Server, error) {
 	if q <= 0 {
 		q = DefaultQueue
 	}
+	if cfg.Cluster != nil && cfg.CacheDir == "" {
+		return nil, fmt.Errorf("service: cluster mode requires CacheDir (the store file is the replication medium)")
+	}
 	s := &Server{
 		cfg:   cfg,
 		n:     cfg.Oracle.Len(),
 		queue: q,
 		met:   newMetrics(cfg.Registry),
+		repl:  replManager{states: make(map[string]*replState)},
 		sweep: make(chan struct{}),
 	}
 	s.reg = core.NewSessionRegistry(cfg.MaxSessions, cfg.SessionTTL, s.onEvict)
@@ -125,16 +142,25 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // onEvict flushes and closes an evicted session's cache store; it runs
-// outside the registry lock.
+// outside the registry lock. In cluster mode it also stops the session's
+// replication stream first (so no pump cycle touches the closing store)
+// and clears the promotion tombstone afterwards, making the name
+// replicable again from the surviving file.
 func (s *Server) onEvict(e *core.SessionEntry) {
 	s.met.evictions.Inc()
 	s.met.sessions.Set(float64(s.reg.Len()))
-	st, ok := e.Data.(*sessionState)
-	if !ok || st.store == nil {
-		return
+	if s.cfg.Replicator != nil {
+		s.cfg.Replicator.Untrack(e.Name)
 	}
-	if err := st.store.Close(); err != nil {
-		s.logf("service: closing cache of session %q: %v", e.Name, err)
+	st, ok := e.Data.(*sessionState)
+	if ok && st.store != nil {
+		if err := st.store.Close(); err != nil {
+			s.logf("service: closing cache of session %q: %v", e.Name, err)
+		}
+	}
+	if s.clusterEnabled() {
+		s.repl.forget(e.Name)
+		s.met.replSessions.Set(float64(s.repl.count()))
 	}
 }
 
@@ -177,6 +203,7 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	n := s.reg.Clear()
+	s.repl.closeAll()
 	s.logf("service: closed %d sessions", n)
 	return nil
 }
@@ -214,6 +241,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/sessions/{name}/search", work("search", s.handleSearch))
 	s.mux.HandleFunc("POST /v1/sessions/{name}/mst", work("mst", s.handleMST))
 	s.mux.HandleFunc("POST /v1/sessions/{name}/medoid", work("medoid", s.handleMedoid))
+	// Cluster replication: node-to-node, not client-facing. Mounted
+	// unconditionally; the handlers refuse with 400 outside cluster mode.
+	s.mux.HandleFunc("POST /v1/repl/{name}", s.instrument("repl", s.handleReplAppend))
+	s.mux.HandleFunc("GET /v1/repl/{name}", s.instrument("replstatus", s.handleReplStatus))
 }
 
 // instrument wraps a handler with the drain gate, the per-endpoint
@@ -236,14 +267,24 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 // admit resolves the session named in the path and takes one of its
 // admission slots, shedding with 503 + Retry-After when all slots are
 // busy. The slot is held for the duration of the wrapped handler — the
-// "bounded per-session work queue".
+// "bounded per-session work queue". The registry entry is held via
+// Acquire/Release for the same span, so the TTL sweeper can neither evict
+// the session nor close its cache store while the handler runs (the
+// drain-era race fixed in core.SessionRegistry). When this node holds
+// replicated state for an unknown session, admit promotes it first — the
+// failover path: a client routed here after the primary died finds a
+// warm, already-replayed session instead of a 404.
 func (s *Server) admit(endpoint string, h func(http.ResponseWriter, *http.Request, *core.SessionEntry)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		entry := s.reg.Get(r.PathValue("name"))
+		entry := s.reg.Acquire(r.PathValue("name"))
+		if entry == nil {
+			entry = s.promote(r.PathValue("name"))
+		}
 		if entry == nil {
 			writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Sprintf("no session %q", r.PathValue("name")))
 			return
 		}
+		defer s.reg.Release(entry)
 		st := entry.Data.(*sessionState)
 		select {
 		case st.sem <- struct{}{}:
